@@ -1,0 +1,56 @@
+// Command ddsrviz replays Figure 3 of the OnionBots paper — node
+// removal and self-repair in a 3-regular graph of 12 nodes — printing
+// each panel's state and the repair edges as they appear.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"onionbots/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ddsrviz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g := experiment.Fig3Graph()
+	fmt.Println("Figure 3 walkthrough: 3-regular graph, 12 nodes")
+	fmt.Println("initial adjacency:")
+	for _, u := range g.Nodes() {
+		nbrs := g.Neighbors(u)
+		parts := make([]string, len(nbrs))
+		for i, v := range nbrs {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Printf("  %2d: %s\n", u, strings.Join(parts, " "))
+	}
+	fmt.Println()
+
+	res, steps, err := experiment.RunFig3()
+	if err != nil {
+		return err
+	}
+	for i, s := range steps {
+		fmt.Printf("panel %d: remove node %d\n", i+2, s.Removed)
+		if len(s.EdgesAdded) == 0 {
+			fmt.Println("  repair: no new edges needed")
+		} else {
+			for _, e := range s.EdgesAdded {
+				fmt.Printf("  repair: new edge (%d,%d)\n", e[0], e[1])
+			}
+		}
+		fmt.Printf("  %d nodes, %d edges, connected=%v, max degree %d\n",
+			s.NodesLeft, s.EdgesLeft, s.Connected, s.MaxDegree)
+	}
+	fmt.Println()
+	for _, note := range res.Notes {
+		fmt.Println("note:", note)
+	}
+	return nil
+}

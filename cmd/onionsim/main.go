@@ -1,0 +1,168 @@
+// Command onionsim regenerates the OnionBots paper's tables and figures
+// from this repository's implementations.
+//
+// Usage:
+//
+//	onionsim -exp fig4 [-quick] [-csv dir]
+//	onionsim -exp all -quick
+//
+// Experiments: fig3, fig4, fig5, fig6, fig7, fig8, table1, probing,
+// hsdir, pow, all. Full (non-quick) runs use the paper's parameters
+// (n=5000/15000 graphs, 1000-15000 sweeps) and can take minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"onionbots/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "onionsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig3|fig4|fig5|fig6|fig7|fig8|table1|probing|hsdir|pow|ablation|all)")
+		quick  = flag.Bool("quick", false, "use scaled-down parameters")
+		csvDir = flag.String("csv", "", "also write each result as CSV into this directory")
+		seed   = flag.Uint64("seed", 1, "seed for seeded experiments")
+	)
+	flag.Parse()
+
+	results, err := collect(*exp, *quick, *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Println(r.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func collect(exp string, quick bool, seed uint64) ([]*experiment.Result, error) {
+	var out []*experiment.Result
+	add := func(rs ...*experiment.Result) {
+		out = append(out, rs...)
+	}
+	want := func(id string) bool { return exp == "all" || exp == id }
+
+	if want("fig3") {
+		r, _, err := experiment.RunFig3()
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("fig4") {
+		for _, pruning := range []bool{false, true} {
+			cfg := experiment.DefaultFig4Config(quick)
+			cfg.Pruning = pruning
+			cfg.Seed = seed
+			closeness, degree, err := experiment.RunFig4(cfg)
+			if err != nil {
+				return nil, err
+			}
+			add(closeness, degree)
+		}
+	}
+	if want("fig5") {
+		sizes := []int{5000, 15000}
+		if quick {
+			sizes = []int{0} // quick preset ignores the size argument
+		}
+		for _, n := range sizes {
+			cfg := experiment.DefaultFig5Config(quick, n)
+			cfg.Seed = seed
+			comps, degree, diam, err := experiment.RunFig5(cfg)
+			if err != nil {
+				return nil, err
+			}
+			add(comps, degree, diam)
+		}
+	}
+	if want("fig6") {
+		cfg := experiment.DefaultFig6Config(quick)
+		cfg.Seed = seed
+		r, err := experiment.RunFig6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("table1") {
+		r, err := experiment.RunTable1([]byte("onionsim"))
+		if err != nil {
+			return nil, err
+		}
+		if err := experiment.VerifyTable1Shape(r); err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("fig7") {
+		cfg := experiment.DefaultFig7Config(quick)
+		cfg.Seed = seed
+		r, err := experiment.RunFig7(cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("fig8") {
+		cfg := experiment.DefaultFig8Config(quick)
+		cfg.Seed = seed
+		r, err := experiment.RunFig8(cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("probing") {
+		r, err := experiment.RunProbingFeasibility()
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("hsdir") {
+		r, err := experiment.RunHSDirAttack(seed)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("pow") {
+		r, err := experiment.RunPoWDefense(seed, quick)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if want("ablation") {
+		cfg := experiment.DefaultAblationConfig(quick)
+		cfg.Seed = seed
+		r, err := experiment.RunDDSRAblation(cfg)
+		if err != nil {
+			return nil, err
+		}
+		add(r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectKnownExperiments(t *testing.T) {
+	// Each id must resolve to at least one result in quick mode; use
+	// only the fast ones here (campaign experiments are covered by the
+	// experiment package's own tests).
+	for _, exp := range []string{"fig3", "fig6", "table1", "probing", "hsdir", "ablation"} {
+		results, err := collect(exp, true, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if len(results) == 0 {
+			t.Fatalf("%s produced no results", exp)
+		}
+		for _, r := range results {
+			if r.Render() == "" || !strings.Contains(r.Render(), "==") {
+				t.Fatalf("%s: empty render", exp)
+			}
+		}
+	}
+}
+
+func TestCollectFig4ProducesFourPanels(t *testing.T) {
+	results, err := collect("fig4", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("fig4 produced %d results, want 4 (4a-4d)", len(results))
+	}
+}
+
+func TestCollectRejectsUnknown(t *testing.T) {
+	if _, err := collect("fig99", true, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,16 @@
+// Package onionbots is a defensive research reproduction of
+// "OnionBots: Subverting Privacy Infrastructure for Cyber Attacks"
+// (Sanatinia & Noubir, DSN 2015).
+//
+// Everything runs in-process against a simulated Tor substrate: the
+// self-healing DDSR overlay (Section IV-C), the OnionBot reference
+// design (Section IV), the SOAP sybil mitigation (Section VI-B), the
+// HSDir-positioning mitigation (Section VI-A), and the hardened
+// next-generation variants (Section VII). See DESIGN.md for the system
+// inventory, EXPERIMENTS.md for paper-versus-measured results, and
+// bench_test.go for the per-figure regeneration harness.
+//
+// The implementation lives under internal/; cmd/onionsim, cmd/soapctl
+// and cmd/ddsrviz are the entry points, and examples/ holds runnable
+// walkthroughs.
+package onionbots

@@ -1,0 +1,21 @@
+// Package botcrypto implements the cryptographic building blocks of the
+// OnionBot reference design (Sections IV-D and IV-E):
+//
+//   - a deterministic byte stream (DRBG) for reproducible key derivation;
+//   - the shared-key address schedule generateKey(PK_CC, H(K_B, i_p)),
+//     which lets a bot rotate its .onion address every period while the
+//     botmaster can still derive where to find it;
+//   - ECIES-style public-key sealing ({K_B}_PK_CC — how a bot reports
+//     its key to the C&C at rally time);
+//   - fixed-size, uniform-looking sealed cells for all bot-to-bot
+//     traffic, so relaying bots can distinguish neither the source, nor
+//     the destination, nor the nature of a message;
+//   - group keys for encrypted multicast;
+//   - botnet-for-rent tokens: master-signed renter certificates with an
+//     expiry and a command whitelist;
+//   - replay protection (timestamp window plus nonce cache), the
+//     property Table I shows every 2015-era botnet lacked.
+//
+// The sibling package legacy implements the Table I ciphers and the
+// audits that demonstrate their weaknesses.
+package botcrypto

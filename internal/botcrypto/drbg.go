@@ -1,0 +1,49 @@
+package botcrypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+)
+
+// DRBG is a deterministic byte stream: SHA-256 over (seed || counter).
+// It implements io.Reader so it can drive key generation. It is a
+// simulation tool for reproducibility, not a CSPRNG for production use.
+type DRBG struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+var _ io.Reader = (*DRBG)(nil)
+
+// NewDRBG builds a stream from arbitrary seed material.
+func NewDRBG(seed []byte) *DRBG {
+	return &DRBG{seed: sha256.Sum256(seed)}
+}
+
+// Read fills p deterministically. It never fails.
+func (d *DRBG) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], d.seed[:])
+			binary.BigEndian.PutUint64(block[32:], d.counter)
+			d.counter++
+			sum := sha256.Sum256(block[:])
+			d.buf = sum[:]
+		}
+		c := copy(p, d.buf)
+		d.buf = d.buf[c:]
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// Bytes returns the next n bytes of the stream.
+func (d *DRBG) Bytes(n int) []byte {
+	out := make([]byte, n)
+	_, _ = d.Read(out)
+	return out
+}

@@ -1,0 +1,77 @@
+package botcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrECIES reports a public-key sealing failure.
+var ErrECIES = errors.New("botcrypto: public-key sealing failed")
+
+// eciesSealedSize is the symmetric-seal size inside a public-key-sealed
+// blob. It is compact (rally reports carry only a 32-byte key) so the
+// whole blob still nests inside a network envelope.
+const eciesSealedSize = 128
+
+// ECIESSize is the total wire size of a SealToPublic blob.
+const ECIESSize = 32 + eciesSealedSize
+
+// EncryptionKeyPair is an X25519 keypair used for sealing messages to a
+// party (the paper's {K_B}_PK_CC at rally time).
+type EncryptionKeyPair struct {
+	Priv *ecdh.PrivateKey
+	Pub  *ecdh.PublicKey
+}
+
+// NewEncryptionKeyPair derives a keypair from the given entropy source.
+func NewEncryptionKeyPair(random io.Reader) (*EncryptionKeyPair, error) {
+	priv, err := ecdh.X25519().GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("botcrypto: X25519 keygen: %w", err)
+	}
+	return &EncryptionKeyPair{Priv: priv, Pub: priv.PublicKey()}, nil
+}
+
+// SealToPublic encrypts msg so only the holder of pub's private key can
+// read it: an ephemeral X25519 exchange, then a symmetric Seal. The
+// output is ephemeralPub(32) || SealedSize bytes; like every sealed
+// cell, it is indistinguishable from random on the wire.
+func SealToPublic(pub *ecdh.PublicKey, msg []byte, random io.Reader) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ephemeral keygen: %v", ErrECIES, err)
+	}
+	shared, err := eph.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrECIES, err)
+	}
+	key := sha256.Sum256(append([]byte("onionbots-ecies:"), shared...))
+	sealed, err := SealSized(key[:], msg, eciesSealedSize, random)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, ECIESSize)
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, sealed...)
+	return out, nil
+}
+
+// OpenWithPrivate reverses SealToPublic.
+func OpenWithPrivate(priv *ecdh.PrivateKey, sealed []byte) ([]byte, error) {
+	if len(sealed) != ECIESSize {
+		return nil, fmt.Errorf("%w: size %d", ErrECIES, len(sealed))
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(sealed[:32])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrECIES, err)
+	}
+	shared, err := priv.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrECIES, err)
+	}
+	key := sha256.Sum256(append([]byte("onionbots-ecies:"), shared...))
+	return OpenSized(key[:], sealed[32:], eciesSealedSize)
+}

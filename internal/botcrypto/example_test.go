@@ -1,0 +1,69 @@
+package botcrypto_test
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"onionbots/internal/botcrypto"
+)
+
+// ExampleSeal shows the fixed-size uniform sealing used for every
+// bot-to-bot message.
+func ExampleSeal() {
+	key := botcrypto.NewDRBG([]byte("shared key")).Bytes(32)
+	rng := botcrypto.NewDRBG([]byte("nonce source"))
+
+	sealed, _ := botcrypto.Seal(key, []byte("ddos example.com"), rng)
+	fmt.Println("wire size:", len(sealed))
+
+	msg, _ := botcrypto.Open(key, sealed)
+	fmt.Println("plaintext:", string(msg))
+
+	_, err := botcrypto.Open([]byte("wrong key"), sealed)
+	fmt.Println("wrong key:", err != nil)
+	// Output:
+	// wire size: 480
+	// plaintext: ddos example.com
+	// wrong key: true
+}
+
+// ExampleDeriveIdentity shows the paper's address-rotation schedule:
+// bot and botmaster independently derive the same .onion address for
+// any period from the shared key K_B.
+func ExampleDeriveIdentity() {
+	masterPub, _, _ := ed25519.GenerateKey(botcrypto.NewDRBG([]byte("master")))
+	kb := botcrypto.NewDRBG([]byte("bot key")).Bytes(botcrypto.BotKeySize)
+
+	botView := botcrypto.OnionForPeriod(masterPub, kb, 100)
+	ccView := botcrypto.OnionForPeriod(masterPub, kb, 100)
+	tomorrow := botcrypto.OnionForPeriod(masterPub, kb, 101)
+
+	fmt.Println("both sides agree:", botView == ccView)
+	fmt.Println("rotates daily:", botView != tomorrow)
+	// Output:
+	// both sides agree: true
+	// rotates daily: true
+}
+
+// ExampleIssueToken shows the Section IV-E botnet-for-rent chain.
+func ExampleIssueToken() {
+	masterPub, masterPriv, _ := ed25519.GenerateKey(botcrypto.NewDRBG([]byte("mallory")))
+	renterPub, renterPriv, _ := ed25519.GenerateKey(botcrypto.NewDRBG([]byte("trudy")))
+
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	token := botcrypto.IssueToken(masterPriv, renterPub, now.Add(24*time.Hour),
+		[]string{"spam", "mine"})
+
+	var nonce [16]byte
+	cmd := botcrypto.SignRentedCommand(renterPriv, token, "spam", nil, now, nonce)
+	fmt.Println("whitelisted:", botcrypto.AuthorizeRented(masterPub, cmd, now) == nil)
+
+	bad := botcrypto.SignRentedCommand(renterPriv, token, "ddos", nil, now, nonce)
+	fmt.Println("off-whitelist rejected:", botcrypto.AuthorizeRented(masterPub, bad, now) != nil)
+	fmt.Println("expired rejected:", botcrypto.AuthorizeRented(masterPub, cmd, now.Add(48*time.Hour)) != nil)
+	// Output:
+	// whitelisted: true
+	// off-whitelist rejected: true
+	// expired rejected: true
+}

@@ -1,0 +1,79 @@
+package botcrypto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ErrUnknownGroup reports a group id with no key in the ring.
+var ErrUnknownGroup = errors.New("botcrypto: unknown group")
+
+// GroupKeyring holds the group keys a bot has been issued. The
+// botmaster can set up group keys to address encrypted messages to a
+// subset of bots (Section IV-D); bots outside the group see sealed
+// bytes they cannot open — indistinguishable from any other traffic.
+type GroupKeyring struct {
+	keys map[string][]byte
+}
+
+// NewGroupKeyring returns an empty ring.
+func NewGroupKeyring() *GroupKeyring {
+	return &GroupKeyring{keys: make(map[string][]byte)}
+}
+
+// Add installs (or replaces) the key for a group.
+func (r *GroupKeyring) Add(group string, key []byte) {
+	r.keys[group] = append([]byte(nil), key...)
+}
+
+// Remove forgets a group key.
+func (r *GroupKeyring) Remove(group string) { delete(r.keys, group) }
+
+// Groups lists group ids, sorted.
+func (r *GroupKeyring) Groups() []string {
+	out := make([]string, 0, len(r.keys))
+	for g := range r.keys {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SealFor encrypts msg under the named group's key.
+func (r *GroupKeyring) SealFor(group string, msg []byte, random io.Reader) ([]byte, error) {
+	key, ok := r.keys[group]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return Seal(key, msg, random)
+}
+
+// TryOpen attempts to open a sealed cell with every group key, returning
+// the plaintext and the matching group. This is how a receiving bot
+// decides whether a broadcast concerns it: trial decryption, with no
+// cleartext group label on the wire.
+func (r *GroupKeyring) TryOpen(sealed []byte) (msg []byte, group string, err error) {
+	return r.TryOpenSized(sealed, SealedSize)
+}
+
+// TryOpenSized is TryOpen for non-default seal sizes (nested group
+// payloads inside envelopes use a compact size).
+func (r *GroupKeyring) TryOpenSized(sealed []byte, size int) (msg []byte, group string, err error) {
+	for _, g := range r.Groups() {
+		if m, e := OpenSized(r.keys[g], sealed, size); e == nil {
+			return m, g, nil
+		}
+	}
+	return nil, "", ErrSealCorrupt
+}
+
+// SealForSized is SealFor with an explicit total size.
+func (r *GroupKeyring) SealForSized(group string, msg []byte, size int, random io.Reader) ([]byte, error) {
+	key, ok := r.keys[group]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return SealSized(key, msg, size, random)
+}

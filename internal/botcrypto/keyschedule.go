@@ -1,0 +1,54 @@
+package botcrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"onionbots/internal/tor"
+)
+
+// BotKeySize is the size of the per-bot symmetric key K_B shared with
+// the botmaster at rally time.
+const BotKeySize = 32
+
+// RotationPeriod is the paper's i_p unit: bots derive a fresh .onion
+// address per day.
+const RotationPeriod = 24 * time.Hour
+
+// PeriodIndex computes i_p, the index of the rotation period containing
+// t (measured from the Unix epoch, as the descriptor math is).
+func PeriodIndex(t time.Time) uint64 {
+	return uint64(t.Unix()) / uint64(RotationPeriod/time.Second)
+}
+
+// DeriveIdentity implements the paper's address-rotation recipe,
+//
+//	generateKey(PK_CC, H(K_B, i_p))
+//
+// deterministically deriving the bot's hidden-service identity for
+// period ip from the key K_B it shares with the botmaster and the
+// botmaster's public key. Both sides of the relationship can evaluate
+// it: the bot to host its next address, the C&C to dial it.
+func DeriveIdentity(masterPub ed25519.PublicKey, kb []byte, ip uint64) *tor.Identity {
+	h := sha256.New()
+	h.Write([]byte("onionbots-rotate:"))
+	h.Write(kb)
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], ip)
+	h.Write(idx[:])
+	inner := h.Sum(nil)
+
+	h = sha256.New()
+	h.Write(masterPub)
+	h.Write(inner)
+	var seed [32]byte
+	copy(seed[:], h.Sum(nil))
+	return tor.IdentityFromSeed(seed)
+}
+
+// OnionForPeriod is a convenience wrapper returning just the address.
+func OnionForPeriod(masterPub ed25519.PublicKey, kb []byte, ip uint64) string {
+	return DeriveIdentity(masterPub, kb, ip).Onion()
+}

@@ -1,0 +1,118 @@
+package botcrypto
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+	"time"
+)
+
+func testMasterKeys(t *testing.T) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(NewDRBG([]byte("master")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, priv
+}
+
+func TestDeriveIdentityBothSidesAgree(t *testing.T) {
+	masterPub, _ := testMasterKeys(t)
+	kb := NewDRBG([]byte("bot kb")).Bytes(BotKeySize)
+
+	// The bot derives its address for period 100; the C&C, holding
+	// K_B, derives the same address independently.
+	botSide := DeriveIdentity(masterPub, kb, 100)
+	ccSide := DeriveIdentity(masterPub, kb, 100)
+	if botSide.Onion() != ccSide.Onion() {
+		t.Fatal("bot and C&C derived different addresses for the same period")
+	}
+	if !bytes.Equal(botSide.Priv, ccSide.Priv) {
+		t.Fatal("derived private keys differ")
+	}
+}
+
+func TestDeriveIdentityRotates(t *testing.T) {
+	masterPub, _ := testMasterKeys(t)
+	kb := NewDRBG([]byte("bot kb")).Bytes(BotKeySize)
+	seen := map[string]bool{}
+	for ip := uint64(0); ip < 30; ip++ {
+		onion := OnionForPeriod(masterPub, kb, ip)
+		if seen[onion] {
+			t.Fatalf("address repeated at period %d", ip)
+		}
+		seen[onion] = true
+	}
+}
+
+func TestDeriveIdentityIsolatedPerBot(t *testing.T) {
+	masterPub, _ := testMasterKeys(t)
+	a := NewDRBG([]byte("bot a")).Bytes(BotKeySize)
+	b := NewDRBG([]byte("bot b")).Bytes(BotKeySize)
+	if OnionForPeriod(masterPub, a, 5) == OnionForPeriod(masterPub, b, 5) {
+		t.Fatal("different bots derived the same address")
+	}
+}
+
+func TestDeriveIdentityBindsMasterKey(t *testing.T) {
+	pubA, _, _ := ed25519.GenerateKey(NewDRBG([]byte("m1")))
+	pubB, _, _ := ed25519.GenerateKey(NewDRBG([]byte("m2")))
+	kb := NewDRBG([]byte("kb")).Bytes(BotKeySize)
+	if OnionForPeriod(pubA, kb, 1) == OnionForPeriod(pubB, kb, 1) {
+		t.Fatal("address schedule ignores the master public key")
+	}
+}
+
+func TestPeriodIndex(t *testing.T) {
+	base := time.Date(2015, 1, 14, 0, 0, 0, 0, time.UTC)
+	p0 := PeriodIndex(base)
+	if PeriodIndex(base.Add(23*time.Hour)) != p0 {
+		t.Fatal("period changed within a day")
+	}
+	if PeriodIndex(base.Add(25*time.Hour)) != p0+1 {
+		t.Fatal("period did not advance after a day")
+	}
+}
+
+func TestECIESRoundTrip(t *testing.T) {
+	cc, err := NewEncryptionKeyPair(NewDRBG([]byte("cc enc")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := NewDRBG([]byte("kb")).Bytes(BotKeySize)
+	rng := NewDRBG([]byte("eph"))
+
+	// Rally: bot seals K_B to the C&C's public key.
+	sealed, err := SealToPublic(cc.Pub, kb, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenWithPrivate(cc.Priv, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, kb) {
+		t.Fatal("C&C recovered wrong K_B")
+	}
+}
+
+func TestECIESRejectsWrongKeyAndTampering(t *testing.T) {
+	cc, _ := NewEncryptionKeyPair(NewDRBG([]byte("cc enc")))
+	mallory, _ := NewEncryptionKeyPair(NewDRBG([]byte("mallory")))
+	rng := NewDRBG([]byte("eph"))
+	sealed, err := SealToPublic(cc.Pub, []byte("K_B"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWithPrivate(mallory.Priv, sealed); err == nil {
+		t.Fatal("wrong private key opened the rally message")
+	}
+	bad := append([]byte(nil), sealed...)
+	bad[40] ^= 1
+	if _, err := OpenWithPrivate(cc.Priv, bad); err == nil {
+		t.Fatal("tampered rally message accepted")
+	}
+	if _, err := OpenWithPrivate(cc.Priv, sealed[:50]); err == nil {
+		t.Fatal("truncated rally message accepted")
+	}
+}

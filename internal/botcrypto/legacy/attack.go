@@ -1,0 +1,63 @@
+package legacy
+
+// Known-plaintext attacks against the Table I ciphers. Each takes one
+// observed (plaintext, ciphertext) pair — e.g. a reverse-engineered
+// heartbeat — and recovers enough key material to decrypt (and forge)
+// other traffic under the same key.
+
+// RecoverXORKey recovers a repeating XOR key of length keyLen from one
+// known pair (Storm). Requires len(pt) >= keyLen.
+func RecoverXORKey(pt, ct []byte, keyLen int) []byte {
+	if len(pt) < keyLen || len(ct) < keyLen {
+		return nil
+	}
+	key := make([]byte, keyLen)
+	for i := 0; i < keyLen; i++ {
+		key[i] = pt[i] ^ ct[i]
+	}
+	return key
+}
+
+// RecoverChainedXORKey recovers a Zeus chained-XOR key of length keyLen
+// from one known pair: key[i] = pt[i] ^ ct[i] ^ ct[i-1].
+func RecoverChainedXORKey(pt, ct []byte, keyLen int) []byte {
+	if len(pt) < keyLen || len(ct) < keyLen {
+		return nil
+	}
+	key := make([]byte, keyLen)
+	var prev byte
+	for i := 0; i < keyLen; i++ {
+		key[i] = pt[i] ^ ct[i] ^ prev
+		prev = ct[i]
+	}
+	return key
+}
+
+// RecoverKeystream recovers the keystream prefix from one known pair.
+// Against RC4 with a fixed key (ZeroAccess v1 reused keys across
+// messages) the recovered prefix decrypts every other message.
+func RecoverKeystream(pt, ct []byte) []byte {
+	n := len(pt)
+	if len(ct) < n {
+		n = len(ct)
+	}
+	ks := make([]byte, n)
+	for i := 0; i < n; i++ {
+		ks[i] = pt[i] ^ ct[i]
+	}
+	return ks
+}
+
+// ApplyKeystream decrypts a ciphertext with a recovered keystream
+// prefix (up to the prefix length).
+func ApplyKeystream(ks, ct []byte) []byte {
+	n := len(ct)
+	if len(ks) < n {
+		n = len(ks)
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = ct[i] ^ ks[i]
+	}
+	return out
+}

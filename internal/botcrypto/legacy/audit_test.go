@@ -1,0 +1,88 @@
+package legacy
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/botcrypto"
+)
+
+func newTestDRBG(t *testing.T) *botcrypto.DRBG {
+	t.Helper()
+	return botcrypto.NewDRBG([]byte("legacy tests"))
+}
+
+// TestAuditRegeneratesTable1 is the Table I reproduction: the audit must
+// land exactly on the paper's rows, plus the OnionBot comparison row
+// resisting all three attacks.
+func TestAuditRegeneratesTable1(t *testing.T) {
+	rows, err := AuditAll([]byte("table1 seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		botnet, crypto, signing       string
+		replayable, keyRec, forgeable bool
+	}{
+		{"Miner", "none", "none", true, true, true},
+		{"Storm", "XOR", "none", true, true, true},
+		{"ZeroAccess v1", "RC4", "RSA 512", true, true, false},
+		{"Zeus", "chained XOR", "RSA 2048", true, true, false},
+		{"OnionBot", "AES-CTR+HMAC", "Ed25519", false, false, false},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("audit produced %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Botnet != w.botnet || r.Crypto != w.crypto || r.Signing != w.signing {
+			t.Errorf("row %d identity = (%s,%s,%s), want (%s,%s,%s)",
+				i, r.Botnet, r.Crypto, r.Signing, w.botnet, w.crypto, w.signing)
+		}
+		if r.Replayable != w.replayable {
+			t.Errorf("%s: Replayable = %v, want %v (Table I column)", r.Botnet, r.Replayable, w.replayable)
+		}
+		if r.KeyRecovered != w.keyRec {
+			t.Errorf("%s: KeyRecovered = %v, want %v", r.Botnet, r.KeyRecovered, w.keyRec)
+		}
+		if r.Forged != w.forgeable {
+			t.Errorf("%s: Forged = %v, want %v", r.Botnet, r.Forged, w.forgeable)
+		}
+	}
+}
+
+func TestAuditDeterministic(t *testing.T) {
+	a, err := AuditAll([]byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AuditAll([]byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical-seed audits", i)
+		}
+	}
+}
+
+func TestProcessorRejectsGarbage(t *testing.T) {
+	schemes, err := Schemes([]byte("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	for _, s := range schemes {
+		if s.Signer.Name() == "none" {
+			continue // unsigned schemes accept garbage; that is the point
+		}
+		p := newProcessor(s, []byte("0123456789abcdef"))
+		if err := p.Deliver([]byte{0x01}, now); err == nil {
+			t.Fatalf("%s: accepted a 1-byte envelope", s.Botnet)
+		}
+		if err := p.Deliver(make([]byte, 600), now); err == nil {
+			t.Fatalf("%s: accepted an unsigned 600-byte envelope", s.Botnet)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package legacy
+
+// Cipher is a symmetric scheme as used by a 2015-era botnet. All four
+// Table I ciphers are length-preserving byte transforms.
+type Cipher interface {
+	// Name is the Table I label.
+	Name() string
+	// Encrypt transforms plaintext under key.
+	Encrypt(key, plaintext []byte) []byte
+	// Decrypt reverses Encrypt.
+	Decrypt(key, ciphertext []byte) []byte
+}
+
+// NullCipher is the Miner botnet's "crypto": none.
+type NullCipher struct{}
+
+var _ Cipher = NullCipher{}
+
+// Name implements Cipher.
+func (NullCipher) Name() string { return "none" }
+
+// Encrypt returns the plaintext unchanged.
+func (NullCipher) Encrypt(_, plaintext []byte) []byte {
+	return append([]byte(nil), plaintext...)
+}
+
+// Decrypt returns the ciphertext unchanged.
+func (NullCipher) Decrypt(_, ciphertext []byte) []byte {
+	return append([]byte(nil), ciphertext...)
+}
+
+// XORCipher is Storm's repeating-key XOR.
+type XORCipher struct{}
+
+var _ Cipher = XORCipher{}
+
+// Name implements Cipher.
+func (XORCipher) Name() string { return "XOR" }
+
+// Encrypt XORs the plaintext with the repeating key.
+func (XORCipher) Encrypt(key, plaintext []byte) []byte {
+	return xorRepeat(key, plaintext)
+}
+
+// Decrypt is identical to Encrypt (XOR is an involution).
+func (XORCipher) Decrypt(key, ciphertext []byte) []byte {
+	return xorRepeat(key, ciphertext)
+}
+
+func xorRepeat(key, in []byte) []byte {
+	out := make([]byte, len(in))
+	if len(key) == 0 {
+		copy(out, in)
+		return out
+	}
+	for i, b := range in {
+		out[i] = b ^ key[i%len(key)]
+	}
+	return out
+}
+
+// ChainedXORCipher is the Zeus scheme: each ciphertext byte is chained
+// with the previous one, ct[i] = pt[i] ^ ct[i-1] ^ key[i mod |key|].
+type ChainedXORCipher struct{}
+
+var _ Cipher = ChainedXORCipher{}
+
+// Name implements Cipher.
+func (ChainedXORCipher) Name() string { return "chained XOR" }
+
+// Encrypt applies the chained transform.
+func (ChainedXORCipher) Encrypt(key, plaintext []byte) []byte {
+	out := make([]byte, len(plaintext))
+	var prev byte
+	for i, b := range plaintext {
+		k := byte(0)
+		if len(key) > 0 {
+			k = key[i%len(key)]
+		}
+		out[i] = b ^ prev ^ k
+		prev = out[i]
+	}
+	return out
+}
+
+// Decrypt reverses the chained transform.
+func (ChainedXORCipher) Decrypt(key, ciphertext []byte) []byte {
+	out := make([]byte, len(ciphertext))
+	var prev byte
+	for i, b := range ciphertext {
+		k := byte(0)
+		if len(key) > 0 {
+			k = key[i%len(key)]
+		}
+		out[i] = b ^ prev ^ k
+		prev = b
+	}
+	return out
+}
+
+// RC4Cipher is ZeroAccess v1's stream cipher, implemented from scratch
+// (KSA + PRGA).
+type RC4Cipher struct{}
+
+var _ Cipher = RC4Cipher{}
+
+// Name implements Cipher.
+func (RC4Cipher) Name() string { return "RC4" }
+
+// Encrypt XORs the plaintext with the RC4 keystream.
+func (RC4Cipher) Encrypt(key, plaintext []byte) []byte {
+	return rc4Apply(key, plaintext)
+}
+
+// Decrypt is identical to Encrypt (stream cipher).
+func (RC4Cipher) Decrypt(key, ciphertext []byte) []byte {
+	return rc4Apply(key, ciphertext)
+}
+
+func rc4Apply(key, in []byte) []byte {
+	out := make([]byte, len(in))
+	if len(key) == 0 {
+		copy(out, in)
+		return out
+	}
+	// Key-scheduling algorithm.
+	var s [256]byte
+	for i := range s {
+		s[i] = byte(i)
+	}
+	j := 0
+	for i := 0; i < 256; i++ {
+		j = (j + int(s[i]) + int(key[i%len(key)])) & 0xff
+		s[i], s[j] = s[j], s[i]
+	}
+	// Pseudo-random generation algorithm.
+	i, j := 0, 0
+	for n := range in {
+		i = (i + 1) & 0xff
+		j = (j + int(s[i])) & 0xff
+		s[i], s[j] = s[j], s[i]
+		out[n] = in[n] ^ s[(int(s[i])+int(s[j]))&0xff]
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package botcrypto
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Replay errors.
+var (
+	ErrStale  = errors.New("botcrypto: message outside freshness window")
+	ErrReplay = errors.New("botcrypto: nonce already seen")
+)
+
+// ReplayGuard rejects duplicated or stale messages: the defense Table I
+// shows was absent from every surveyed botnet (all were replayable).
+// It combines a freshness window on timestamps with a cache of nonces
+// seen inside the window.
+type ReplayGuard struct {
+	window time.Duration
+	seen   map[[16]byte]time.Time
+}
+
+// NewReplayGuard builds a guard with the given freshness window.
+func NewReplayGuard(window time.Duration) *ReplayGuard {
+	return &ReplayGuard{window: window, seen: make(map[[16]byte]time.Time)}
+}
+
+// Check validates a message stamped issuedAt carrying nonce, at local
+// time now. A nil return marks the nonce as consumed.
+func (g *ReplayGuard) Check(nonce [16]byte, issuedAt, now time.Time) error {
+	age := now.Sub(issuedAt)
+	if age < 0 {
+		age = -age
+	}
+	if age > g.window {
+		return fmt.Errorf("%w: age %v > %v", ErrStale, age, g.window)
+	}
+	if _, dup := g.seen[nonce]; dup {
+		return ErrReplay
+	}
+	g.seen[nonce] = issuedAt
+	g.gc(now)
+	return nil
+}
+
+// Size reports how many nonces are cached (after garbage collection of
+// expired entries on the next Check).
+func (g *ReplayGuard) Size() int { return len(g.seen) }
+
+// gc drops nonces that have aged out of the window; replays of those
+// are already rejected by the staleness check.
+func (g *ReplayGuard) gc(now time.Time) {
+	if len(g.seen) < 1024 {
+		return
+	}
+	for n, at := range g.seen {
+		if now.Sub(at) > g.window {
+			delete(g.seen, n)
+		}
+	}
+}

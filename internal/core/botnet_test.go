@@ -1,0 +1,362 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/graph"
+)
+
+func TestTwoBotPeeringHandshake(t *testing.T) {
+	bn := newTestBotNet(t, 1, BotConfig{})
+	a, err := bn.InfectOne(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Second)
+	b, err := bn.InfectOne([]string{a.Onion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Second)
+
+	if got := b.PeerOnions(); len(got) != 1 || got[0] != a.Onion() {
+		t.Fatalf("b peers = %v, want [%s]", got, a.Onion())
+	}
+	if got := a.PeerOnions(); len(got) != 1 || got[0] != b.Onion() {
+		t.Fatalf("a peers = %v, want [%s]", got, b.Onion())
+	}
+	if a.Stage() != StageWaiting || b.Stage() != StageWaiting {
+		t.Fatalf("stages = %v, %v, want waiting", a.Stage(), b.Stage())
+	}
+}
+
+func TestRallyRegistersAtBotmaster(t *testing.T) {
+	bn := newTestBotNet(t, 2, BotConfig{})
+	grow(t, bn, 5)
+	if got := bn.Master.NumRegistered(); got != 5 {
+		t.Fatalf("registered bots = %d, want 5", got)
+	}
+	// The registry holds working K_B material: derived addresses match
+	// what the bots actually host.
+	recs := bn.Master.Records()
+	onions := map[string]bool{}
+	for _, b := range bn.AliveBots() {
+		onions[b.Onion()] = true
+	}
+	for _, rec := range recs {
+		if !onions[bn.Master.CurrentOnionOf(rec)] {
+			t.Fatalf("derived address %s not hosted by any bot",
+				bn.Master.CurrentOnionOf(rec))
+		}
+	}
+}
+
+func TestNetworkFormationConnectedAndBounded(t *testing.T) {
+	cfg := BotConfig{DMin: 3, DMax: 6}
+	bn := newTestBotNet(t, 3, cfg)
+	grow(t, bn, 15)
+	requireConnected(t, bn)
+	for _, b := range bn.AliveBots() {
+		if d := b.Degree(); d > cfg.DMax {
+			t.Fatalf("bot %s degree %d exceeds DMax %d", b.Onion(), d, cfg.DMax)
+		}
+	}
+	g := bn.OverlayGraph()
+	if g.NumNodes() != 15 {
+		t.Fatalf("overlay nodes = %d, want 15", g.NumNodes())
+	}
+}
+
+func TestBroadcastFloodsToAllBots(t *testing.T) {
+	bn := newTestBotNet(t, 4, BotConfig{})
+	grow(t, bn, 12)
+	requireConnected(t, bn)
+	if err := bn.Broadcast("ddos", []byte("example.com"), 2); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(time.Minute) // flood propagation
+	if got := bn.ExecutedCount("ddos"); got != 12 {
+		t.Fatalf("executed on %d/12 bots", got)
+	}
+}
+
+func TestBroadcastExecutesOncePerBot(t *testing.T) {
+	bn := newTestBotNet(t, 5, BotConfig{})
+	grow(t, bn, 8)
+	if err := bn.Broadcast("mine", nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(time.Minute)
+	for _, b := range bn.AliveBots() {
+		count := 0
+		for _, rec := range b.Executed() {
+			if rec.Name == "mine" {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("bot executed broadcast %d times, want exactly 1", count)
+		}
+	}
+}
+
+func TestForgedBroadcastIgnored(t *testing.T) {
+	bn := newTestBotNet(t, 6, BotConfig{})
+	grow(t, bn, 6)
+
+	// An adversary knows the network key (say, from a captured bot) and
+	// injects an unsigned command.
+	imposter, err := NewBotmaster(bn.Net, []byte("imposter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := imposter.NewCommand("uninstall", nil) // signed by the WRONG master
+	entry := bn.AliveBots()[0]
+	env := &Envelope{Type: MsgBroadcast, TTL: 4, Payload: cmd.Encode()}
+	env.MsgID[0] = 0xAA
+	entry.Inject(env)
+	bn.Run(time.Minute)
+	if got := bn.ExecutedCount("uninstall"); got != 0 {
+		t.Fatalf("forged command executed on %d bots", got)
+	}
+}
+
+func TestSelfHealingAfterTakedown(t *testing.T) {
+	cfg := BotConfig{DMin: 3, DMax: 6}
+	bn := newTestBotNet(t, 7, cfg)
+	grow(t, bn, 12)
+	requireConnected(t, bn)
+
+	// Take down a third of the network, one at a time, letting pings
+	// detect and repair around each loss (the DDSR protocol loop).
+	for i := 0; i < 4; i++ {
+		victim := bn.AliveBots()[0]
+		bn.Takedown(victim)
+		bn.Run(10 * time.Minute) // ping detection + repair + NoN refresh
+	}
+	alive := bn.AliveBots()
+	if len(alive) != 8 {
+		t.Fatalf("alive = %d, want 8", len(alive))
+	}
+	requireConnected(t, bn)
+	// Repairs actually fired.
+	repairs := 0
+	for _, b := range alive {
+		repairs += b.Stats().RepairsStarted
+	}
+	if repairs == 0 {
+		t.Fatal("no repairs started despite takedowns")
+	}
+}
+
+func TestDirectReachAfterAddressRotation(t *testing.T) {
+	cfg := BotConfig{Rotation: true}
+	bn := newTestBotNet(t, 8, cfg)
+	grow(t, bn, 4)
+
+	rec := bn.Master.Records()[0]
+	before := bn.Master.CurrentOnionOf(rec)
+
+	// Cross a rotation period (full virtual day) and let the hourly
+	// rotation timers fire.
+	bn.Run(25 * time.Hour)
+
+	after := bn.Master.CurrentOnionOf(rec)
+	if before == after {
+		t.Fatal("derived address did not rotate across a period boundary")
+	}
+	// The C&C reaches the bot at its *new* address, no coordination
+	// needed beyond the shared K_B (Section IV-D).
+	cmd := bn.Master.NewCommand("status-report", nil)
+	if err := bn.Master.Reach(rec, cmd); err != nil {
+		t.Fatalf("reach after rotation failed: %v", err)
+	}
+	bn.Run(time.Minute)
+	if got := bn.ExecutedCount("status-report"); got != 1 {
+		t.Fatalf("directed command executed on %d bots, want 1", got)
+	}
+}
+
+func TestRotationKeepsPeersLinked(t *testing.T) {
+	cfg := BotConfig{Rotation: true, DMin: 2, DMax: 4}
+	bn := newTestBotNet(t, 9, cfg)
+	grow(t, bn, 6)
+	requireConnected(t, bn)
+	bn.Run(25 * time.Hour)
+	// After everyone rotated, peer maps must be re-keyed to the new
+	// addresses and the overlay must remain connected.
+	rotations := 0
+	for _, b := range bn.AliveBots() {
+		rotations += b.Stats().Rotations
+	}
+	if rotations < 6 {
+		t.Fatalf("only %d rotations happened", rotations)
+	}
+	alive := map[string]bool{}
+	for _, b := range bn.AliveBots() {
+		alive[b.Onion()] = true
+	}
+	for _, b := range bn.AliveBots() {
+		for _, p := range b.PeerOnions() {
+			if !alive[p] {
+				t.Fatalf("bot %s still lists stale peer address %s", b.Onion(), p)
+			}
+		}
+	}
+	requireConnected(t, bn)
+}
+
+func TestFloodDirectedReachesOnlyTarget(t *testing.T) {
+	bn := newTestBotNet(t, 10, BotConfig{})
+	grow(t, bn, 8)
+	requireConnected(t, bn)
+
+	rec := bn.Master.Records()[3]
+	cmd := bn.Master.NewCommand("exfiltrate", []byte("docs"))
+	entry := bn.AliveBots()[0].Onion()
+	if err := bn.Master.FloodDirected(entry, rec, cmd, 6); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(time.Minute)
+	if got := bn.ExecutedCount("exfiltrate"); got != 1 {
+		t.Fatalf("directed command executed on %d bots, want exactly 1", got)
+	}
+	// The message transited relays that could not read it.
+	relayed := 0
+	for _, b := range bn.AliveBots() {
+		relayed += b.Stats().MessagesRelayed
+	}
+	if relayed == 0 {
+		t.Fatal("directed flood was never relayed")
+	}
+}
+
+func TestMaintenanceCommandDropPeer(t *testing.T) {
+	bn := newTestBotNet(t, 11, BotConfig{})
+	grow(t, bn, 5)
+	target := bn.AliveBots()[1]
+	peers := target.PeerOnions()
+	if len(peers) == 0 {
+		t.Fatal("target has no peers")
+	}
+	victim := peers[0]
+	rec := findRecordFor(t, bn, target)
+	cmd := bn.Master.NewCommand("drop-peer", []byte(victim))
+	if err := bn.Master.Reach(rec, cmd); err != nil {
+		t.Fatal(err)
+	}
+	// Check right after delivery: the self-healing DMin floor would
+	// legitimately re-acquire a dropped peer at the next ping tick,
+	// which is by design.
+	bn.Run(time.Second)
+	if got := bn.ExecutedCount("drop-peer"); got != 1 {
+		t.Fatalf("drop-peer executed on %d bots, want 1", got)
+	}
+	for _, p := range target.PeerOnions() {
+		if p == victim {
+			t.Fatal("maintenance drop-peer did not remove the peer")
+		}
+	}
+}
+
+// findRecordFor locates the registry record whose derived address
+// matches the bot.
+func findRecordFor(t *testing.T, bn *BotNet, b *Bot) *BotRecord {
+	t.Helper()
+	for _, rec := range bn.Master.Records() {
+		if bn.Master.CurrentOnionOf(rec) == b.Onion() {
+			return rec
+		}
+	}
+	t.Fatal("no registry record for bot")
+	return nil
+}
+
+func TestAcceptanceRuleDisplacesHighestDegree(t *testing.T) {
+	cfg := BotConfig{DMin: 1, DMax: 2}
+	bn := newTestBotNet(t, 12, cfg)
+	a, err := bn.InfectOne(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Second)
+	// Fill a to DMax.
+	for i := 0; i < 2; i++ {
+		if _, err := bn.InfectOne([]string{a.Onion()}); err != nil {
+			t.Fatal(err)
+		}
+		bn.Run(2 * time.Second)
+	}
+	if a.Degree() != 2 {
+		t.Fatalf("a degree = %d, want 2 (full)", a.Degree())
+	}
+	// Let NoN gossip propagate true degrees: a must know its peers'
+	// real degrees for the displacement comparison to bite.
+	bn.Run(6 * time.Minute)
+	// A newcomer with a low declared degree displaces.
+	d, err := bn.InfectOne([]string{a.Onion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Second)
+	if a.Degree() != 2 {
+		t.Fatalf("a degree = %d after displacement, want 2", a.Degree())
+	}
+	found := false
+	for _, p := range a.PeerOnions() {
+		if p == d.Onion() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("low-degree newcomer was not accepted by displacement")
+	}
+	if a.Stats().PeersPruned == 0 {
+		t.Fatal("no peer was pruned during displacement")
+	}
+}
+
+func TestOverlayGraphMatchesPeerLists(t *testing.T) {
+	bn := newTestBotNet(t, 13, BotConfig{})
+	grow(t, bn, 8)
+	g := bn.OverlayGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 8 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if graph.NumComponents(g) != 1 {
+		t.Fatal("overlay disconnected")
+	}
+}
+
+func TestHotlistBootstrap(t *testing.T) {
+	bn := newTestBotNet(t, 14, BotConfig{DMin: 2, DMax: 5})
+	// Seed two cache bots.
+	a, err := bn.InfectOne(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Second)
+	b, err := bn.InfectOne([]string{a.Onion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Second)
+	// Grow through the hotlist: everyone bootstraps via the caches and
+	// then spreads out through NoN knowledge.
+	if err := bn.Grow(8, Hotlist{Caches: []string{a.Onion(), b.Onion()}}); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(10 * time.Minute)
+	requireConnected(t, bn)
+}
+
+func TestRandomProbingInfeasible(t *testing.T) {
+	dials := RandomProbingExpectedDials(100000)
+	if dials < 1e18 {
+		t.Fatalf("expected dials = %g, should be astronomically large", dials)
+	}
+}

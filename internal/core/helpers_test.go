@@ -1,0 +1,46 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"io"
+	"testing"
+	"time"
+
+	"onionbots/internal/graph"
+)
+
+// ed25519GenerateKey wraps the stdlib generator with the argument order
+// used throughout these tests.
+func ed25519GenerateKey(random io.Reader) (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(random)
+}
+
+// newTestBotNet builds a bootstrapped botnet simulation.
+func newTestBotNet(t *testing.T, seed uint64, cfg BotConfig) *BotNet {
+	t.Helper()
+	bn, err := NewBotNet(seed, 15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bn
+}
+
+// grow adds n bots and settles the network.
+func grow(t *testing.T, bn *BotNet, n int) {
+	t.Helper()
+	if err := bn.Grow(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One NoN gossip round so every bot has neighbor knowledge.
+	bn.Run(6 * time.Minute)
+}
+
+// requireConnected asserts the alive overlay is one component.
+func requireConnected(t *testing.T, bn *BotNet) {
+	t.Helper()
+	g := bn.OverlayGraph()
+	if n := graph.NumComponents(g); n != 1 {
+		t.Fatalf("overlay has %d components, want 1 (nodes=%d edges=%d)",
+			n, g.NumNodes(), g.NumEdges())
+	}
+}

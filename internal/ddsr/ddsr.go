@@ -1,0 +1,228 @@
+package ddsr
+
+import (
+	"fmt"
+
+	"onionbots/internal/graph"
+	"onionbots/internal/sim"
+)
+
+// Maintainer is a graph that supports node takedown under some
+// maintenance policy. DDSR overlays self-repair; Normal graphs do not.
+type Maintainer interface {
+	// RemoveNode takes down one node, applying the policy's repair.
+	RemoveNode(id int)
+	// Graph exposes the current topology for measurement.
+	Graph() *graph.Graph
+}
+
+// Config tunes the DDSR maintenance policy.
+type Config struct {
+	// DMin is the degree below which a node tries to acquire new peers
+	// from its neighbors-of-neighbors. Zero disables the floor.
+	DMin int
+	// DMax is the degree ceiling enforced by pruning. Zero with
+	// Pruning=true is invalid.
+	DMax int
+	// Pruning enables the prune step. Figures 4a/4c use Pruning=false,
+	// 4b/4d use Pruning=true.
+	Pruning bool
+}
+
+// DefaultConfig returns the policy used throughout the paper's Section V
+// for an initially k-regular topology: prune above k, re-peer below
+// max(2, k/2).
+func DefaultConfig(k int) Config {
+	dmin := k / 2
+	if dmin < 2 {
+		dmin = 2
+	}
+	return Config{DMin: dmin, DMax: k, Pruning: true}
+}
+
+// Stats counts maintenance actions, exposed for the ablation benchmarks.
+type Stats struct {
+	// RepairEdgesAdded counts edges created by the clique-repair step.
+	RepairEdgesAdded int
+	// EdgesPruned counts edges removed by the pruning step.
+	EdgesPruned int
+	// FloorEdgesAdded counts edges created by DMin enforcement.
+	FloorEdgesAdded int
+	// NodesRemoved counts takedowns processed.
+	NodesRemoved int
+}
+
+// Overlay is a DDSR-maintained graph.
+type Overlay struct {
+	g     *graph.Graph
+	cfg   Config
+	rng   *sim.RNG
+	stats Stats
+}
+
+var _ Maintainer = (*Overlay)(nil)
+
+// New wraps g (taking ownership) in a DDSR overlay. rng drives the
+// random tie-breaks mandated by the pruning rule.
+func New(g *graph.Graph, cfg Config, rng *sim.RNG) (*Overlay, error) {
+	if cfg.Pruning && cfg.DMax < 1 {
+		return nil, fmt.Errorf("ddsr: pruning enabled with DMax=%d", cfg.DMax)
+	}
+	if cfg.DMin > cfg.DMax && cfg.DMax > 0 {
+		return nil, fmt.Errorf("ddsr: DMin=%d exceeds DMax=%d", cfg.DMin, cfg.DMax)
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0)
+	}
+	return &Overlay{g: g, cfg: cfg, rng: rng}, nil
+}
+
+// NewRegular builds a random k-regular graph of n nodes and wraps it.
+func NewRegular(n, k int, cfg Config, rng *sim.RNG) (*Overlay, error) {
+	g, err := graph.RandomRegular(n, k, rng)
+	if err != nil {
+		return nil, fmt.Errorf("ddsr: %w", err)
+	}
+	return New(g, cfg, rng)
+}
+
+// Graph exposes the current topology. Callers must treat it as
+// read-only; mutate only through RemoveNode.
+func (o *Overlay) Graph() *graph.Graph { return o.g }
+
+// Config returns the active policy.
+func (o *Overlay) Config() Config { return o.cfg }
+
+// Stats returns a copy of the maintenance counters.
+func (o *Overlay) Stats() Stats { return o.stats }
+
+// RemoveNode takes down node id and runs the self-repair protocol:
+// clique the orphaned neighborhood, prune back to DMax, then re-peer
+// nodes that fell below DMin. Removing an absent node is a no-op.
+func (o *Overlay) RemoveNode(id int) {
+	nbrs := o.g.RemoveNode(id)
+	if nbrs == nil {
+		return
+	}
+	o.stats.NodesRemoved++
+
+	// Repairing: every pair of former neighbors links up.
+	o.stats.RepairEdgesAdded += o.g.AddEdgesAmong(nbrs)
+
+	if !o.cfg.Pruning {
+		return
+	}
+
+	// Pruning: each former neighbor trims its highest-degree peers until
+	// back within DMax.
+	lost := make(map[int]struct{}) // nodes that lost an edge to pruning
+	for _, v := range nbrs {
+		for o.g.Degree(v) > o.cfg.DMax {
+			w := o.highestDegreePeer(v)
+			o.g.RemoveEdge(v, w)
+			o.stats.EdgesPruned++
+			lost[w] = struct{}{}
+			lost[v] = struct{}{}
+		}
+	}
+
+	if o.cfg.DMin <= 0 {
+		return
+	}
+	// Floor: any node involved in this round whose degree dropped below
+	// DMin re-peers with its lowest-degree neighbors-of-neighbors.
+	candidates := make([]int, 0, len(nbrs)+len(lost))
+	candidates = append(candidates, nbrs...)
+	for w := range lost {
+		candidates = append(candidates, w)
+	}
+	sortInts(candidates)
+	seen := make(map[int]struct{}, len(candidates))
+	for _, v := range candidates {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		o.enforceFloor(v)
+	}
+}
+
+// highestDegreePeer returns the neighbor of v with the largest degree,
+// choosing uniformly at random among ties as the paper specifies.
+func (o *Overlay) highestDegreePeer(v int) int {
+	nbrs := o.g.Neighbors(v)
+	best := -1
+	bestDeg := -1
+	count := 0
+	for _, w := range nbrs {
+		d := o.g.Degree(w)
+		switch {
+		case d > bestDeg:
+			best, bestDeg, count = w, d, 1
+		case d == bestDeg:
+			count++
+			if o.rng.Intn(count) == 0 {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+// enforceFloor connects v to lowest-degree NoN candidates until its
+// degree reaches DMin or no candidate remains. Candidates must not
+// already be peers and must have headroom under DMax.
+func (o *Overlay) enforceFloor(v int) {
+	if !o.g.HasNode(v) || o.g.Degree(v) >= o.cfg.DMin {
+		return
+	}
+	for o.g.Degree(v) < o.cfg.DMin {
+		cand := o.lowestDegreeNoN(v)
+		if cand < 0 {
+			return
+		}
+		if o.g.AddEdge(v, cand) {
+			o.stats.FloorEdgesAdded++
+		} else {
+			return
+		}
+	}
+}
+
+// lowestDegreeNoN returns v's non-adjacent neighbor-of-neighbor with the
+// smallest degree and headroom under DMax, or -1 if none exists. Ties
+// break uniformly at random.
+func (o *Overlay) lowestDegreeNoN(v int) int {
+	best := -1
+	bestDeg := int(^uint(0) >> 1)
+	count := 0
+	for _, u := range o.g.Neighbors(v) {
+		for _, w := range o.g.Neighbors(u) {
+			if w == v || o.g.HasEdge(v, w) {
+				continue
+			}
+			d := o.g.Degree(w)
+			if o.cfg.DMax > 0 && d >= o.cfg.DMax {
+				continue
+			}
+			switch {
+			case d < bestDeg:
+				best, bestDeg, count = w, d, 1
+			case d == bestDeg && w != best:
+				count++
+				if o.rng.Intn(count) == 0 {
+					best = w
+				}
+			}
+		}
+	}
+	return best
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

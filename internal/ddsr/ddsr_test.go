@@ -1,0 +1,286 @@
+package ddsr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"onionbots/internal/graph"
+	"onionbots/internal/sim"
+)
+
+func TestRepairCliquesOrphanedNeighborhood(t *testing.T) {
+	// Star: removing the center must leave the leaves fully connected.
+	g := graph.Star(5) // center 0, leaves 1..4
+	o, err := New(g, Config{Pruning: false}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RemoveNode(0)
+	for u := 1; u <= 4; u++ {
+		for v := u + 1; v <= 4; v++ {
+			if !o.Graph().HasEdge(u, v) {
+				t.Fatalf("repair missed edge (%d,%d)", u, v)
+			}
+		}
+	}
+	if got := o.Stats().RepairEdgesAdded; got != 6 {
+		t.Fatalf("RepairEdgesAdded = %d, want 6", got)
+	}
+}
+
+func TestRepairSkipsExistingEdges(t *testing.T) {
+	// Triangle 1-2-3 plus hub 0 connected to all: removing 0 adds nothing.
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	o, err := New(g, Config{Pruning: false}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RemoveNode(0)
+	if got := o.Stats().RepairEdgesAdded; got != 0 {
+		t.Fatalf("RepairEdgesAdded = %d, want 0", got)
+	}
+	if o.Graph().NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", o.Graph().NumEdges())
+	}
+}
+
+func TestRemoveAbsentNodeIsNoop(t *testing.T) {
+	o, err := NewRegular(20, 4, DefaultConfig(4), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RemoveNode(999)
+	if o.Stats().NodesRemoved != 0 {
+		t.Fatal("absent-node removal counted as takedown")
+	}
+	if o.Graph().NumNodes() != 20 {
+		t.Fatal("absent-node removal mutated graph")
+	}
+}
+
+func TestPruningBoundsDegree(t *testing.T) {
+	for _, k := range []int{5, 10, 15} {
+		rng := sim.NewRNG(uint64(k))
+		o, err := NewRegular(200, k, DefaultConfig(k), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(200)
+		for _, id := range perm[:60] { // 30% gradual takedown
+			o.RemoveNode(id)
+			if max := o.Graph().MaxDegree(); max > k {
+				t.Fatalf("k=%d: max degree %d exceeds DMax after takedown", k, max)
+			}
+		}
+		if err := o.Graph().Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestNoPruningDegreeGrows(t *testing.T) {
+	rng := sim.NewRNG(3)
+	o, err := NewRegular(200, 10, Config{Pruning: false}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(200)
+	for _, id := range perm[:60] {
+		o.RemoveNode(id)
+	}
+	if max := o.Graph().MaxDegree(); max <= 10 {
+		t.Fatalf("without pruning max degree stayed at %d; repair should inflate it", max)
+	}
+}
+
+func TestDDSRStaysConnectedUnderMassTakedown(t *testing.T) {
+	// The paper's headline property (Fig 5a/5b): DDSR remains connected
+	// even at 90% gradual node deletion, where a normal graph shatters.
+	rng := sim.NewRNG(17)
+	o, err := NewRegular(300, 10, DefaultConfig(10), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(300)
+	for _, id := range perm[:270] { // 90%
+		o.RemoveNode(id)
+		if n := graph.NumComponents(o.Graph()); n > 1 {
+			t.Fatalf("DDSR partitioned into %d components at %d survivors",
+				n, o.Graph().NumNodes())
+		}
+	}
+}
+
+func TestNormalShattersUnderMassTakedown(t *testing.T) {
+	rng := sim.NewRNG(17)
+	m, err := NewNormalRegular(300, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(300)
+	for _, id := range perm[:270] {
+		m.RemoveNode(id)
+	}
+	if n := graph.NumComponents(m.Graph()); n <= 1 {
+		t.Fatalf("normal graph still connected after 90%% deletion (components=%d)", n)
+	}
+}
+
+func TestFloorReconnectsLowDegreeNodes(t *testing.T) {
+	// After heavy takedown with pruning, surviving nodes should sit
+	// within [DMin, DMax] whenever the survivor count allows it.
+	rng := sim.NewRNG(5)
+	cfg := DefaultConfig(10)
+	o, err := NewRegular(200, 10, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(200)
+	for _, id := range perm[:100] {
+		o.RemoveNode(id)
+	}
+	below := 0
+	for _, v := range o.Graph().Nodes() {
+		if o.Graph().Degree(v) < cfg.DMin {
+			below++
+		}
+	}
+	// The floor is opportunistic, not absolute; with 100 survivors and
+	// DMin=5 nearly everyone should be in range.
+	if below > 5 {
+		t.Fatalf("%d/100 survivors below DMin", below)
+	}
+}
+
+func TestFloorRePeersViaNeighborsOfNeighbors(t *testing.T) {
+	// x-v-u-w chain: removing x leaves v at degree 1 (< DMin=2), and v's
+	// only NoN candidate is w, so the floor step must create (v, w).
+	g := graph.New()
+	g.AddEdge(100, 1) // x-v
+	g.AddEdge(1, 2)   // v-u
+	g.AddEdge(2, 3)   // u-w
+	o, err := New(g, Config{DMin: 2, DMax: 3, Pruning: true}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RemoveNode(100)
+	if !o.Graph().HasEdge(1, 3) {
+		t.Fatal("floor step did not re-peer v with its neighbor-of-neighbor")
+	}
+	if got := o.Stats().FloorEdgesAdded; got != 1 {
+		t.Fatalf("FloorEdgesAdded = %d, want 1", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(graph.New(), Config{Pruning: true, DMax: 0}, nil); err == nil {
+		t.Fatal("accepted pruning with DMax=0")
+	}
+	if _, err := New(graph.New(), Config{DMin: 5, DMax: 3, Pruning: true}, nil); err == nil {
+		t.Fatal("accepted DMin > DMax")
+	}
+	if _, err := New(graph.New(), Config{}, nil); err != nil {
+		t.Fatalf("rejected valid no-pruning config: %v", err)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	tests := []struct {
+		k, dmin, dmax int
+	}{
+		{5, 2, 5}, {10, 5, 10}, {15, 7, 15}, {3, 2, 3},
+	}
+	for _, tt := range tests {
+		cfg := DefaultConfig(tt.k)
+		if cfg.DMin != tt.dmin || cfg.DMax != tt.dmax || !cfg.Pruning {
+			t.Errorf("DefaultConfig(%d) = %+v, want dmin=%d dmax=%d pruning",
+				tt.k, cfg, tt.dmin, tt.dmax)
+		}
+	}
+}
+
+func TestNormalBaselineDoesNotRepair(t *testing.T) {
+	g := graph.Star(5)
+	m := NewNormal(g)
+	m.RemoveNode(0)
+	if m.Graph().NumEdges() != 0 {
+		t.Fatal("normal baseline added edges after removal")
+	}
+	if m.Graph().NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", m.Graph().NumNodes())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []int {
+		rng := sim.NewRNG(seed)
+		o, err := NewRegular(100, 6, DefaultConfig(6), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(100)
+		for _, id := range perm[:50] {
+			o.RemoveNode(id)
+		}
+		var degs []int
+		for _, v := range o.Graph().Nodes() {
+			degs = append(degs, v, o.Graph().Degree(v))
+		}
+		return degs
+	}
+	a, b := run(9), run(9)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different survivor sets")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different maintenance outcomes")
+		}
+	}
+}
+
+func TestPropertyInvariantsUnderRandomTakedown(t *testing.T) {
+	f := func(seed uint64, frac uint8) bool {
+		rng := sim.NewRNG(seed)
+		const n, k = 80, 6
+		o, err := NewRegular(n, k, DefaultConfig(k), rng)
+		if err != nil {
+			return false
+		}
+		kill := int(frac)%60 + 1
+		perm := rng.Perm(n)
+		for _, id := range perm[:kill] {
+			o.RemoveNode(id)
+		}
+		g := o.Graph()
+		if g.Validate() != nil {
+			return false
+		}
+		if g.MaxDegree() > k {
+			return false
+		}
+		return g.NumNodes() == n-kill
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRemoveNodeWithPruning(b *testing.B) {
+	rng := sim.NewRNG(1)
+	o, err := NewRegular(5000, 10, DefaultConfig(10), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perm := rng.Perm(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.RemoveNode(perm[i%4000])
+	}
+}

@@ -1,0 +1,27 @@
+// Package ddsr implements the paper's Dynamic Distributed Self-Repairing
+// (DDSR) graph — the Neighbors-of-Neighbor (NoN) based self-healing
+// overlay that is the topological core of the OnionBot design
+// (Section IV-C).
+//
+// The maintenance protocol, exactly as the paper specifies it:
+//
+//   - Repairing: when node u is deleted, every pair (uj, uk) of u's
+//     former neighbors forms an edge iff it does not already exist. Each
+//     neighbor can do this locally because NoN state tells it who u's
+//     other neighbors are.
+//   - Pruning: to keep degrees within [DMin, DMax], each former neighbor
+//     of the deleted node removes its highest-degree peer (uniformly at
+//     random among ties) until its degree is back in range. Removing the
+//     highest-degree peer preserves reachability.
+//   - Forgetting: pruned peers forget each other; at this abstraction
+//     level that is simply the edge disappearing. (Address rotation, the
+//     other half of forgetting, lives in the protocol layer,
+//     internal/core.)
+//
+// DMin is enforced opportunistically — a node whose degree fell below
+// DMin reconnects to its lowest-degree neighbors-of-neighbors — and, as
+// the paper notes, only applies while enough nodes survive.
+//
+// The package also provides the Normal baseline (identical deletions, no
+// repair), which the paper plots against DDSR in Figures 5 and 6.
+package ddsr

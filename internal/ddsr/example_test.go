@@ -1,0 +1,30 @@
+package ddsr_test
+
+import (
+	"fmt"
+
+	"onionbots/internal/ddsr"
+	"onionbots/internal/graph"
+	"onionbots/internal/sim"
+)
+
+// Example demonstrates the DDSR self-repair step on the paper's
+// Figure 3 scenario: removing a node whose neighbors then link up
+// pairwise.
+func Example() {
+	g := graph.Star(5) // node 0 is the hub; 1..4 are leaves
+	overlay, err := ddsr.New(g, ddsr.Config{DMin: 2, DMax: 4, Pruning: true}, sim.NewRNG(1))
+	if err != nil {
+		panic(err)
+	}
+
+	overlay.RemoveNode(0) // take down the hub
+
+	fmt.Println("repair edges added:", overlay.Stats().RepairEdgesAdded)
+	fmt.Println("survivors still connected:", graph.NumComponents(overlay.Graph()) == 1)
+	fmt.Println("max degree after prune:", overlay.Graph().MaxDegree())
+	// Output:
+	// repair edges added: 6
+	// survivors still connected: true
+	// max degree after prune: 3
+}

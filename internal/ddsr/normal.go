@@ -1,0 +1,36 @@
+package ddsr
+
+import (
+	"fmt"
+
+	"onionbots/internal/graph"
+	"onionbots/internal/sim"
+)
+
+// Normal is the paper's baseline: the same topology and the same
+// deletions as a DDSR overlay, but with no repair of any kind. Figures 5
+// and 6 plot DDSR against this.
+type Normal struct {
+	g *graph.Graph
+}
+
+var _ Maintainer = (*Normal)(nil)
+
+// NewNormal wraps g (taking ownership) with the no-repair policy.
+func NewNormal(g *graph.Graph) *Normal { return &Normal{g: g} }
+
+// NewNormalRegular builds a random k-regular graph of n nodes and wraps
+// it with the no-repair policy.
+func NewNormalRegular(n, k int, rng *sim.RNG) (*Normal, error) {
+	g, err := graph.RandomRegular(n, k, rng)
+	if err != nil {
+		return nil, fmt.Errorf("ddsr: %w", err)
+	}
+	return NewNormal(g), nil
+}
+
+// RemoveNode deletes the node and its edges; nothing heals.
+func (m *Normal) RemoveNode(id int) { m.g.RemoveNode(id) }
+
+// Graph exposes the current topology.
+func (m *Normal) Graph() *graph.Graph { return m.g }

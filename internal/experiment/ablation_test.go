@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDDSRAblationShapes(t *testing.T) {
+	res, err := RunDDSRAblation(DefaultAblationConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(res.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range res.Rows {
+		byName[row[0]] = row
+	}
+	full := byName["full DDSR (repair+prune+floor)"]
+	noPrune := byName["no pruning"]
+	normal := byName["no repair (normal)"]
+	if full == nil || noPrune == nil || normal == nil {
+		t.Fatalf("missing policies: %v", res.Rows)
+	}
+	// Repair defers partition; no-repair partitions mid-run.
+	if !strings.HasPrefix(full[1], "never") {
+		t.Errorf("full DDSR partitioned: %v", full)
+	}
+	if strings.HasPrefix(normal[1], "never") {
+		t.Errorf("no-repair never partitioned: %v", normal)
+	}
+	// Pruning is what bounds degree.
+	if full[2] != "10" {
+		t.Errorf("full DDSR max degree at 30%% = %s, want 10", full[2])
+	}
+	if noPrune[2] == "10" {
+		t.Errorf("no-pruning max degree stayed at 10; repair inflation missing")
+	}
+	// Work accounting is present where expected.
+	if full[4] == "0" {
+		t.Error("full DDSR reported zero pruned edges")
+	}
+	if normal[3] != "0" {
+		t.Error("normal policy reported repair work")
+	}
+}

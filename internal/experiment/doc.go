@@ -1,0 +1,13 @@
+// Package experiment contains one runner per table and figure of the
+// OnionBots paper, regenerating each result from this repository's
+// implementations. Each runner accepts a config whose Default*(quick)
+// constructor offers two presets: the paper's full parameters (n=5000
+// and 15000 node graphs, 1000-15000 size sweeps) and a scaled-down
+// quick mode for tests and benchmarks.
+//
+// Runners return a Result — named series of (x, y) points and/or table
+// rows plus free-form notes — which renders to an ASCII table or CSV.
+// EXPERIMENTS.md records the paper-vs-measured comparison for every
+// runner; cmd/onionsim exposes them on the command line; bench_test.go
+// wraps each in a benchmark.
+package experiment

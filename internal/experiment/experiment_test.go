@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"onionbots/internal/graph"
+)
+
+func TestFig3GraphMatchesPaper(t *testing.T) {
+	g := Fig3Graph()
+	if g.NumNodes() != 12 || g.NumEdges() != 18 {
+		t.Fatalf("nodes=%d edges=%d, want 12, 18", g.NumNodes(), g.NumEdges())
+	}
+	for _, v := range g.Nodes() {
+		if g.Degree(v) != 3 {
+			t.Fatalf("node %d degree %d, want 3-regular", v, g.Degree(v))
+		}
+	}
+	// Node 7's neighborhood as drawn in the paper.
+	nbrs := g.Neighbors(7)
+	want := []int{0, 1, 4}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("neighbors(7) = %v, want %v", nbrs, want)
+		}
+	}
+	// The repair edges must not pre-exist.
+	for _, e := range [][2]int{{0, 1}, {1, 4}, {0, 4}} {
+		if g.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v pre-exists; Fig 3 repair would be vacuous", e)
+		}
+	}
+	if graph.NumComponents(g) != 1 {
+		t.Fatal("Fig 3 graph must be connected")
+	}
+}
+
+func TestFig3WalkthroughRepairsNode7(t *testing.T) {
+	res, steps, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(Fig3RemovalOrder) {
+		t.Fatalf("steps = %d, want %d", len(steps), len(Fig3RemovalOrder))
+	}
+	// Panel 2: removing node 7 creates the three dashed edges.
+	first := steps[0]
+	if first.Removed != 7 {
+		t.Fatalf("first removal = %d, want 7", first.Removed)
+	}
+	wantEdges := map[[2]int]bool{{0, 1}: true, {0, 4}: true, {1, 4}: true}
+	for _, e := range first.EdgesAdded {
+		if !wantEdges[e] {
+			t.Fatalf("unexpected repair edge %v", e)
+		}
+		delete(wantEdges, e)
+	}
+	if len(wantEdges) != 0 {
+		t.Fatalf("missing repair edges: %v", wantEdges)
+	}
+	// Every panel stays connected, as the figure shows.
+	for i, s := range steps {
+		if !s.Connected {
+			t.Fatalf("panel %d disconnected after removing %d", i+2, s.Removed)
+		}
+	}
+	if !strings.Contains(res.Render(), "fig3") {
+		t.Fatal("render lost the experiment id")
+	}
+}
+
+func TestFig4ShapesMatchPaper(t *testing.T) {
+	// Without pruning: degree centrality inflates. With pruning: it
+	// stays near the starting value. Closeness stays stable (does not
+	// collapse) in both. These are the four panels' headline shapes.
+	cfgNo := DefaultFig4Config(true)
+	cfgNo.Pruning = false
+	closeNo, degNo, err := RunFig4(cfgNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgYes := cfgNo
+	cfgYes.Pruning = true
+	closeYes, degYes, err := RunFig4(cfgYes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, res := range []*Result{closeNo, closeYes} {
+		for _, s := range res.Series {
+			first := s.Points[0].Y
+			last := s.Points[len(s.Points)-1].Y
+			if last < first*0.8 {
+				t.Errorf("%s %s: closeness collapsed %.4f -> %.4f", res.ID, s.Name, first, last)
+			}
+		}
+	}
+	for _, s := range degNo.Series {
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last < first*2 {
+			t.Errorf("no pruning %s: degree centrality %.5f -> %.5f, expected growth", s.Name, first, last)
+		}
+	}
+	for _, s := range degYes.Series {
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		// Bounded: normalization shrinks n-1, so a mild rise is
+		// expected, but nothing like the unpruned blowup.
+		if last > first*2 {
+			t.Errorf("pruning %s: degree centrality %.5f -> %.5f, expected bounded", s.Name, first, last)
+		}
+	}
+
+	// Higher k gives higher closeness at every sample (the paper's
+	// dashed/solid ordering).
+	k5 := closeYes.SeriesByName("deg=5")
+	k15 := closeYes.SeriesByName("deg=15")
+	if k5 == nil || k15 == nil {
+		t.Fatal("missing series")
+	}
+	for i := range k5.Points {
+		if k15.Points[i].Y <= k5.Points[i].Y {
+			t.Fatalf("closeness(k=15) <= closeness(k=5) at sample %d", i)
+		}
+	}
+}
+
+func TestFig5ShapesMatchPaper(t *testing.T) {
+	comps, degree, diam, err := RunFig5(DefaultFig5Config(true, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 400.0
+
+	// 5a/5b: DDSR stays one component until at least 90% deletion; the
+	// normal graph shatters into many pieces.
+	ddsrComp := comps.SeriesByName("DDSR")
+	normComp := comps.SeriesByName("Normal")
+	for _, p := range ddsrComp.Points {
+		if p.X <= 0.9*n && p.Y > 1 {
+			t.Fatalf("DDSR partitioned at %.0f deletions (%.0f%%)", p.X, 100*p.X/n)
+		}
+	}
+	maxNorm := 0.0
+	for _, p := range normComp.Points {
+		if p.Y > maxNorm {
+			maxNorm = p.Y
+		}
+	}
+	if maxNorm < 5 {
+		t.Fatalf("normal graph max components = %.0f, expected shattering", maxNorm)
+	}
+
+	// 5c/5d: DDSR degree centrality rises modestly; normal's falls.
+	ddsrDeg := degree.SeriesByName("DDSR")
+	if last := ddsrDeg.Points[len(ddsrDeg.Points)-2].Y; last <= ddsrDeg.Points[0].Y {
+		t.Errorf("DDSR degree centrality did not rise: %.5f -> %.5f", ddsrDeg.Points[0].Y, last)
+	}
+
+	// 5e/5f: DDSR diameter shrinks as the population does; the normal
+	// graph's diameter grows before partition.
+	ddsrDiam := diam.SeriesByName("DDSR")
+	first := ddsrDiam.Points[0].Y
+	lastQuarter := ddsrDiam.Points[3*len(ddsrDiam.Points)/4].Y
+	if lastQuarter > first {
+		t.Errorf("DDSR diameter grew %.0f -> %.0f; paper shows it shrinking", first, lastQuarter)
+	}
+	normDiam := diam.SeriesByName("Normal")
+	maxNormDiam := 0.0
+	for _, p := range normDiam.Points {
+		if p.Y > maxNormDiam {
+			maxNormDiam = p.Y
+		}
+	}
+	if maxNormDiam <= first {
+		t.Errorf("normal diameter never exceeded the start (%.0f <= %.0f)", maxNormDiam, first)
+	}
+}
+
+func TestFig6ThresholdNearFortyPercent(t *testing.T) {
+	res, err := RunFig6(DefaultFig6Config(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := res.SeriesByName("Graph")
+	if measured == nil || len(measured.Points) == 0 {
+		t.Fatal("missing measured series")
+	}
+	for _, p := range measured.Points {
+		frac := p.Y / p.X
+		// Finite-size theory: the threshold fraction is about
+		// (1/n)^(1/k), i.e. ~0.50 at n=1000 falling toward ~0.38 at
+		// n=15000 — the paper's "about 40%".
+		if frac < 0.35 || frac > 0.62 {
+			t.Errorf("n=%.0f: first-partition fraction %.2f outside [0.35, 0.62] (paper: ~0.4)", p.X, frac)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res, err := RunTable1([]byte("experiment test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTable1Shape(res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.CSV(), "ZeroAccess v1,RC4,RSA 512,yes") {
+		t.Fatal("CSV lost the ZeroAccess row")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		ID: "t", Title: "demo", XLabel: "x",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 3}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 5}}},
+		},
+	}
+	r.AddNote("hello %d", 7)
+	out := r.Render()
+	for _, want := range []string{"demo", "a", "b", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := r.CSV()
+	if !strings.Contains(csv, "x,a,b") || !strings.Contains(csv, "2,3,") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}

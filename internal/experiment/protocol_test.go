@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig7CampaignNeutralizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level campaign; skipped in -short")
+	}
+	res, err := RunFig7(DefaultFig7Config(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contained := res.SeriesByName("contained-fraction")
+	if contained == nil {
+		t.Fatal("missing contained-fraction series")
+	}
+	final := contained.Points[len(contained.Points)-1].Y
+	if final < 0.9 {
+		t.Fatalf("final containment %.2f, want >= 0.9", final)
+	}
+	// The surrounded fraction must be monotone-ish and reach ~1.
+	surrounded := res.SeriesByName("clone-neighbor-fraction")
+	if last := surrounded.Points[len(surrounded.Points)-1].Y; last < 0.9 {
+		t.Fatalf("clone-neighbor fraction %.2f, want >= 0.9", last)
+	}
+	render := res.Render()
+	if !strings.Contains(render, "broadcast reach before campaign: 8/8") {
+		t.Fatalf("baseline broadcast did not reach everyone:\n%s", render)
+	}
+}
+
+func TestFig8FleetBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level campaign; skipped in -short")
+	}
+	res, err := RunFig8(DefaultFig8Config(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := res.SeriesByName("SuperOnion hosts")
+	base := res.SeriesByName("basic bots")
+	if fleet == nil || base == nil {
+		t.Fatal("missing series")
+	}
+	// Average containment: the fleet must strictly beat the basic
+	// botnet under identical attacker pressure.
+	avg := func(s *Series) float64 {
+		sum := 0.0
+		for _, p := range s.Points {
+			sum += p.Y
+		}
+		return sum / float64(len(s.Points))
+	}
+	if avg(fleet) >= avg(base) {
+		t.Fatalf("fleet avg containment %.2f >= baseline %.2f", avg(fleet), avg(base))
+	}
+}
+
+func TestProbingFeasibilityTable(t *testing.T) {
+	res, err := RunProbingFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	render := res.Render()
+	// The 16-char (full address) scenario must be astronomically hard.
+	if !strings.Contains(render, "vanity prefix 16 chars") {
+		t.Fatal("missing full-address row")
+	}
+	if !strings.Contains(render, "centuries") {
+		t.Fatalf("expected at least one 'centuries' cost:\n%s", render)
+	}
+}
+
+func TestHSDirAttackDenialAndRecovery(t *testing.T) {
+	res, err := RunHSDirAttack(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][1] != "no" {
+		t.Fatalf("phase 1 should be denied, got reachable=%s", res.Rows[0][1])
+	}
+	if res.Rows[1][1] != "yes" {
+		t.Fatalf("phase 2 should recover after period roll, got reachable=%s", res.Rows[1][1])
+	}
+}
+
+func TestPoWDefenseOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol-level campaign; skipped in -short")
+	}
+	res, err := RunPoWDefense(10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	// basic bots fall, hardened bots resist a non-paying attacker.
+	basic, hardenedNoPay := res.Rows[0], res.Rows[1]
+	if basic[1] == "0.00" {
+		t.Fatalf("basic scenario contained nothing: %v", basic)
+	}
+	if hardenedNoPay[1] != "0.00" {
+		t.Fatalf("hardened bots contained by a non-paying attacker: %v", hardenedNoPay)
+	}
+	if hardenedNoPay[2] != "0" {
+		t.Fatalf("non-paying attacker spent hashes: %v", hardenedNoPay)
+	}
+	// The paying attacker spends real work.
+	paying := res.Rows[2]
+	if paying[2] == "0" {
+		t.Fatalf("paying attacker spent no hashes: %v", paying)
+	}
+}

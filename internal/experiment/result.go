@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is a regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier ("fig4a", "table1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes for series-shaped results.
+	XLabel, YLabel string
+	// Series holds the curves (figure-shaped results).
+	Series []Series
+	// Header and Rows hold tabular results (table-shaped results).
+	Header []string
+	Rows   [][]string
+	// Notes records observations (thresholds, comparisons) the paper
+	// states in prose.
+	Notes []string
+}
+
+// AddNote appends an observation.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// SeriesByName returns the named series, or nil.
+func (r *Result) SeriesByName(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Render produces a human-readable ASCII form.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i < len(widths) {
+					fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+				}
+			}
+			b.WriteString("\n")
+		}
+		writeRow(r.Header)
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	if len(r.Series) > 0 {
+		fmt.Fprintf(&b, "%-12s", r.XLabel)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "%16s", s.Name)
+		}
+		b.WriteString("\n")
+		// Series may sample different x values; print the union grid.
+		grid := map[float64]struct{}{}
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				grid[p.X] = struct{}{}
+			}
+		}
+		xs := make([]float64, 0, len(grid))
+		for x := range grid {
+			xs = append(xs, x)
+		}
+		sortFloats(xs)
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%-12.6g", x)
+			for _, s := range r.Series {
+				if y, ok := lookup(s, x); ok {
+					fmt.Fprintf(&b, "%16.6g", y)
+				} else {
+					fmt.Fprintf(&b, "%16s", "-")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values (series results get
+// an x column plus one column per series; table results get the rows).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	if len(r.Rows) > 0 {
+		b.WriteString(strings.Join(r.Header, ","))
+		b.WriteString("\n")
+		for _, row := range r.Rows {
+			b.WriteString(strings.Join(row, ","))
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteString("\n")
+	grid := map[float64]struct{}{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			grid[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(grid))
+	for x := range grid {
+		xs = append(xs, x)
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range r.Series {
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, ",%g", y)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package graph implements the undirected-graph substrate for the
+// OnionBots topology experiments: a mutable adjacency structure, a random
+// k-regular generator (the paper's Section V workload), and the metrics
+// reported in Figures 4-6 — closeness centrality, degree centrality,
+// diameter, and connected components.
+//
+// Mutation (AddEdge/RemoveNode/...) happens on Graph. Measurement happens
+// on an Indexed snapshot: a compressed adjacency form with dense integer
+// ids that makes repeated BFS cheap. Experiments mutate, snapshot,
+// measure, and repeat.
+//
+// Determinism: iteration-order-sensitive helpers (Nodes, Neighbors)
+// return sorted slices, so callers that combine them with a seeded RNG
+// get reproducible runs even though the underlying storage is Go maps.
+package graph

@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"onionbots/internal/sim"
+)
+
+func TestRandomRegularProducesRegularSimpleGraph(t *testing.T) {
+	tests := []struct{ n, k int }{
+		{10, 3}, {50, 5}, {100, 10}, {200, 15}, {51, 4}, {1000, 10},
+	}
+	for _, tt := range tests {
+		g, err := RandomRegular(tt.n, tt.k, sim.NewRNG(1))
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tt.n, tt.k, err)
+		}
+		if g.NumNodes() != tt.n {
+			t.Fatalf("n=%d k=%d: nodes = %d", tt.n, tt.k, g.NumNodes())
+		}
+		if g.NumEdges() != tt.n*tt.k/2 {
+			t.Fatalf("n=%d k=%d: edges = %d, want %d", tt.n, tt.k, g.NumEdges(), tt.n*tt.k/2)
+		}
+		for v := 0; v < tt.n; v++ {
+			if g.Degree(v) != tt.k {
+				t.Fatalf("n=%d k=%d: degree(%d) = %d", tt.n, tt.k, v, g.Degree(v))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tt.n, tt.k, err)
+		}
+	}
+}
+
+func TestRandomRegularRejectsInfeasible(t *testing.T) {
+	tests := []struct{ n, k int }{
+		{5, 0}, // k < 1
+		{5, 5}, // n <= k
+		{5, 3}, // n*k odd
+		{3, 4}, // n <= k
+		{0, 1}, // n <= k
+	}
+	for _, tt := range tests {
+		if _, err := RandomRegular(tt.n, tt.k, sim.NewRNG(1)); !errors.Is(err, ErrInfeasibleRegular) {
+			t.Errorf("RandomRegular(%d,%d) error = %v, want ErrInfeasibleRegular", tt.n, tt.k, err)
+		}
+	}
+}
+
+func TestRandomRegularDeterministicPerSeed(t *testing.T) {
+	a, err := RandomRegular(100, 6, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(100, 6, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 100; v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d neighbor counts differ", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("same seed produced different graphs at node %d", v)
+			}
+		}
+	}
+	c, err := RandomRegular(100, 6, sim.NewRNG(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := 0; v < 100 && same; v++ {
+		na, nc := a.Neighbors(v), c.Neighbors(v)
+		for i := range na {
+			if na[i] != nc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomRegularIsTypicallyConnected(t *testing.T) {
+	// Random k-regular graphs with k >= 3 are connected with high
+	// probability; at these sizes a disconnected draw would indicate a
+	// generator bug.
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := RandomRegular(500, 5, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := NumComponents(g); n != 1 {
+			t.Fatalf("seed %d: components = %d, want 1", seed, n)
+		}
+	}
+}
+
+func TestFixedTopologies(t *testing.T) {
+	if g := Ring(5); g.NumEdges() != 5 || g.Degree(0) != 2 {
+		t.Fatalf("Ring(5): edges=%d deg0=%d", g.NumEdges(), g.Degree(0))
+	}
+	if g := Complete(5); g.NumEdges() != 10 || g.Degree(0) != 4 {
+		t.Fatalf("Complete(5): edges=%d deg0=%d", g.NumEdges(), g.Degree(0))
+	}
+	if g := Path(5); g.NumEdges() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("Path(5) malformed")
+	}
+	if g := Star(5); g.NumEdges() != 4 || g.Degree(0) != 4 || g.Degree(1) != 1 {
+		t.Fatalf("Star(5) malformed")
+	}
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a mutable, undirected, simple graph over int node ids.
+// The zero value is not usable; call New.
+type Graph struct {
+	adj   map[int]map[int]struct{}
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[int]map[int]struct{})}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges reports the number of (undirected) edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id int) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// AddNode inserts an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id int) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = make(map[int]struct{})
+	}
+}
+
+// RemoveNode deletes id and every incident edge, returning the sorted
+// list of its former neighbors (the DDSR repair step needs exactly this).
+// Removing an absent node returns nil.
+func (g *Graph) RemoveNode(id int) []int {
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(nbrs))
+	for v := range nbrs {
+		out = append(out, v)
+		delete(g.adj[v], id)
+		g.edges--
+	}
+	delete(g.adj, id)
+	sort.Ints(out)
+	return out
+}
+
+// AddEdge inserts the undirected edge (u, v), creating missing endpoints.
+// Self-loops are rejected. It reports whether a new edge was added.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	if _, ok := g.adj[u][v]; ok {
+		return false
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return true
+}
+
+// AddEdgesAmong links every pair of the given nodes (clique insertion),
+// returning the number of edges created. It is the hot path of DDSR
+// repair on dense graphs and avoids AddEdge's per-call overhead. Nodes
+// must already exist; absent ids are ignored.
+func (g *Graph) AddEdgesAmong(nodes []int) int {
+	added := 0
+	for i := 0; i < len(nodes); i++ {
+		mi, ok := g.adj[nodes[i]]
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(nodes); j++ {
+			mj, ok := g.adj[nodes[j]]
+			if !ok {
+				continue
+			}
+			if _, dup := mi[nodes[j]]; dup {
+				continue
+			}
+			mi[nodes[j]] = struct{}{}
+			mj[nodes[i]] = struct{}{}
+			g.edges++
+			added++
+		}
+	}
+	return added
+}
+
+// RemoveEdge deletes the undirected edge (u, v) and reports whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+	return true
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree reports the degree of id (0 for an absent node).
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Neighbors returns the sorted neighbors of id.
+func (g *Graph) Neighbors(id int) []int {
+	nbrs := g.adj[id]
+	out := make([]int, 0, len(nbrs))
+	for v := range nbrs {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Nodes returns all node ids, sorted.
+func (g *Graph) Nodes() []int {
+	out := make([]int, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxDegree reports the largest degree in the graph (0 if empty).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// AvgDegree reports the mean degree (0 if empty).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make(map[int]map[int]struct{}, len(g.adj)), edges: g.edges}
+	for u, nbrs := range g.adj {
+		m := make(map[int]struct{}, len(nbrs))
+		for v := range nbrs {
+			m[v] = struct{}{}
+		}
+		c.adj[u] = m
+	}
+	return c
+}
+
+// Validate checks internal consistency (symmetry, no self-loops, edge
+// count) and returns a descriptive error on the first violation. It is
+// used by tests and by property checks after mutation-heavy experiments.
+func (g *Graph) Validate() error {
+	count := 0
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			if u == v {
+				return fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			back, ok := g.adj[v]
+			if !ok {
+				return fmt.Errorf("graph: edge (%d,%d) points to missing node", u, v)
+			}
+			if _, ok := back[u]; !ok {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, v)
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency half-edges %d", g.edges, count)
+	}
+	return nil
+}

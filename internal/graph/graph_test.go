@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"onionbots/internal/sim"
+)
+
+func TestAddRemoveNodeEdgeBasics(t *testing.T) {
+	g := New()
+	g.AddNode(1)
+	g.AddNode(1) // idempotent
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+	if !g.AddEdge(1, 2) {
+		t.Fatal("AddEdge(1,2) = false, want true")
+	}
+	if g.AddEdge(1, 2) || g.AddEdge(2, 1) {
+		t.Fatal("duplicate AddEdge returned true")
+	}
+	if g.AddEdge(3, 3) {
+		t.Fatal("self-loop AddEdge returned true")
+	}
+	if g.HasNode(3) {
+		t.Fatal("rejected self-loop should not create its node")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d, want 2, 1", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(2, 1) {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if !g.RemoveEdge(1, 2) || g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge idempotency broken")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNodeReturnsSortedNeighbors(t *testing.T) {
+	g := New()
+	g.AddEdge(5, 9)
+	g.AddEdge(5, 1)
+	g.AddEdge(5, 7)
+	nbrs := g.RemoveNode(5)
+	want := []int{1, 7, 9}
+	if len(nbrs) != 3 {
+		t.Fatalf("neighbors = %v, want %v", nbrs, want)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v (sorted)", nbrs, want)
+		}
+	}
+	if g.HasNode(5) || g.NumEdges() != 0 {
+		t.Fatal("RemoveNode left residue")
+	}
+	if g.RemoveNode(5) != nil {
+		t.Fatal("removing absent node should return nil")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAndNeighborsSorted(t *testing.T) {
+	g := Star(5)
+	if g.Degree(0) != 4 {
+		t.Fatalf("star center degree = %d, want 4", g.Degree(0))
+	}
+	nbrs := g.Neighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("Neighbors not sorted: %v", nbrs)
+		}
+	}
+	if g.Degree(99) != 0 {
+		t.Fatal("absent node degree != 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Ring(6)
+	c := g.Clone()
+	c.RemoveNode(0)
+	if g.NumNodes() != 6 || g.NumEdges() != 6 {
+		t.Fatal("mutating clone affected original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAvgDegree(t *testing.T) {
+	tests := []struct {
+		name   string
+		g      *Graph
+		maxDeg int
+		avgDeg float64
+	}{
+		{"empty", New(), 0, 0},
+		{"ring10", Ring(10), 2, 2},
+		{"star5", Star(5), 4, 8.0 / 5},
+		{"complete4", Complete(4), 3, 3},
+		{"path3", Path(3), 2, 4.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.MaxDegree(); got != tt.maxDeg {
+				t.Errorf("MaxDegree = %d, want %d", got, tt.maxDeg)
+			}
+			if got := tt.g.AvgDegree(); got != tt.avgDeg {
+				t.Errorf("AvgDegree = %v, want %v", got, tt.avgDeg)
+			}
+		})
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	// Corrupt: make edge asymmetric by reaching into the representation.
+	delete(g.adj[2], 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted an asymmetric edge")
+	}
+}
+
+func TestGraphPropertyRandomMutations(t *testing.T) {
+	// Random interleavings of mutations always leave a valid graph.
+	f := func(seed uint64, opsRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		g := New()
+		ops := int(opsRaw)%200 + 20
+		for i := 0; i < ops; i++ {
+			u, v := rng.Intn(30), rng.Intn(30)
+			switch rng.Intn(4) {
+			case 0:
+				g.AddEdge(u, v)
+			case 1:
+				g.RemoveEdge(u, v)
+			case 2:
+				g.AddNode(u)
+			case 3:
+				g.RemoveNode(u)
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

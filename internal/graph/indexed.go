@@ -1,0 +1,84 @@
+package graph
+
+// Indexed is an immutable compressed-adjacency snapshot of a Graph with
+// dense ids 0..N-1. Metrics run against snapshots because repeated BFS
+// over map-based adjacency is an order of magnitude slower.
+type Indexed struct {
+	// IDs maps dense index -> original node id, sorted ascending.
+	IDs []int
+	// off/nbr form a CSR structure: neighbors of dense node i are
+	// nbr[off[i]:off[i+1]].
+	off []int32
+	nbr []int32
+}
+
+// Snapshot builds an Indexed view of g.
+func (g *Graph) Snapshot() *Indexed {
+	ids := g.Nodes()
+	index := make(map[int]int32, len(ids))
+	for i, id := range ids {
+		index[id] = int32(i)
+	}
+	off := make([]int32, len(ids)+1)
+	for i, id := range ids {
+		off[i+1] = off[i] + int32(g.Degree(id))
+	}
+	nbr := make([]int32, off[len(ids)])
+	cursor := make([]int32, len(ids))
+	copy(cursor, off[:len(ids)])
+	for i, id := range ids {
+		for v := range g.adj[id] {
+			nbr[cursor[i]] = index[v]
+			cursor[i]++
+		}
+	}
+	return &Indexed{IDs: ids, off: off, nbr: nbr}
+}
+
+// N reports the number of nodes in the snapshot.
+func (ix *Indexed) N() int { return len(ix.IDs) }
+
+// Degree reports the degree of dense node i.
+func (ix *Indexed) Degree(i int) int { return int(ix.off[i+1] - ix.off[i]) }
+
+// bfsScratch holds reusable BFS buffers so that metric loops allocate
+// once per snapshot rather than once per source.
+type bfsScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+func (ix *Indexed) newScratch() *bfsScratch {
+	return &bfsScratch{
+		dist:  make([]int32, ix.N()),
+		queue: make([]int32, 0, ix.N()),
+	}
+}
+
+// bfs runs a breadth-first search from src and returns (sum of distances
+// to reached nodes, number of reached nodes including src, eccentricity).
+func (ix *Indexed) bfs(src int32, sc *bfsScratch) (sum int64, reached int, ecc int32) {
+	for i := range sc.dist {
+		sc.dist[i] = -1
+	}
+	sc.queue = sc.queue[:0]
+	sc.dist[src] = 0
+	sc.queue = append(sc.queue, src)
+	reached = 1
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		du := sc.dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		sum += int64(du)
+		for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
+			if sc.dist[v] < 0 {
+				sc.dist[v] = du + 1
+				sc.queue = append(sc.queue, v)
+				reached++
+			}
+		}
+	}
+	return sum, reached, ecc
+}

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"onionbots/internal/sim"
+)
+
+// Components returns the sizes of the connected components, largest
+// first. An empty graph has no components.
+func Components(g *Graph) []int {
+	return g.Snapshot().Components()
+}
+
+// NumComponents reports the number of connected components.
+func NumComponents(g *Graph) int { return len(Components(g)) }
+
+// Components returns component sizes, largest first.
+func (ix *Indexed) Components() []int {
+	n := ix.N()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	var sizes []int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		size := 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		seen[s] = true
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	// Largest first (insertion sort: component counts are tiny in every
+	// experiment until the graph shatters, and even then this is cheap
+	// relative to the BFS above).
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] > sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	return sizes
+}
+
+// Connected reports whether the graph is connected. Empty and
+// single-node graphs count as connected.
+func (ix *Indexed) Connected() bool {
+	if ix.N() <= 1 {
+		return true
+	}
+	sc := ix.newScratch()
+	_, reached, _ := ix.bfs(0, sc)
+	return reached == ix.N()
+}
+
+// AvgDegreeCentrality reports the mean normalized degree centrality:
+// mean(deg(u)) / (n-1), the quantity plotted in Figs 4c/4d and 5c/5d.
+// Graphs with fewer than two nodes report 0.
+func AvgDegreeCentrality(g *Graph) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	return g.AvgDegree() / float64(n-1)
+}
+
+// AvgCloseness reports the mean closeness centrality over the graph,
+// estimated from sample BFS sources (sample <= 0 or >= n means exact).
+// Closeness of u follows the Wasserman-Faust form used by standard graph
+// toolkits, which handles disconnected graphs gracefully:
+//
+//	C(u) = ((r-1) / sum_dist) * ((r-1) / (n-1))
+//
+// where r is the number of nodes reachable from u. On a connected graph
+// this is the textbook (n-1)/sum_dist. Isolated nodes score 0.
+func AvgCloseness(g *Graph, sample int, rng *sim.RNG) float64 {
+	ix := g.Snapshot()
+	return ix.AvgCloseness(sample, rng)
+}
+
+// AvgCloseness is the snapshot form of the package-level AvgCloseness.
+func (ix *Indexed) AvgCloseness(sample int, rng *sim.RNG) float64 {
+	n := ix.N()
+	if n < 2 {
+		return 0
+	}
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	if sample > 0 && sample < n {
+		if rng == nil {
+			rng = sim.NewRNG(0)
+		}
+		rng.Shuffle(n, func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+		sources = sources[:sample]
+	}
+	sc := ix.newScratch()
+	total := 0.0
+	for _, src := range sources {
+		sum, reached, _ := ix.bfs(src, sc)
+		if reached < 2 || sum == 0 {
+			continue // isolated node contributes 0
+		}
+		r1 := float64(reached - 1)
+		total += (r1 / float64(sum)) * (r1 / float64(n-1))
+	}
+	return total / float64(len(sources))
+}
+
+// Diameter reports the exact diameter (longest shortest path) of the
+// graph's largest connected component, along with whether the whole
+// graph is connected. The paper treats the diameter of a partitioned
+// graph as infinite; callers use the connected flag to decide how to
+// plot. Graphs with fewer than two nodes have diameter 0.
+func Diameter(g *Graph) (diam int, connected bool) {
+	ix := g.Snapshot()
+	return ix.Diameter()
+}
+
+// Diameter is the snapshot form of the package-level Diameter.
+func (ix *Indexed) Diameter() (diam int, connected bool) {
+	n := ix.N()
+	if n == 0 {
+		return 0, true
+	}
+	sc := ix.newScratch()
+	// Find the largest component's members first.
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	bestComp, bestSize := int32(-1), 0
+	var nextComp int32
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := nextComp
+		nextComp++
+		size := 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		comp[s] = id
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
+				if comp[v] < 0 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		if size > bestSize {
+			bestSize, bestComp = size, id
+		}
+	}
+	connected = nextComp <= 1
+	var max int32
+	for s := 0; s < n; s++ {
+		if comp[s] != bestComp {
+			continue
+		}
+		_, _, ecc := ix.bfs(int32(s), sc)
+		if ecc > max {
+			max = ecc
+		}
+	}
+	return int(max), connected
+}
+
+// DiameterApprox lower-bounds the diameter of the largest component with
+// repeated double sweeps: BFS from a random source, then BFS again from
+// the farthest node found. On the random regular graphs used throughout
+// the paper the bound is almost always exact; tests cross-check against
+// Diameter on small graphs. sweeps <= 0 defaults to 4.
+func DiameterApprox(g *Graph, sweeps int, rng *sim.RNG) (diam int, connected bool) {
+	ix := g.Snapshot()
+	return ix.DiameterApprox(sweeps, rng)
+}
+
+// DiameterApprox is the snapshot form of the package-level DiameterApprox.
+func (ix *Indexed) DiameterApprox(sweeps int, rng *sim.RNG) (diam int, connected bool) {
+	n := ix.N()
+	if n == 0 {
+		return 0, true
+	}
+	if sweeps <= 0 {
+		sweeps = 4
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0)
+	}
+	sc := ix.newScratch()
+	_, reached, _ := ix.bfs(0, sc)
+	connected = reached == n
+
+	// Identify the largest component so sweeps start inside it.
+	members := largestComponentMembers(ix)
+	var best int32
+	for s := 0; s < sweeps; s++ {
+		src := members[rng.Intn(len(members))]
+		_, _, _ = ix.bfs(src, sc)
+		// Farthest node from src (scan dist).
+		far, fd := src, int32(0)
+		for i, d := range sc.dist {
+			if d > fd {
+				far, fd = int32(i), d
+			}
+		}
+		_, _, ecc := ix.bfs(far, sc)
+		if ecc > best {
+			best = ecc
+		}
+	}
+	return int(best), connected
+}
+
+func largestComponentMembers(ix *Indexed) []int32 {
+	n := ix.N()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	var best []int32
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		seen[s] = true
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(queue) > len(best) {
+			best = append(best[:0:0], queue...)
+		}
+	}
+	if best == nil {
+		best = []int32{0}
+	}
+	return best
+}

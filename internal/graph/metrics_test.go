@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"onionbots/internal/sim"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestComponents(t *testing.T) {
+	g := New()
+	// Two triangles plus an isolated node.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(10, 11)
+	g.AddEdge(11, 12)
+	g.AddEdge(12, 10)
+	g.AddNode(99)
+	sizes := Components(g)
+	want := []int{3, 3, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("components = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("components = %v, want %v (largest first)", sizes, want)
+		}
+	}
+	if NumComponents(New()) != 0 {
+		t.Fatal("empty graph should have 0 components")
+	}
+	if !New().Snapshot().Connected() {
+		t.Fatal("empty graph should report connected")
+	}
+}
+
+func TestDiameterKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		diam      int
+		connected bool
+	}{
+		{"single", func() *Graph { g := New(); g.AddNode(0); return g }(), 0, true},
+		{"path5", Path(5), 4, true},
+		{"ring6", Ring(6), 3, true},
+		{"ring7", Ring(7), 3, true},
+		{"complete8", Complete(8), 1, true},
+		{"star9", Star(9), 2, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, conn := Diameter(tt.g)
+			if d != tt.diam || conn != tt.connected {
+				t.Fatalf("Diameter = (%d,%v), want (%d,%v)", d, conn, tt.diam, tt.connected)
+			}
+		})
+	}
+}
+
+func TestDiameterDisconnectedUsesLargestComponent(t *testing.T) {
+	g := Path(6) // diameter 5
+	g.AddEdge(100, 101)
+	d, conn := Diameter(g)
+	if conn {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if d != 5 {
+		t.Fatalf("diameter of largest component = %d, want 5", d)
+	}
+}
+
+func TestDiameterApproxMatchesExactOnSmallGraphs(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := RandomRegular(60, 4, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := Diameter(g)
+		approx, _ := DiameterApprox(g, 6, rng)
+		if approx > exact {
+			t.Fatalf("approx %d exceeds exact %d", approx, exact)
+		}
+		if exact-approx > 1 {
+			t.Fatalf("approx %d too far below exact %d", approx, exact)
+		}
+	}
+}
+
+func TestClosenessKnownValues(t *testing.T) {
+	// Star: center closeness = 1; leaf = (n-1)/(1 + 2(n-2)).
+	n := 6
+	g := Star(n)
+	ix := g.Snapshot()
+	// Exact average over all nodes.
+	center := 1.0
+	leaf := float64(n-1) / float64(1+2*(n-2))
+	want := (center + float64(n-1)*leaf) / float64(n)
+	got := ix.AvgCloseness(0, nil)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("star avg closeness = %v, want %v", got, want)
+	}
+
+	// Complete graph: everyone at distance 1 -> closeness 1 for all.
+	if got := AvgCloseness(Complete(5), 0, nil); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("complete avg closeness = %v, want 1", got)
+	}
+
+	// Path of 3: ends (2/3 + ... ) C(end) = 2/3, C(mid) = 1.
+	want = (2.0/3 + 1 + 2.0/3) / 3
+	if got := AvgCloseness(Path(3), 0, nil); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("path3 avg closeness = %v, want %v", got, want)
+	}
+}
+
+func TestClosenessDisconnectedWassermanFaust(t *testing.T) {
+	// Two disjoint edges on 4 nodes: each node reaches 1 other at
+	// distance 1: C = (1/1) * (1/3) = 1/3.
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if got := AvgCloseness(g, 0, nil); !almostEqual(got, 1.0/3, 1e-12) {
+		t.Fatalf("avg closeness = %v, want 1/3", got)
+	}
+	// Isolated nodes contribute 0.
+	g2 := New()
+	g2.AddNode(0)
+	g2.AddNode(1)
+	if got := AvgCloseness(g2, 0, nil); got != 0 {
+		t.Fatalf("isolated-only graph closeness = %v, want 0", got)
+	}
+}
+
+func TestClosenessSampledApproximatesExact(t *testing.T) {
+	g, err := RandomRegular(400, 8, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := AvgCloseness(g, 0, nil)
+	approx := AvgCloseness(g, 100, sim.NewRNG(5))
+	if !almostEqual(exact, approx, 0.02) {
+		t.Fatalf("sampled closeness %v deviates from exact %v", approx, exact)
+	}
+}
+
+func TestAvgDegreeCentrality(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want float64
+	}{
+		{"empty", New(), 0},
+		{"single", func() *Graph { g := New(); g.AddNode(0); return g }(), 0},
+		{"complete5", Complete(5), 1},
+		{"ring10", Ring(10), 2.0 / 9},
+		{"star5", Star(5), (8.0 / 5) / 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AvgDegreeCentrality(tt.g); !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("AvgDegreeCentrality = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotMatchesGraph(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		g := New()
+		for i := 0; i < 100; i++ {
+			g.AddEdge(rng.Intn(40), rng.Intn(40))
+		}
+		ix := g.Snapshot()
+		if ix.N() != g.NumNodes() {
+			return false
+		}
+		for i, id := range ix.IDs {
+			if ix.Degree(i) != g.Degree(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosenessPropertyBounds(t *testing.T) {
+	// Closeness average is always within [0, 1].
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := sim.NewRNG(seed)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(i)
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		c := AvgCloseness(g, 0, nil)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSnapshot5000x10(b *testing.B) {
+	g, err := RandomRegular(5000, 10, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Snapshot()
+	}
+}
+
+func BenchmarkBFS5000x10(b *testing.B) {
+	g, err := RandomRegular(5000, 10, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := g.Snapshot()
+	sc := ix.newScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.bfs(int32(i%ix.N()), sc)
+	}
+}
+
+func BenchmarkAvgClosenessSampled5000(b *testing.B) {
+	g, err := RandomRegular(5000, 10, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AvgCloseness(g, 64, rng)
+	}
+}

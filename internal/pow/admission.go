@@ -1,0 +1,142 @@
+package pow
+
+import (
+	"time"
+)
+
+// Admission is the per-bot escalating proof-of-work gate on peering.
+// Each acceptance within Window raises the difficulty by StepBits, so a
+// clone flood faces an exponentially growing bill while organic churn
+// stays cheap.
+type Admission struct {
+	// BaseBits is the difficulty with no recent acceptances. Default 8.
+	BaseBits uint8
+	// StepBits is added per acceptance within Window. Default 2.
+	StepBits uint8
+	// MaxBits caps escalation. Default 24.
+	MaxBits uint8
+	// Window is the escalation look-back. Default 1h.
+	Window time.Duration
+
+	accepts    []time.Time
+	challenges map[string][]byte
+	nextChal   uint64
+}
+
+// NewAdmission returns an admission gate with defaults filled in.
+func NewAdmission(base, step, max uint8, window time.Duration) *Admission {
+	if base == 0 {
+		base = 8
+	}
+	if step == 0 {
+		step = 2
+	}
+	if max == 0 {
+		max = 24
+	}
+	if window == 0 {
+		window = time.Hour
+	}
+	return &Admission{
+		BaseBits:   base,
+		StepBits:   step,
+		MaxBits:    max,
+		Window:     window,
+		challenges: make(map[string][]byte),
+	}
+}
+
+// RequiredBits reports the current difficulty.
+func (a *Admission) RequiredBits(now time.Time) uint8 {
+	recent := 0
+	for _, t := range a.accepts {
+		if now.Sub(t) <= a.Window {
+			recent++
+		}
+	}
+	bits := int(a.BaseBits) + recent*int(a.StepBits)
+	if bits > int(a.MaxBits) {
+		bits = int(a.MaxBits)
+	}
+	return uint8(bits)
+}
+
+// Vet implements the challenge-response admission: the first request
+// from an onion receives a challenge and the current difficulty; a
+// follow-up request carrying a valid proof at (or above) the required
+// difficulty is admitted.
+func (a *Admission) Vet(onion string, nonce uint64, proofBits uint8, now time.Time) (ok bool, challenge []byte, required uint8) {
+	required = a.RequiredBits(now)
+	ch, issued := a.challenges[onion]
+	if issued && proofBits >= required && Verify(ch, nonce, proofBits) {
+		delete(a.challenges, onion)
+		a.accepts = append(a.accepts, now)
+		a.gc(now)
+		return true, nil, 0
+	}
+	if !issued {
+		ch = a.mintChallenge(onion)
+		a.challenges[onion] = ch
+	}
+	return false, ch, required
+}
+
+// mintChallenge derives a per-requester challenge. It need not be
+// unpredictable, only unique per (gate, requester, sequence), so a
+// counter-hash suffices and keeps the package dependency-free.
+func (a *Admission) mintChallenge(onion string) []byte {
+	a.nextChal++
+	seed := make([]byte, 0, len(onion)+16)
+	seed = append(seed, []byte("pow-challenge:")...)
+	seed = append(seed, onion...)
+	seed = append(seed, byte(a.nextChal), byte(a.nextChal>>8),
+		byte(a.nextChal>>16), byte(a.nextChal>>24))
+	d := digest(seed, a.nextChal)
+	return d[:16]
+}
+
+func (a *Admission) gc(now time.Time) {
+	if len(a.accepts) < 256 {
+		return
+	}
+	kept := a.accepts[:0]
+	for _, t := range a.accepts {
+		if now.Sub(t) <= a.Window {
+			kept = append(kept, t)
+		}
+	}
+	a.accepts = kept
+}
+
+// RateLimiter delays acceptances proportionally to peer-list size
+// (the second Section VII-A mechanism).
+type RateLimiter struct {
+	// BasePerPeer is the required gap per existing peer. Default 1m.
+	BasePerPeer time.Duration
+	last        time.Time
+	primed      bool
+}
+
+// NewRateLimiter builds a limiter.
+func NewRateLimiter(basePerPeer time.Duration) *RateLimiter {
+	if basePerPeer == 0 {
+		basePerPeer = time.Minute
+	}
+	return &RateLimiter{BasePerPeer: basePerPeer}
+}
+
+// Allow reports whether another peer may be accepted now, given the
+// current peer count, and records the acceptance when it is.
+func (r *RateLimiter) Allow(now time.Time, peerCount int) bool {
+	if !r.primed {
+		r.primed = true
+		r.last = now
+		return true
+	}
+	wait := r.BasePerPeer * time.Duration(peerCount)
+	if now.Sub(r.last) < wait {
+		return false
+	}
+	r.last = now
+	return true
+}

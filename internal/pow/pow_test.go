@@ -1,0 +1,166 @@
+package pow
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSolveVerifyRoundTrip(t *testing.T) {
+	for _, bits := range []uint8{0, 1, 4, 8, 12, 16} {
+		challenge := []byte{1, 2, 3, byte(bits)}
+		nonce, hashes := Solve(challenge, bits)
+		if !Verify(challenge, nonce, bits) {
+			t.Fatalf("bits=%d: solved nonce fails verification", bits)
+		}
+		if bits > 0 && hashes == 0 {
+			t.Fatalf("bits=%d: zero hashes reported", bits)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongNonceAndOverclaim(t *testing.T) {
+	challenge := []byte("challenge")
+	nonce, _ := Solve(challenge, 8)
+	if Verify(challenge, nonce+1, 8) && Verify(challenge, nonce+2, 8) && Verify(challenge, nonce+3, 8) {
+		t.Fatal("arbitrary nonces keep verifying; puzzle is broken")
+	}
+	if Verify(challenge, nonce, MaxDifficulty+1) {
+		t.Fatal("difficulty above MaxDifficulty accepted")
+	}
+	if !Verify(challenge, 12345, 0) {
+		t.Fatal("zero difficulty must always verify")
+	}
+}
+
+func TestSolveCostGrowsWithDifficulty(t *testing.T) {
+	challenge := []byte("cost")
+	var prev uint64
+	for _, bits := range []uint8{4, 8, 12} {
+		total := uint64(0)
+		for i := 0; i < 8; i++ {
+			_, h := Solve(append(challenge, byte(i)), bits)
+			total += h
+		}
+		if total <= prev {
+			t.Fatalf("cost at %d bits (%d) not above previous (%d)", bits, total, prev)
+		}
+		prev = total
+	}
+	if ExpectedHashes(10) != 1024 {
+		t.Fatalf("ExpectedHashes(10) = %v", ExpectedHashes(10))
+	}
+}
+
+func TestSolveCostMatchesExpectation(t *testing.T) {
+	// Average solve cost at 8 bits should be near 2^8 = 256.
+	challenge := []byte("expectation")
+	total := uint64(0)
+	const trials = 64
+	for i := 0; i < trials; i++ {
+		_, h := Solve(append(challenge, byte(i), byte(i>>8)), 8)
+		total += h
+	}
+	avg := float64(total) / trials
+	if avg < 64 || avg > 1024 {
+		t.Fatalf("average cost at 8 bits = %.0f, want within [64, 1024]", avg)
+	}
+}
+
+func TestLeadingZeroBitsProperty(t *testing.T) {
+	err := quick.Check(func(challenge []byte, nonce uint64) bool {
+		d := digest(challenge, nonce)
+		lz := leadingZeroBits(d)
+		if lz < 0 || lz > 256 {
+			return false
+		}
+		// Definitional check against a bit-by-bit count.
+		count := 0
+		for _, b := range d {
+			if b == 0 {
+				count += 8
+				continue
+			}
+			for mask := byte(0x80); mask != 0; mask >>= 1 {
+				if b&mask != 0 {
+					return lz == count
+				}
+				count++
+			}
+		}
+		return lz == count
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionChallengeResponse(t *testing.T) {
+	ad := NewAdmission(8, 2, 24, time.Hour)
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+
+	// First contact: challenged.
+	ok, ch, bits := ad.Vet("bot-a", 0, 0, now)
+	if ok || ch == nil || bits != 8 {
+		t.Fatalf("first Vet = (%v, %v, %d), want challenge at 8 bits", ok, ch, bits)
+	}
+	// Solve and retry: admitted.
+	nonce, _ := Solve(ch, bits)
+	ok, _, _ = ad.Vet("bot-a", nonce, bits, now)
+	if !ok {
+		t.Fatal("valid proof rejected")
+	}
+	// The challenge is consumed: replaying the proof fails.
+	ok, _, _ = ad.Vet("bot-a", nonce, bits, now)
+	if ok {
+		t.Fatal("replayed proof admitted")
+	}
+}
+
+func TestAdmissionEscalates(t *testing.T) {
+	ad := NewAdmission(8, 2, 24, time.Hour)
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		name := string(rune('a' + i))
+		_, ch, bits := ad.Vet(name, 0, 0, now)
+		want := uint8(8 + 2*i)
+		if bits != want {
+			t.Fatalf("acceptance %d: required bits = %d, want %d", i, bits, want)
+		}
+		nonce, _ := Solve(ch, bits)
+		if ok, _, _ := ad.Vet(name, nonce, bits, now); !ok {
+			t.Fatalf("acceptance %d failed", i)
+		}
+	}
+	// Outside the window the difficulty relaxes back to base.
+	if got := ad.RequiredBits(now.Add(2 * time.Hour)); got != 8 {
+		t.Fatalf("difficulty after window = %d, want 8", got)
+	}
+	// Escalation saturates at MaxBits.
+	ad2 := NewAdmission(20, 10, 24, time.Hour)
+	ad2.accepts = append(ad2.accepts, now, now, now)
+	if got := ad2.RequiredBits(now); got != 24 {
+		t.Fatalf("saturated difficulty = %d, want 24", got)
+	}
+}
+
+func TestRateLimiterScalesWithPeerCount(t *testing.T) {
+	rl := NewRateLimiter(time.Minute)
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	if !rl.Allow(now, 5) {
+		t.Fatal("first acceptance must pass")
+	}
+	// 5 peers -> 5 minute gap.
+	if rl.Allow(now.Add(4*time.Minute), 5) {
+		t.Fatal("accepted before the scaled delay elapsed")
+	}
+	if !rl.Allow(now.Add(6*time.Minute), 5) {
+		t.Fatal("rejected after the delay elapsed")
+	}
+}
+
+func BenchmarkSolve12Bits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Solve([]byte{byte(i), byte(i >> 8)}, 12)
+	}
+}

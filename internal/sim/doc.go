@@ -1,0 +1,17 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every experiment in this repository.
+//
+// The kernel has two halves:
+//
+//   - Scheduler: a virtual clock plus an event priority queue. Events
+//     scheduled for the same instant fire in FIFO order (stable sequence
+//     numbers), so a run is bit-reproducible given the same inputs.
+//   - RNG: a seeded PCG random stream with the helpers the experiments
+//     need (permutations, weighted coins, byte strings). All randomness in
+//     a run must flow through one RNG so that a single seed reproduces an
+//     entire figure.
+//
+// The virtual epoch is 2015-01-14 UTC, the day the OnionBots paper was
+// posted to arXiv; experiments only ever use relative durations, the
+// epoch is cosmetic.
+package sim

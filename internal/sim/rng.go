@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+)
+
+// RNG is the single random stream for a simulation run. Every random
+// decision in an experiment must come from the run's RNG so that one seed
+// reproduces the whole run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a PCG-backed stream seeded from seed. Two RNGs with the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	// The second PCG word is a fixed odd constant so that seed 0 is a
+	// valid, distinct stream.
+	return &RNG{r: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+}
+
+// Fork derives an independent child stream. The child is a pure function
+// of the parent's state at the time of the call, preserving determinism
+// while letting subsystems consume randomness without perturbing each
+// other's sequences.
+func (g *RNG) Fork() *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()|1))}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (g *RNG) Intn(n int) int { return g.r.IntN(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int64() }
+
+// Uint64 returns a uniform uint64.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Perm returns a uniform permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes n elements using the provided swap function.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bytes fills a fresh n-byte slice with pseudorandom bytes. It is used
+// for nonces and padding inside the simulator; it is not a CSPRNG and
+// must never be used for real key material outside tests.
+func (g *RNG) Bytes(n int) []byte {
+	b := make([]byte, n)
+	var word [8]byte
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(word[:], g.r.Uint64())
+		copy(b[i:], word[:])
+	}
+	return b
+}
+
+// Choice returns a uniform element of xs. It panics on an empty slice,
+// matching Intn's contract.
+func Choice[T any](g *RNG, xs []T) T {
+	return xs[g.Intn(len(xs))]
+}
+
+// Sample returns k distinct uniform elements of xs in random order. If
+// k >= len(xs) it returns a shuffled copy of all of xs.
+func Sample[T any](g *RNG, xs []T, k int) []T {
+	if k < 0 {
+		k = 0
+	}
+	out := make([]T, len(xs))
+	copy(out, xs)
+	g.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

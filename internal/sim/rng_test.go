@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d/100 draws", same)
+	}
+}
+
+func TestRNGForkIsDeterministic(t *testing.T) {
+	mk := func() []uint64 {
+		g := NewRNG(7)
+		child := g.Fork()
+		out := make([]uint64, 10)
+		for i := range out {
+			out[i] = child.Uint64()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("forked streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		g := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := g.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBoolProbabilityEdges(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolFrequency(t *testing.T) {
+	g := NewRNG(11)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("Bool(0.25) frequency = %.3f, want ~0.25", got)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBytesLengthAndVariety(t *testing.T) {
+	g := NewRNG(5)
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 32, 33, 1000} {
+		b := g.Bytes(n)
+		if len(b) != n {
+			t.Fatalf("Bytes(%d) returned %d bytes", n, len(b))
+		}
+	}
+	b := g.Bytes(1024)
+	counts := map[byte]int{}
+	for _, v := range b {
+		counts[v]++
+	}
+	if len(counts) < 200 {
+		t.Fatalf("Bytes(1024) produced only %d distinct byte values", len(counts))
+	}
+}
+
+func TestChoiceCoversAllElements(t *testing.T) {
+	g := NewRNG(9)
+	xs := []string{"a", "b", "c", "d"}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Choice(g, xs)] = true
+	}
+	if len(seen) != len(xs) {
+		t.Fatalf("Choice covered %d/%d elements in 200 draws", len(seen), len(xs))
+	}
+}
+
+func TestSampleDistinctAndBounded(t *testing.T) {
+	g := NewRNG(13)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for _, k := range []int{-1, 0, 3, 10, 15} {
+		got := Sample(g, xs, k)
+		wantLen := k
+		if k < 0 {
+			wantLen = 0
+		}
+		if k > len(xs) {
+			wantLen = len(xs)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("Sample(k=%d) returned %d elements, want %d", k, len(got), wantLen)
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if seen[v] {
+				t.Fatalf("Sample(k=%d) returned duplicate %d", k, v)
+			}
+			seen[v] = true
+		}
+	}
+	// The input slice must not be mutated.
+	for i, v := range xs {
+		if v != i {
+			t.Fatal("Sample mutated its input slice")
+		}
+	}
+}

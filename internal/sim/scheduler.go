@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Epoch is the virtual time at which every Scheduler starts. The date is
+// the arXiv posting date of the OnionBots paper; nothing depends on the
+// absolute value.
+var Epoch = time.Date(2015, time.January, 14, 0, 0, 0, 0, time.UTC)
+
+// Scheduler is a single-threaded discrete-event scheduler with a virtual
+// clock. It is intentionally not safe for concurrent use: determinism is
+// the whole point, and every experiment drives it from one goroutine.
+type Scheduler struct {
+	now time.Time
+	seq uint64
+	pq  eventHeap
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// NewScheduler returns a scheduler whose clock starts at Epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{now: Epoch}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Elapsed reports how much virtual time has passed since Epoch.
+func (s *Scheduler) Elapsed() time.Duration { return s.now.Sub(Epoch) }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return s.pq.Len() }
+
+// At schedules fn to run at virtual time t. Scheduling in the past runs
+// the event at the current time (it still goes through the queue so that
+// ordering relative to other due events is stable).
+func (s *Scheduler) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are clamped to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn to run every d, starting d from now, for as long as
+// fn keeps returning true. A non-positive d is rejected by doing nothing;
+// recurring zero-delay events would otherwise wedge the clock.
+func (s *Scheduler) Every(d time.Duration, fn func() bool) {
+	if d <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(d, tick)
+		}
+	}
+	s.After(d, tick)
+}
+
+// Step runs the single next pending event, advancing the clock to its
+// firing time. It reports whether an event was run.
+func (s *Scheduler) Step() bool {
+	if s.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil runs every event with firing time <= t, then advances the
+// clock to t. It returns the number of events run.
+func (s *Scheduler) RunUntil(t time.Time) int {
+	n := 0
+	for s.pq.Len() > 0 && !s.pq[0].at.After(t) {
+		s.Step()
+		n++
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+	return n
+}
+
+// RunFor runs the simulation for d of virtual time (see RunUntil).
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// RunAll runs events until the queue drains or maxEvents have run,
+// whichever comes first. maxEvents <= 0 means no cap. It returns the
+// number of events run; callers that pass a cap can compare against it to
+// detect runaway recurring events.
+func (s *Scheduler) RunAll(maxEvents int) int {
+	n := 0
+	for s.pq.Len() > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// eventHeap orders events by (time, sequence), so simultaneous events
+// fire in the order they were scheduled.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,83 @@
+package soap
+
+import (
+	"testing"
+	"time"
+)
+
+// Ablations: disable one ingredient of SOAP at a time and verify the
+// attack degrades — evidence that each mechanism in the paper's design
+// is load-bearing.
+
+func TestAblationTruthfulClonesContainSlower(t *testing.T) {
+	// Clones that declare an honest high degree cannot displace benign
+	// peers from full bots; they only fill free slots. Containment
+	// should be strictly worse than with the lying configuration at the
+	// same point in time.
+	lying := func() float64 {
+		bn := buildVictimNet(t, 90, 8)
+		a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{
+			DeclaredDegreeMin: 1, DeclaredDegreeMax: 3,
+		})
+		a.Start(bn.AliveBots()[0].Onion())
+		bn.Run(2 * time.Hour)
+		return CloneNeighborFraction(bn, a)
+	}()
+	truthful := func() float64 {
+		bn := buildVictimNet(t, 90, 8) // same seed, same victim net
+		a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{
+			// "Truthful": declare a big degree, as a heavily-connected
+			// defender node would have to without the sybil lie.
+			DeclaredDegreeMin: 20, DeclaredDegreeMax: 24,
+		})
+		a.Start(bn.AliveBots()[0].Onion())
+		bn.Run(2 * time.Hour)
+		return CloneNeighborFraction(bn, a)
+	}()
+	if truthful >= lying {
+		t.Fatalf("truthful clones surrounded %.2f >= lying %.2f; the degree lie should matter",
+			truthful, lying)
+	}
+	t.Logf("clone-neighbor fraction: lying=%.2f truthful=%.2f", lying, truthful)
+}
+
+func TestAblationNoGossipSlowsDiscovery(t *testing.T) {
+	// With NoN poisoning disabled (clones disclose no siblings), the
+	// trap loses its pull: measure discovered bots and containment.
+	bn := buildVictimNet(t, 91, 8)
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.cfg.NoNSubset = 0 // post-defaults override: disclose no siblings
+	a.Start(bn.AliveBots()[0].Onion())
+	bn.Run(2 * time.Hour)
+	baseline := func() (int, float64) {
+		bn2 := buildVictimNet(t, 91, 8)
+		a2 := NewAttacker(bn2.Net, bn2.Master.NetKey(), Config{})
+		a2.Start(bn2.AliveBots()[0].Onion())
+		bn2.Run(2 * time.Hour)
+		return len(a2.KnownBots()), ContainmentFraction(bn2, a2)
+	}
+	knownBase, containBase := baseline()
+	t.Logf("no-poison: known=%d contained=%.2f | with-poison: known=%d contained=%.2f",
+		len(a.KnownBots()), ContainmentFraction(bn, a), knownBase, containBase)
+	// The poisoned variant must do at least as well on containment.
+	if containBase+1e-9 < ContainmentFraction(bn, a) {
+		t.Fatalf("NoN poisoning made containment worse (%.2f vs %.2f)",
+			containBase, ContainmentFraction(bn, a))
+	}
+}
+
+func TestAblationSlowWavesDelayContainment(t *testing.T) {
+	run := func(interval time.Duration) float64 {
+		bn := buildVictimNet(t, 92, 8)
+		a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{RoundInterval: interval})
+		a.Start(bn.AliveBots()[0].Onion())
+		bn.Run(90 * time.Minute)
+		return ContainmentFraction(bn, a)
+	}
+	fast := run(30 * time.Second)
+	slow := run(15 * time.Minute)
+	if slow > fast {
+		t.Fatalf("slower waves contained more (%.2f > %.2f)?", slow, fast)
+	}
+	t.Logf("containment at 90m: fast waves %.2f, slow waves %.2f", fast, slow)
+}

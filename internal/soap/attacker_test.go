@@ -1,0 +1,171 @@
+package soap
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/core"
+	"onionbots/internal/graph"
+)
+
+// buildVictimNet creates a settled botnet of n bots for soaping.
+func buildVictimNet(t *testing.T, seed uint64, n int) *core.BotNet {
+	t.Helper()
+	bn, err := core.NewBotNet(seed, 15, core.BotConfig{DMin: 2, DMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.Grow(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(6 * time.Minute) // NoN gossip round
+	return bn
+}
+
+func TestCrawlDiscoversWholeBotnet(t *testing.T) {
+	bn := buildVictimNet(t, 40, 10)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	bn.Run(10 * time.Minute)
+	if got := len(a.KnownBots()); got != 10 {
+		t.Fatalf("attacker discovered %d/10 bots", got)
+	}
+}
+
+func TestSoapContainsSingleTarget(t *testing.T) {
+	bn := buildVictimNet(t, 41, 8)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	bn.Run(30 * time.Minute)
+
+	// At least the first target should be fully surrounded by now.
+	if got := TrueContainedCount(bn, a); got == 0 {
+		t.Fatalf("no bot contained after 30m campaign (clones=%d, discovered=%d)",
+			a.Stats().ClonesCreated, len(a.KnownBots()))
+	}
+}
+
+func TestCampaignNeutralizesBotnet(t *testing.T) {
+	bn := buildVictimNet(t, 42, 8)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	bn.Run(4 * time.Hour)
+
+	frac := ContainmentFraction(bn, a)
+	if frac < 0.9 {
+		t.Fatalf("containment = %.2f after campaign, want >= 0.9 (clones=%d)",
+			frac, a.Stats().ClonesCreated)
+	}
+	// The benign overlay must be shattered: no bot-to-bot edges left
+	// means commands cannot propagate.
+	benign := BenignOverlay(bn, a)
+	if benign.NumEdges() > 1 {
+		t.Fatalf("benign overlay still has %d edges", benign.NumEdges())
+	}
+
+	// And the proof: a broadcast from the C&C reaches (almost) nobody
+	// beyond its entry bots.
+	if err := bn.Broadcast("ddos", []byte("example.com"), 1); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Minute)
+	if got := bn.ExecutedCount("ddos"); got > 2 {
+		t.Fatalf("broadcast still executed on %d bots after neutralization", got)
+	}
+}
+
+func TestBroadcastWorksBeforeSoapingBaseline(t *testing.T) {
+	// Control for the neutralization claim: same network, no SOAP, the
+	// broadcast reaches everyone.
+	bn := buildVictimNet(t, 42, 8) // same seed as the campaign test
+	if err := bn.Broadcast("ddos", []byte("example.com"), 1); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Minute)
+	if got := bn.ExecutedCount("ddos"); got != 8 {
+		t.Fatalf("baseline broadcast reached %d/8 bots", got)
+	}
+}
+
+func TestClonesAllOnOneProxy(t *testing.T) {
+	bn := buildVictimNet(t, 43, 6)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	bn.Run(time.Hour)
+	if a.Stats().ClonesCreated < 6 {
+		t.Fatalf("only %d clones created", a.Stats().ClonesCreated)
+	}
+	// All clones answer from one machine: IsClone distinguishes them,
+	// bots cannot.
+	for _, onion := range a.KnownBots() {
+		if a.IsClone(onion) {
+			t.Fatalf("attacker recorded its own clone %s as a bot", onion)
+		}
+	}
+}
+
+func TestContainedBotsCannotBeReached(t *testing.T) {
+	bn := buildVictimNet(t, 44, 6)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	bn.Run(4 * time.Hour)
+	if f := ContainmentFraction(bn, a); f < 0.9 {
+		t.Skipf("campaign incomplete at %.2f; covered by TestCampaignNeutralizesBotnet", f)
+	}
+	// Flood-directed delivery through the (now clone-dominated) mesh
+	// fails: the entry bot's peers are clones, which drop the message.
+	rec := bn.Master.Records()[2]
+	entry := bn.AliveBots()[0]
+	cmd := bn.Master.NewCommand("wake", nil)
+	_ = bn.Master.FloodDirected(entry.Onion(), rec, cmd, 6)
+	bn.Run(2 * time.Minute)
+	// The only way it executes is if the entry bot IS the target.
+	if got := bn.ExecutedCount("wake"); got > 1 {
+		t.Fatalf("directed command leaked through containment to %d bots", got)
+	}
+	if a.Stats().MessagesBlocked == 0 {
+		t.Fatal("clones never blocked any C&C traffic")
+	}
+}
+
+func TestBenignOverlayExcludesClones(t *testing.T) {
+	bn := buildVictimNet(t, 45, 6)
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	full := bn.OverlayGraph()
+	benign := BenignOverlay(bn, a)
+	// No campaign yet: benign overlay equals the full overlay.
+	if benign.NumEdges() != full.NumEdges() || benign.NumNodes() != full.NumNodes() {
+		t.Fatalf("benign overlay (%d nodes %d edges) != full (%d nodes %d edges)",
+			benign.NumNodes(), benign.NumEdges(), full.NumNodes(), full.NumEdges())
+	}
+	if graph.NumComponents(benign) != 1 {
+		t.Fatal("victim net should start connected")
+	}
+	if got := CloneNeighborFraction(bn, a); got != 0 {
+		t.Fatalf("clone fraction = %v before campaign", got)
+	}
+}
+
+func TestContainmentFractionMonotoneDuringCampaign(t *testing.T) {
+	bn := buildVictimNet(t, 46, 6)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	prev := 0.0
+	for i := 0; i < 8; i++ {
+		bn.Run(30 * time.Minute)
+		frac := CloneNeighborFraction(bn, a)
+		if frac+1e-9 < prev-0.25 {
+			t.Fatalf("clone-neighbor fraction regressed hard: %.2f -> %.2f", prev, frac)
+		}
+		prev = frac
+	}
+	if prev < 0.5 {
+		t.Fatalf("clone-neighbor fraction only %.2f after 4h", prev)
+	}
+}

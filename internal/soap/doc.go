@@ -1,0 +1,23 @@
+// Package soap implements the paper's mitigation: the Sybil Onion
+// Attack Protocol (Section VI-B). SOAP turns the OnionBot's own
+// stealth features against it:
+//
+//   - because peers know each other only by .onion address, one
+//     defender machine can impersonate unlimited "bots" (clones);
+//   - because the peering rule favours low-degree requesters, clones
+//     that declare a small random degree displace a target's real
+//     peers;
+//   - because NoN knowledge comes from peers, clones that disclose only
+//     other clones poison the target's repair candidates, so the bot's
+//     own self-healing pulls it deeper into the trap.
+//
+// The attack proceeds exactly as Figure 7: compromise one bot (which
+// yields the network key and an entry address), crawl outward through
+// PEER_ACK neighbor lists, then surround each discovered bot with
+// clones until every neighbor is a clone ("contained"). Contained bots
+// relay nothing: the botnet is partitioned and neutralized.
+//
+// The package also provides the evaluation helpers the Figure 7
+// experiment uses: benign-overlay extraction, containment fraction, and
+// campaign statistics.
+package soap

@@ -1,0 +1,87 @@
+package soap
+
+import (
+	"onionbots/internal/core"
+	"onionbots/internal/graph"
+)
+
+// Evaluation helpers for the Figure 7 experiment: measure how far a
+// campaign has gone by inspecting the ground-truth botnet state (the
+// experimenter's view; the attacker itself only has its intel).
+
+// BenignOverlay extracts the bot-to-bot overlay with every clone edge
+// removed: the graph that remains available for C&C traffic.
+func BenignOverlay(bn *core.BotNet, a *Attacker) *graph.Graph {
+	alive := bn.AliveBots()
+	index := make(map[string]int, len(alive))
+	g := graph.New()
+	for i, b := range alive {
+		index[b.Onion()] = i
+		g.AddNode(i)
+	}
+	for i, b := range alive {
+		for _, peer := range b.PeerOnions() {
+			if a.IsClone(peer) {
+				continue
+			}
+			if j, ok := index[peer]; ok {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// TrueContainedCount reports how many alive bots have no benign peers
+// left (ground truth, independent of attacker intel).
+func TrueContainedCount(bn *core.BotNet, a *Attacker) int {
+	n := 0
+	for _, b := range bn.AliveBots() {
+		contained := true
+		for _, peer := range b.PeerOnions() {
+			if !a.IsClone(peer) {
+				contained = false
+				break
+			}
+		}
+		if contained {
+			n++
+		}
+	}
+	return n
+}
+
+// ContainmentFraction is TrueContainedCount over the alive population.
+func ContainmentFraction(bn *core.BotNet, a *Attacker) float64 {
+	alive := bn.AliveBots()
+	if len(alive) == 0 {
+		return 0
+	}
+	return float64(TrueContainedCount(bn, a)) / float64(len(alive))
+}
+
+// CloneNeighborFraction reports, averaged over alive bots, the share of
+// each bot's peers that are clones — the "surrounded by clones"
+// progress measure of Figure 7's intermediate steps.
+func CloneNeighborFraction(bn *core.BotNet, a *Attacker) float64 {
+	alive := bn.AliveBots()
+	if len(alive) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, b := range alive {
+		peers := b.PeerOnions()
+		if len(peers) == 0 {
+			total += 1 // fully isolated counts as surrounded
+			continue
+		}
+		clones := 0
+		for _, p := range peers {
+			if a.IsClone(p) {
+				clones++
+			}
+		}
+		total += float64(clones) / float64(len(peers))
+	}
+	return total / float64(len(alive))
+}

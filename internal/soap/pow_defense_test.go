@@ -1,0 +1,84 @@
+package soap
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/core"
+	"onionbots/internal/pow"
+)
+
+// hardenAll installs an escalating PoW admission gate on every alive
+// bot (the Section VII-A defense).
+func hardenAll(bn *core.BotNet, base, step, max uint8) {
+	for _, b := range bn.AliveBots() {
+		b := b
+		ad := pow.NewAdmission(base, step, max, time.Hour)
+		b.AcceptVet = func(onion string, nonce uint64, bits uint8) (bool, []byte, uint8) {
+			return ad.Vet(onion, nonce, bits, bn.Net.Now())
+		}
+	}
+}
+
+func TestPoWBlocksBasicSoapAttacker(t *testing.T) {
+	bn := buildVictimNet(t, 50, 6)
+	hardenAll(bn, 8, 2, 20)
+	captured := bn.AliveBots()[0]
+	// The basic attacker does not solve puzzles.
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{})
+	a.Start(captured.Onion())
+	bn.Run(2 * time.Hour)
+	if got := TrueContainedCount(bn, a); got != 0 {
+		t.Fatalf("basic SOAP contained %d hardened bots; PoW should stop it", got)
+	}
+	if a.Stats().PeeringAccepted != 0 {
+		t.Fatalf("hardened bots accepted %d proof-less clones", a.Stats().PeeringAccepted)
+	}
+}
+
+func TestPoWSolvingAttackerPaysEscalatingCost(t *testing.T) {
+	bn := buildVictimNet(t, 51, 6)
+	hardenAll(bn, 6, 2, 18)
+	captured := bn.AliveBots()[0]
+	a := NewAttacker(bn.Net, bn.Master.NetKey(), Config{SolvePoW: true, MaxSolveBits: 18})
+	a.Start(captured.Onion())
+	bn.Run(4 * time.Hour)
+
+	if got := TrueContainedCount(bn, a); got == 0 {
+		t.Fatal("paying attacker contained nothing; hardening should raise cost, not create immunity")
+	}
+	work := a.Stats().WorkHashes
+	if work == 0 {
+		t.Fatal("attacker reported zero proof-of-work spend")
+	}
+	// Escalation: the spend must exceed clones * 2^base (every accept
+	// after the first few costs more than the base difficulty).
+	minWork := uint64(a.Stats().PeeringAccepted) * uint64(1<<6)
+	if work <= minWork {
+		t.Fatalf("work = %d hashes <= flat-cost bound %d; escalation missing", work, minWork)
+	}
+	t.Logf("attacker spent %d hashes across %d accepted peerings", work, a.Stats().PeeringAccepted)
+}
+
+func TestHonestRepairStillWorksUnderPoW(t *testing.T) {
+	// The trade-off's other side: hardened bots can still self-heal,
+	// they just pay hashes for it.
+	bn := buildVictimNet(t, 52, 8)
+	hardenAll(bn, 6, 1, 16)
+	victim := bn.AliveBots()[2]
+	bn.Takedown(victim)
+	bn.Run(30 * time.Minute)
+
+	honestWork := uint64(0)
+	for _, b := range bn.AliveBots() {
+		honestWork += b.Stats().HashesSpent
+	}
+	if honestWork == 0 {
+		t.Fatal("no honest proof-of-work spent; repair never exercised the gate")
+	}
+	// The overlay must still be connected after repair.
+	g := bn.OverlayGraph()
+	if g.NumNodes() != 7 {
+		t.Fatalf("alive overlay nodes = %d, want 7", g.NumNodes())
+	}
+}

@@ -1,0 +1,21 @@
+// Package superonion implements the Section VII-B SuperOnionBot
+// construction: n physical hosts, each simulating m virtual nodes with
+// i peers apiece (a total of n*m virtual nodes and m*i virtual peers
+// per physical node — Figure 8 uses n=5, m=3, i=2).
+//
+// A virtual node is an ordinary OnionBot that shares its physical
+// host's single proxy — the decoupling of host, IP address, and .onion
+// address means the rest of the network cannot tell. The host
+// periodically runs a connectivity test: a probe message floods out
+// from one of its virtual nodes and should arrive at the other m-1.
+// Because probes are sealed and indistinguishable from all other
+// traffic, an authority (legally barred from participating in the
+// botnet, as the paper argues) cannot selectively forward them. A
+// virtual node that stops receiving probes has been surrounded — soaped
+// — and the host discards it, creating a replacement that bootstraps
+// from the peers of its still-connected siblings.
+//
+// The result is the paper's claim to evaluate: a single soaped virtual
+// node no longer means a contained host; the whole host is lost only if
+// all m virtual nodes are soaped simultaneously.
+package superonion

@@ -1,0 +1,332 @@
+package superonion
+
+import (
+	"fmt"
+	"time"
+
+	"onionbots/internal/botcrypto"
+	"onionbots/internal/core"
+	"onionbots/internal/tor"
+)
+
+// Config tunes a SuperOnion host.
+type Config struct {
+	// M is the number of virtual nodes per host. Default 3 (Figure 8).
+	M int
+	// I is the peers per virtual node. Default 2 (Figure 8).
+	I int
+	// ProbeInterval spaces connectivity tests. Default 10m.
+	ProbeInterval time.Duration
+	// ProbeTimeout is how long after sending a probe the host judges
+	// who received it. Default 1m.
+	ProbeTimeout time.Duration
+	// Grace protects newborn virtual nodes from being judged before
+	// they finish peering. Default one ProbeInterval.
+	Grace time.Duration
+	// ProbeTTL bounds probe flooding. Default 10.
+	ProbeTTL uint8
+}
+
+func (c Config) withDefaults() Config {
+	if c.M == 0 {
+		c.M = 3
+	}
+	if c.I == 0 {
+		c.I = 2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 10 * time.Minute
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = time.Minute
+	}
+	if c.Grace == 0 {
+		c.Grace = c.ProbeInterval
+	}
+	if c.ProbeTTL == 0 {
+		c.ProbeTTL = 10
+	}
+	return c
+}
+
+// Stats counts host activity.
+type Stats struct {
+	ProbesSent       int
+	SoapedDetected   int
+	VirtualsReplaced int
+}
+
+// virtualSlot tracks one virtual node's probe bookkeeping.
+type virtualSlot struct {
+	bot      *core.Bot
+	born     time.Time
+	received bool // current probe round
+}
+
+// Host is one SuperOnion physical machine: a single proxy hosting M
+// virtual OnionBots plus the probe logic that detects soaping.
+type Host struct {
+	bn    *core.BotNet
+	proxy *tor.OnionProxy
+	cfg   Config
+	drbg  *botcrypto.DRBG
+
+	probeKey []byte
+	slots    []*virtualSlot
+	probeSeq int
+	nextSrc  int
+	running  bool
+	stats    Stats
+}
+
+// NewHost creates a host with M virtual nodes, each rallied with
+// bootstrap candidates produced by pick (called once per virtual node).
+func NewHost(bn *core.BotNet, cfg Config, name string,
+	pick func(slot int) []string) (*Host, error) {
+	cfg = cfg.withDefaults()
+	h := &Host{
+		bn:       bn,
+		proxy:    tor.NewProxy(bn.Net),
+		cfg:      cfg,
+		drbg:     botcrypto.NewDRBG([]byte("superonion-host:" + name)),
+		probeKey: botcrypto.NewDRBG([]byte("probe-key:" + name)).Bytes(32),
+	}
+	for s := 0; s < cfg.M; s++ {
+		if err := h.addVirtual(pick(s)); err != nil {
+			return nil, fmt.Errorf("superonion: host %s slot %d: %w", name, s, err)
+		}
+	}
+	return h, nil
+}
+
+// addVirtual creates, wires, and rallies one virtual node.
+func (h *Host) addVirtual(bootstrap []string) error {
+	b, err := h.bn.NewVirtualBot(h.proxy)
+	if err != nil {
+		return err
+	}
+	slot := &virtualSlot{bot: b, born: h.bn.Net.Now()}
+	b.ProbeKey = h.probeKey
+	b.OnProbe = func(inner []byte) { h.onProbe(slot, inner) }
+	h.slots = append(h.slots, slot)
+	return b.Rally(bootstrap)
+}
+
+// Stats returns a copy of the counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// Virtuals lists the host's alive virtual nodes.
+func (h *Host) Virtuals() []*core.Bot {
+	out := make([]*core.Bot, 0, len(h.slots))
+	for _, s := range h.slots {
+		if s.bot.Alive() {
+			out = append(out, s.bot)
+		}
+	}
+	return out
+}
+
+// Start schedules the periodic connectivity test.
+func (h *Host) Start() {
+	if h.running {
+		return
+	}
+	h.running = true
+	h.bn.Sched.Every(h.cfg.ProbeInterval, func() bool {
+		if !h.running {
+			return false
+		}
+		h.probe()
+		return true
+	})
+}
+
+// Stop halts probing.
+func (h *Host) Stop() { h.running = false }
+
+// probe floods a connectivity test from one virtual node and schedules
+// the verdict.
+func (h *Host) probe() {
+	alive := h.aliveSlots()
+	if len(alive) < 2 {
+		return // nothing to compare against
+	}
+	src := alive[h.nextSrc%len(alive)]
+	h.nextSrc++
+	h.probeSeq++
+
+	for _, s := range h.slots {
+		s.received = false
+	}
+	src.received = true // the source trivially has it
+
+	payload := []byte(fmt.Sprintf("probe-%d", h.probeSeq))
+	inner, err := botcrypto.SealSized(h.probeKey, payload, core.DirectedSealSize, h.drbg)
+	if err != nil {
+		return
+	}
+	env := &core.Envelope{Type: core.MsgDirected, TTL: h.cfg.ProbeTTL, Payload: inner}
+	copy(env.MsgID[:], h.drbg.Bytes(16))
+	src.bot.Inject(env)
+	h.stats.ProbesSent++
+
+	h.bn.Sched.After(h.cfg.ProbeTimeout, func() { h.judge(src) })
+}
+
+// onProbe records that a virtual node saw the current probe.
+func (h *Host) onProbe(slot *virtualSlot, _ []byte) {
+	slot.received = true
+}
+
+// judge inspects probe receipt and replaces soaped virtual nodes
+// (Section VII-B: discard, re-create, re-bootstrap from connected
+// siblings' peers).
+func (h *Host) judge(src *virtualSlot) {
+	now := h.bn.Net.Now()
+	alive := h.aliveSlots()
+	othersReached := 0
+	for _, s := range alive {
+		if s != src && s.received {
+			othersReached++
+		}
+	}
+	if othersReached == 0 {
+		// Nobody heard the source: the source itself is the suspect.
+		if now.Sub(src.born) > h.cfg.Grace {
+			h.replace(src)
+		}
+		return
+	}
+	for _, s := range alive {
+		if s.received || now.Sub(s.born) <= h.cfg.Grace {
+			continue
+		}
+		h.replace(s)
+	}
+}
+
+// replace discards a soaped virtual node and grows a fresh one from the
+// connected siblings' peer lists.
+func (h *Host) replace(victim *virtualSlot) {
+	h.stats.SoapedDetected++
+	victim.bot.Takedown()
+
+	own := map[string]struct{}{}
+	for _, s := range h.slots {
+		if s.bot.Alive() {
+			own[s.bot.Onion()] = struct{}{}
+		}
+	}
+	var bootstrap []string
+	seen := map[string]struct{}{}
+	for _, s := range h.aliveSlots() {
+		if !s.received {
+			continue // only trust connected siblings
+		}
+		for _, p := range s.bot.PeerOnions() {
+			if _, mine := own[p]; mine {
+				continue
+			}
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			bootstrap = append(bootstrap, p)
+		}
+	}
+	if err := h.addVirtual(bootstrap); err == nil {
+		h.stats.VirtualsReplaced++
+	}
+}
+
+func (h *Host) aliveSlots() []*virtualSlot {
+	out := make([]*virtualSlot, 0, len(h.slots))
+	for _, s := range h.slots {
+		if s.bot.Alive() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FullyContained reports whether every alive virtual node of the host
+// is surrounded by non-bot peers according to isBenign (ground truth
+// for experiments). A host with zero alive virtuals counts as
+// contained.
+func (h *Host) FullyContained(isBenign func(onion string) bool) bool {
+	alive := h.Virtuals()
+	if len(alive) == 0 {
+		return true
+	}
+	for _, b := range alive {
+		peers := b.PeerOnions()
+		if len(peers) == 0 {
+			continue // isolated counts toward containment
+		}
+		for _, p := range peers {
+			if isBenign(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Fleet is a set of SuperOnion hosts forming one botnet (Figure 8).
+type Fleet struct {
+	Hosts []*Host
+}
+
+// BuildFleet constructs n hosts of m virtual nodes with i peers each,
+// wiring virtual node v of host k to virtual nodes of the previous i
+// hosts on staggered slots — the Figure 8 topology generalized. The
+// stagger (slot v+d-1 of host k-d) interleaves the per-slot rings into
+// one connected overlay.
+func BuildFleet(bn *core.BotNet, n int, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{}
+	for k := 0; k < n; k++ {
+		k := k
+		host, err := NewHost(bn, cfg, fmt.Sprintf("host-%d", k), func(slot int) []string {
+			var cands []string
+			for d := 1; d <= cfg.I && d <= k; d++ {
+				prev := f.Hosts[k-d]
+				vs := prev.Virtuals()
+				if len(vs) == 0 {
+					continue
+				}
+				cands = append(cands, vs[(slot+d-1)%len(vs)].Onion())
+			}
+			return cands
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Hosts = append(f.Hosts, host)
+		bn.Run(2 * time.Second) // settle handshakes
+	}
+	for _, h := range f.Hosts {
+		h.Start()
+	}
+	return f, nil
+}
+
+// VirtualCount reports alive virtual nodes across the fleet.
+func (f *Fleet) VirtualCount() int {
+	n := 0
+	for _, h := range f.Hosts {
+		n += len(h.Virtuals())
+	}
+	return n
+}
+
+// ContainedHosts counts fully contained hosts under ground truth.
+func (f *Fleet) ContainedHosts(isBenign func(onion string) bool) int {
+	n := 0
+	for _, h := range f.Hosts {
+		if h.FullyContained(isBenign) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package superonion
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/core"
+	"onionbots/internal/graph"
+	"onionbots/internal/soap"
+)
+
+func buildFleet(t *testing.T, seed uint64, n int, cfg Config) (*core.BotNet, *Fleet) {
+	t.Helper()
+	bn, err := core.NewBotNet(seed, 15, core.BotConfig{DMin: 2, DMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildFleet(bn, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(6 * time.Minute) // settle + NoN gossip
+	return bn, f
+}
+
+func TestFigure8Construction(t *testing.T) {
+	// The paper's example: n=5 hosts, m=3 virtual nodes, i=2 peers.
+	bn, f := buildFleet(t, 60, 5, Config{M: 3, I: 2})
+	if got := f.VirtualCount(); got != 15 {
+		t.Fatalf("virtual nodes = %d, want n*m = 15", got)
+	}
+	// Every virtual node should have roughly i peers (ring wiring gives
+	// i except at construction edges, and DMin floor tops it up).
+	for hi, h := range f.Hosts {
+		for _, v := range h.Virtuals() {
+			if d := v.Degree(); d == 0 {
+				t.Fatalf("host %d virtual %s is isolated", hi, v.Onion())
+			}
+		}
+	}
+	// The overlay of all virtual nodes must be connected.
+	g := bn.OverlayGraph()
+	if n := graph.NumComponents(g); n != 1 {
+		t.Fatalf("fleet overlay has %d components", n)
+	}
+}
+
+func TestProbesFlowWhenHealthy(t *testing.T) {
+	bn, f := buildFleet(t, 61, 4, Config{M: 3, I: 2, ProbeInterval: 5 * time.Minute})
+	bn.Run(30 * time.Minute)
+	for hi, h := range f.Hosts {
+		st := h.Stats()
+		if st.ProbesSent == 0 {
+			t.Fatalf("host %d never probed", hi)
+		}
+		if st.SoapedDetected != 0 {
+			t.Fatalf("host %d false-positive soap detections: %d", hi, st.SoapedDetected)
+		}
+	}
+}
+
+func TestHostDetectsAndReplacesSoapedVirtual(t *testing.T) {
+	bn, f := buildFleet(t, 62, 4, Config{M: 3, I: 2, ProbeInterval: 5 * time.Minute})
+
+	// Soap exactly one virtual node of host 0 by hand: surround it with
+	// an attacker's clones.
+	victim := f.Hosts[0].Virtuals()[0]
+	a := soap.NewAttacker(bn.Net, bn.Master.NetKey(), soap.Config{RoundInterval: 15 * time.Second})
+	a.Start(victim.Onion())
+	// Give the attacker time to contain the single target; it will
+	// discover others but we stop it before the campaign spreads far.
+	bn.Run(20 * time.Minute)
+	a.Stop()
+
+	bn.Run(40 * time.Minute) // several probe cycles
+	st := f.Hosts[0].Stats()
+	if st.SoapedDetected == 0 {
+		t.Fatalf("host never detected the soaped virtual node (victim degree=%d, clones=%d)",
+			victim.Degree(), a.Stats().ClonesCreated)
+	}
+	if st.VirtualsReplaced == 0 {
+		t.Fatal("host detected soaping but never replaced the virtual node")
+	}
+	if got := len(f.Hosts[0].Virtuals()); got < 3 {
+		t.Fatalf("host down to %d virtual nodes, want 3 maintained", got)
+	}
+}
+
+func TestFleetResistsFullSoapCampaign(t *testing.T) {
+	// The paper's headline Section VII-B claim: the physical host is
+	// immune as long as one of its m virtual nodes is not soaped —
+	// probe detection plus replacement (re-bootstrapped through the
+	// C&C's registered-bots hotlist, which clones cannot join) keeps
+	// pulling hosts back out of containment. The race is parameterized
+	// by probe frequency versus attacker wave rate; EXPERIMENTS.md
+	// documents the collapse when the attacker outpaces detection.
+	bn, err := core.NewBotNet(63, 15, core.BotConfig{DMin: 2, DMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Master.HotlistSize = 3
+	f, err := BuildFleet(bn, 4, Config{M: 3, I: 2, ProbeInterval: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(6 * time.Minute)
+	entry := f.Hosts[0].Virtuals()[0]
+	a := soap.NewAttacker(bn.Net, bn.Master.NetKey(),
+		soap.Config{RoundInterval: 5 * time.Minute})
+	a.Start(entry.Onion())
+
+	isBenign := func(onion string) bool { return !a.IsClone(onion) }
+	sumContained, samples := 0, 0
+	for i := 0; i < 12; i++ {
+		bn.Run(15 * time.Minute)
+		sumContained += f.ContainedHosts(isBenign)
+		samples++
+	}
+	avg := float64(sumContained) / float64(samples)
+	if avg > float64(len(f.Hosts))/2 {
+		t.Fatalf("average contained hosts %.2f/%d; fleet lost the race", avg, len(f.Hosts))
+	}
+	replaced := 0
+	for _, h := range f.Hosts {
+		replaced += h.Stats().VirtualsReplaced
+	}
+	if replaced == 0 {
+		t.Fatal("fleet never replaced a virtual node; recovery loop dead")
+	}
+	t.Logf("avg contained %.2f/%d, virtuals replaced %d, clones %d",
+		avg, len(f.Hosts), replaced, a.Stats().ClonesCreated)
+}
+
+func TestBaselineBotsAreContainedWhereFleetIsNot(t *testing.T) {
+	// Comparison experiment: the same SOAP pressure fully contains a
+	// basic (non-SuperOnion) population of the same size.
+	bn, err := core.NewBotNet(63, 15, core.BotConfig{DMin: 2, DMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.Grow(12, nil); err != nil { // same node count as 4 hosts x 3
+		t.Fatal(err)
+	}
+	bn.Run(6 * time.Minute)
+	a := soap.NewAttacker(bn.Net, bn.Master.NetKey(), soap.Config{})
+	a.Start(bn.AliveBots()[0].Onion())
+	bn.Run(3 * time.Hour)
+	if frac := soap.ContainmentFraction(bn, a); frac < 0.9 {
+		t.Fatalf("baseline containment only %.2f; expected near-total", frac)
+	}
+}

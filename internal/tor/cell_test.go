@@ -1,0 +1,88 @@
+package tor
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellRoundTrip(t *testing.T) {
+	c := &Cell{CircID: 0xdeadbeef, Cmd: CmdData, Flags: flagMore, Payload: []byte("hello onion")}
+	wire, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCell(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CircID != c.CircID || got.Cmd != c.Cmd || got.Flags != c.Flags ||
+		!bytes.Equal(got.Payload, c.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, c)
+	}
+}
+
+func TestCellFixedSize(t *testing.T) {
+	small := &Cell{CircID: 1, Cmd: CmdData, Payload: []byte("x")}
+	big := &Cell{CircID: 1, Cmd: CmdData, Payload: bytes.Repeat([]byte("y"), MaxCellPayload)}
+	ws, err := small.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := big.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != CellSize || len(wb) != CellSize {
+		t.Fatal("cells are not fixed size")
+	}
+}
+
+func TestCellRejectsOversizedPayload(t *testing.T) {
+	c := &Cell{Payload: make([]byte, MaxCellPayload+1)}
+	if _, err := c.Encode(); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestDecodeCellRejectsBadLength(t *testing.T) {
+	var wire [CellSize]byte
+	wire[10] = 0xff // declared length 0xff00 > MaxCellPayload
+	wire[11] = 0x00
+	if _, err := DecodeCell(wire); err == nil {
+		t.Fatal("bad declared length accepted")
+	}
+}
+
+func TestCellPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(circ uint64, cmd byte, flags byte, payload []byte) bool {
+		if len(payload) > MaxCellPayload {
+			payload = payload[:MaxCellPayload]
+		}
+		c := &Cell{CircID: circ, Cmd: Command(cmd), Flags: flags, Payload: payload}
+		wire, err := c.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeCell(wire)
+		if err != nil {
+			return false
+		}
+		return got.CircID == c.CircID && got.Cmd == c.Cmd &&
+			got.Flags == c.Flags && bytes.Equal(got.Payload, c.Payload)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	for cmd := CmdEstablishIntro; cmd <= CmdEnd; cmd++ {
+		if s := cmd.String(); s == "" || s[0] == 'C' && len(s) > 8 && s[:8] == "Command(" {
+			t.Errorf("command %d has no name", cmd)
+		}
+	}
+	if Command(99).String() != "Command(99)" {
+		t.Error("unknown command should render numerically")
+	}
+}

@@ -1,0 +1,99 @@
+package tor
+
+import (
+	"sort"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// RelayInfo is one consensus line: a relay fingerprint and its flags.
+type RelayInfo struct {
+	FP    Fingerprint
+	HSDir bool
+}
+
+// Consensus is the hourly snapshot of the relay list, sorted by
+// fingerprint. Clients and services resolve HSDir responsibility against
+// the consensus, never against live relay state, as in Tor.
+type Consensus struct {
+	PublishedAt time.Time
+	Relays      []RelayInfo // sorted by fingerprint
+	hsdirs      []Fingerprint
+	hsdirSet    map[Fingerprint]struct{}
+}
+
+func newConsensus(at time.Time, infos []RelayInfo) *Consensus {
+	sort.Slice(infos, func(i, j int) bool { return infos[i].FP.Less(infos[j].FP) })
+	c := &Consensus{
+		PublishedAt: at,
+		Relays:      infos,
+		hsdirSet:    make(map[Fingerprint]struct{}),
+	}
+	for _, ri := range infos {
+		if ri.HSDir {
+			c.hsdirs = append(c.hsdirs, ri.FP)
+			c.hsdirSet[ri.FP] = struct{}{}
+		}
+	}
+	return c
+}
+
+// NumRelays reports the consensus size.
+func (c *Consensus) NumRelays() int { return len(c.Relays) }
+
+// NumHSDirs reports how many relays currently hold the HSDir flag.
+func (c *Consensus) NumHSDirs() int { return len(c.hsdirs) }
+
+// IsHSDir reports whether fp holds the HSDir flag.
+func (c *Consensus) IsHSDir(fp Fingerprint) bool {
+	_, ok := c.hsdirSet[fp]
+	return ok
+}
+
+// ResponsibleHSDirs returns the HSDirsPerReplica directory fingerprints
+// responsible for a descriptor id: the consecutive HSDirs at and after
+// the id's ring position, wrapping around — Figure 2 of the paper. The
+// result is empty when the consensus has no HSDirs.
+func (c *Consensus) ResponsibleHSDirs(id DescriptorID) []Fingerprint {
+	if len(c.hsdirs) == 0 {
+		return nil
+	}
+	// First HSDir whose fingerprint is >= the descriptor id, wrapping to
+	// index 0 past the end of the ring.
+	start := sort.Search(len(c.hsdirs), func(i int) bool {
+		return !c.hsdirs[i].Less(fingerprintFromDescID(id))
+	})
+	n := HSDirsPerReplica
+	if n > len(c.hsdirs) {
+		n = len(c.hsdirs)
+	}
+	out := make([]Fingerprint, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.hsdirs[(start+i)%len(c.hsdirs)])
+	}
+	return out
+}
+
+// fingerprintFromDescID reinterprets a descriptor id as a ring position.
+func fingerprintFromDescID(id DescriptorID) Fingerprint {
+	return Fingerprint(id)
+}
+
+// PickRelays selects count distinct relays uniformly at random,
+// excluding the given fingerprints. It returns fewer than count if the
+// consensus is too small.
+func (c *Consensus) PickRelays(rng *sim.RNG, count int, exclude map[Fingerprint]struct{}) []Fingerprint {
+	pool := make([]Fingerprint, 0, len(c.Relays))
+	for _, ri := range c.Relays {
+		if _, skip := exclude[ri.FP]; skip {
+			continue
+		}
+		pool = append(pool, ri.FP)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if count < len(pool) {
+		pool = pool[:count]
+	}
+	return pool
+}

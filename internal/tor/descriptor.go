@@ -1,0 +1,152 @@
+package tor
+
+import (
+	"crypto/ed25519"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DescriptorID is the ring position at which a hidden-service descriptor
+// is stored.
+type DescriptorID [20]byte
+
+// Less orders descriptor IDs on the same ring as fingerprints.
+func (d DescriptorID) Less(f Fingerprint) bool {
+	for i := range d {
+		if d[i] != f[i] {
+			return d[i] < f[i]
+		}
+	}
+	return false
+}
+
+// NumReplicas is the number of descriptor replicas Tor distributes; each
+// replica lands on HSDirsPerReplica consecutive HSDirs, so every hidden
+// service has NumReplicas*HSDirsPerReplica responsible directories.
+const (
+	NumReplicas      = 2
+	HSDirsPerReplica = 3
+)
+
+// TimePeriod computes the paper's time-period value:
+//
+//	time-period = (current-time + permanent-id-byte * 86400 / 256) / 86400
+//
+// where permanent-id-byte is the first byte of the service identifier.
+// The per-identity offset staggers descriptor rollover so all services
+// do not change HSDirs at the same instant.
+func TimePeriod(now time.Time, id ServiceID) uint64 {
+	unix := uint64(now.Unix())
+	offset := uint64(id[0]) * 86400 / 256
+	return (unix + offset) / 86400
+}
+
+// ComputeDescriptorID evaluates the paper's formulas:
+//
+//	secret-id-part = H(time-period || descriptor-cookie || replica)
+//	descriptor-id  = H(identifier || secret-id-part)
+//
+// H is SHA-1. cookie may be nil (no client authorization).
+func ComputeDescriptorID(id ServiceID, cookie []byte, replica int, now time.Time) DescriptorID {
+	var tp [8]byte
+	binary.BigEndian.PutUint64(tp[:], TimePeriod(now, id))
+
+	h := sha1.New()
+	h.Write(tp[:])
+	h.Write(cookie)
+	h.Write([]byte{byte(replica)})
+	secret := h.Sum(nil)
+
+	h = sha1.New()
+	h.Write(id[:])
+	h.Write(secret)
+	var out DescriptorID
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// DescriptorIDs returns the descriptor IDs for every replica.
+func DescriptorIDs(id ServiceID, cookie []byte, now time.Time) [NumReplicas]DescriptorID {
+	var out [NumReplicas]DescriptorID
+	for r := 0; r < NumReplicas; r++ {
+		out[r] = ComputeDescriptorID(id, cookie, r, now)
+	}
+	return out
+}
+
+// Descriptor is a published hidden-service descriptor: enough for a
+// client to verify the service identity and reach its introduction
+// points.
+type Descriptor struct {
+	// Pub is the service's public key; clients check that
+	// SHA-1(Pub)[:10] matches the ServiceID they dialed.
+	Pub ed25519.PublicKey
+	// IntroPoints are the fingerprints of the service's current
+	// introduction relays.
+	IntroPoints []Fingerprint
+	// TimePeriod records the period the descriptor was computed for.
+	TimePeriod uint64
+	// Replica is which replica this copy is (0-based).
+	Replica int
+	// PublishedAt timestamps the upload; directories expire stale
+	// descriptors.
+	PublishedAt time.Time
+	// Sig is the service's signature over the canonical encoding.
+	Sig []byte
+}
+
+// ErrBadDescriptor reports a descriptor whose signature or identity
+// binding fails verification.
+var ErrBadDescriptor = errors.New("tor: descriptor verification failed")
+
+// signingBytes is the canonical byte string covered by Sig.
+func (d *Descriptor) signingBytes() []byte {
+	buf := make([]byte, 0, 64+20*len(d.IntroPoints))
+	buf = append(buf, d.Pub...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], d.TimePeriod)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, byte(d.Replica))
+	binary.BigEndian.PutUint64(tmp[:], uint64(d.PublishedAt.Unix()))
+	buf = append(buf, tmp[:]...)
+	for _, ip := range d.IntroPoints {
+		buf = append(buf, ip[:]...)
+	}
+	return buf
+}
+
+// Sign populates Sig using the service's private key.
+func (d *Descriptor) Sign(priv ed25519.PrivateKey) {
+	d.Sig = ed25519.Sign(priv, d.signingBytes())
+}
+
+// Verify checks the signature and, when the caller knows the service it
+// dialed, the identity binding.
+func (d *Descriptor) Verify(want ServiceID) error {
+	if len(d.Pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad public key length %d", ErrBadDescriptor, len(d.Pub))
+	}
+	sum := sha1.Sum(d.Pub)
+	var id ServiceID
+	copy(id[:], sum[:10])
+	if id != want {
+		return fmt.Errorf("%w: identity mismatch (got %s want %s)", ErrBadDescriptor, id, want)
+	}
+	if !ed25519.Verify(d.Pub, d.signingBytes(), d.Sig) {
+		return fmt.Errorf("%w: bad signature", ErrBadDescriptor)
+	}
+	return nil
+}
+
+// clone returns a defensive copy (directories hand descriptors to
+// untrusted callers).
+func (d *Descriptor) clone() *Descriptor {
+	out := *d
+	out.Pub = append(ed25519.PublicKey(nil), d.Pub...)
+	out.IntroPoints = append([]Fingerprint(nil), d.IntroPoints...)
+	out.Sig = append([]byte(nil), d.Sig...)
+	return &out
+}

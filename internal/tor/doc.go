@@ -1,0 +1,23 @@
+// Package tor is an in-process simulator of the Tor network features the
+// OnionBots paper relies on (Section III): onion routers, the hourly
+// consensus, hidden-service directories (HSDir flag after 25 hours of
+// uptime), hidden-service descriptors placed on a fingerprint ring,
+// introduction points, rendezvous points, and circuits carrying
+// fixed-size 512-byte cells under per-hop AES-CTR layered encryption.
+//
+// Nothing in this package touches a real network. The simulator exists
+// so that the protocol-level behaviours the paper analyses — IP/.onion
+// decoupling, address rotation, HSDir positioning attacks (Section
+// VI-A), and SOAP clone hosting (Section VI-B) — exercise real code
+// paths with real cryptography, deterministically, inside one process.
+//
+// Substitution note (see DESIGN.md): hidden-service identities are
+// Ed25519 keys rather than the RSA-1024 keys of 2015-era Tor. The
+// paper's address-rotation scheme requires the bot and the botmaster to
+// derive the same key independently from a shared seed; Ed25519 key
+// derivation is deterministic by construction, while crypto/rsa's
+// generator is deliberately not. Every derived quantity keeps the
+// paper's formulas: the onion address is the base32 encoding of the
+// first 10 bytes of SHA-1 of the public key, and descriptor IDs follow
+// descriptor-id = H(identifier || H(time-period || cookie || replica)).
+package tor

@@ -1,0 +1,104 @@
+package tor
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha1"
+	"encoding/base32"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fingerprint is a relay or service identity digest: SHA-1 of the public
+// key, as in Tor. Fingerprints order the HSDir ring.
+type Fingerprint [20]byte
+
+// FingerprintOf digests an Ed25519 public key.
+func FingerprintOf(pub ed25519.PublicKey) Fingerprint {
+	return Fingerprint(sha1.Sum(pub))
+}
+
+// Less orders fingerprints lexicographically (ring order).
+func (f Fingerprint) Less(other Fingerprint) bool {
+	return bytes.Compare(f[:], other[:]) < 0
+}
+
+// String renders a short hex prefix for logs and errors.
+func (f Fingerprint) String() string {
+	return hex.EncodeToString(f[:4])
+}
+
+// ServiceID is the hidden-service identifier: the first 10 bytes
+// (80 bits) of the SHA-1 digest of the service's public key, exactly as
+// the paper defines it.
+type ServiceID [10]byte
+
+// onionEncoding is unpadded lowercase base32; 10 bytes encode to exactly
+// 16 characters, the classic v2 onion hostname length.
+var onionEncoding = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// String renders the .onion hostname for the identifier.
+func (id ServiceID) String() string {
+	return strings.ToLower(onionEncoding.EncodeToString(id[:])) + ".onion"
+}
+
+// ParseOnion parses a "<16 base32 chars>.onion" hostname back into a
+// ServiceID.
+func ParseOnion(addr string) (ServiceID, error) {
+	var id ServiceID
+	host, ok := strings.CutSuffix(addr, ".onion")
+	if !ok {
+		return id, fmt.Errorf("tor: %q is not a .onion address", addr)
+	}
+	raw, err := onionEncoding.DecodeString(strings.ToUpper(host))
+	if err != nil {
+		return id, fmt.Errorf("tor: bad onion hostname %q: %w", addr, err)
+	}
+	if len(raw) != len(id) {
+		return id, fmt.Errorf("tor: onion hostname %q decodes to %d bytes, want %d", addr, len(raw), len(id))
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// Identity is a hidden-service (or relay) keypair plus its derived
+// names.
+type Identity struct {
+	Priv ed25519.PrivateKey
+	Pub  ed25519.PublicKey
+}
+
+// NewIdentity generates an identity from the given entropy source. A
+// deterministic reader yields a deterministic identity.
+func NewIdentity(random io.Reader) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("tor: generate identity: %w", err)
+	}
+	return &Identity{Priv: priv, Pub: pub}, nil
+}
+
+// IdentityFromSeed derives an identity from a 32-byte seed. This is the
+// primitive behind the paper's address-rotation scheme: bot and
+// botmaster derive the same seed, hence the same identity and the same
+// .onion address.
+func IdentityFromSeed(seed [32]byte) *Identity {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Identity{Priv: priv, Pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// ServiceID returns the 80-bit identifier derived from the public key.
+func (id *Identity) ServiceID() ServiceID {
+	var out ServiceID
+	sum := sha1.Sum(id.Pub)
+	copy(out[:], sum[:10])
+	return out
+}
+
+// Onion returns the .onion hostname.
+func (id *Identity) Onion() string { return id.ServiceID().String() }
+
+// Fingerprint returns the full 20-byte SHA-1 digest of the public key.
+func (id *Identity) Fingerprint() Fingerprint { return FingerprintOf(id.Pub) }

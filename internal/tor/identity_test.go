@@ -1,0 +1,97 @@
+package tor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"onionbots/internal/sim"
+)
+
+func testIdentity(t *testing.T, seedByte byte) *Identity {
+	t.Helper()
+	var seed [32]byte
+	for i := range seed {
+		seed[i] = seedByte
+	}
+	return IdentityFromSeed(seed)
+}
+
+func TestOnionAddressShape(t *testing.T) {
+	id := testIdentity(t, 1)
+	onion := id.Onion()
+	if !strings.HasSuffix(onion, ".onion") {
+		t.Fatalf("onion = %q, want .onion suffix", onion)
+	}
+	host := strings.TrimSuffix(onion, ".onion")
+	if len(host) != 16 {
+		t.Fatalf("onion host %q has length %d, want 16 (80 bits base32)", host, len(host))
+	}
+	if host != strings.ToLower(host) {
+		t.Fatalf("onion host %q is not lowercase", host)
+	}
+}
+
+func TestParseOnionRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw [10]byte) bool {
+		id := ServiceID(raw)
+		parsed, err := ParseOnion(id.String())
+		return err == nil && parsed == id
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseOnionRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"", "example.com", "short.onion",
+		"0123456789abcdef0.onion",                // 17 chars
+		"!!!!!!!!!!!!!!!!.onion",                 // invalid base32
+		"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa.onion", // 32 chars (v3-style, not v2)
+	}
+	for _, s := range bad {
+		if _, err := ParseOnion(s); err == nil {
+			t.Errorf("ParseOnion(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestIdentityDeterministicFromSeed(t *testing.T) {
+	a, b := testIdentity(t, 7), testIdentity(t, 7)
+	if a.Onion() != b.Onion() {
+		t.Fatal("same seed produced different onion addresses")
+	}
+	c := testIdentity(t, 8)
+	if a.Onion() == c.Onion() {
+		t.Fatal("different seeds produced the same onion address")
+	}
+}
+
+func TestNewIdentityFromReader(t *testing.T) {
+	rng := sim.NewRNG(3)
+	id, err := NewIdentity(deterministicReader{rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id.Pub) == 0 || len(id.Priv) == 0 {
+		t.Fatal("empty identity")
+	}
+}
+
+// deterministicReader adapts a sim RNG to io.Reader for key generation
+// in tests.
+type deterministicReader struct{ rng *sim.RNG }
+
+func (r deterministicReader) Read(p []byte) (int, error) {
+	copy(p, r.rng.Bytes(len(p)))
+	return len(p), nil
+}
+
+func TestFingerprintOrdering(t *testing.T) {
+	var lo, hi Fingerprint
+	hi[0] = 1
+	if !lo.Less(hi) || hi.Less(lo) || lo.Less(lo) {
+		t.Fatal("Fingerprint.Less is not a strict order")
+	}
+}

@@ -1,0 +1,325 @@
+package tor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// Config tunes the simulated network. Zero fields take the defaults
+// matching the paper's description of Tor.
+type Config struct {
+	// HSDirUptime is the uptime a relay needs before the next consensus
+	// grants it the HSDir flag. Default 25h (Section III).
+	HSDirUptime time.Duration
+	// ConsensusInterval is how often the authorities publish. Default 1h.
+	ConsensusInterval time.Duration
+	// DescriptorTTL is how long directories serve a stored descriptor.
+	// Default 24h.
+	DescriptorTTL time.Duration
+	// IntroPoints is how many introduction points each hidden service
+	// maintains. Default 3.
+	IntroPoints int
+	// PathLen is the relay count per circuit. Default 3.
+	PathLen int
+	// HopLatency is the virtual per-hop delivery delay applied to DATA
+	// cells end to end. Default 50ms.
+	HopLatency time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HSDirUptime == 0 {
+		c.HSDirUptime = 25 * time.Hour
+	}
+	if c.ConsensusInterval == 0 {
+		c.ConsensusInterval = time.Hour
+	}
+	if c.DescriptorTTL == 0 {
+		c.DescriptorTTL = 24 * time.Hour
+	}
+	if c.IntroPoints == 0 {
+		c.IntroPoints = 3
+	}
+	if c.PathLen == 0 {
+		c.PathLen = 3
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 50 * time.Millisecond
+	}
+	return c
+}
+
+// NetworkStats aggregates network-wide counters.
+type NetworkStats struct {
+	CircuitsBuilt  int
+	CellsSwitched  int
+	ConsensusCount int
+}
+
+// ErrNoConsensus reports an operation that requires a published
+// consensus before one exists.
+var ErrNoConsensus = errors.New("tor: no consensus published yet")
+
+// ErrNotEnoughRelays reports a path request the consensus cannot satisfy.
+var ErrNotEnoughRelays = errors.New("tor: not enough relays")
+
+// Network is the simulated Tor network: relays, consensus, and the
+// virtual clock they share.
+type Network struct {
+	sched     *sim.Scheduler
+	rng       *sim.RNG
+	cfg       Config
+	relays    map[Fingerprint]*Relay
+	order     []Fingerprint // insertion order, for deterministic iteration
+	consensus *Consensus
+	nextCirc  uint64
+	stats     NetworkStats
+	autoCons  bool
+}
+
+// NewNetwork creates an empty network on the given scheduler and RNG.
+func NewNetwork(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
+	return &Network{
+		sched:  sched,
+		rng:    rng,
+		cfg:    cfg.withDefaults(),
+		relays: make(map[Fingerprint]*Relay),
+	}
+}
+
+// Now reports the network's virtual time.
+func (n *Network) Now() time.Time { return n.sched.Now() }
+
+// Scheduler exposes the shared virtual clock.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// RNG exposes the network's random stream (used by proxies for path
+// selection so a single seed drives the whole run).
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// Config returns the effective configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
+
+// Consensus returns the latest published consensus (nil before the
+// first publication).
+func (n *Network) Consensus() *Consensus { return n.consensus }
+
+// AddRelay generates a fresh relay identity and joins it to the network.
+// The relay appears in consensuses published from now on and earns the
+// HSDir flag once its uptime crosses Config.HSDirUptime.
+func (n *Network) AddRelay() (*Relay, error) {
+	var seed [32]byte
+	copy(seed[:], n.rng.Bytes(32))
+	id := IdentityFromSeed(seed)
+	return n.addRelayWithIdentity(id)
+}
+
+// InjectRelayAtFingerprint joins a relay whose fingerprint is exactly
+// fp. This models a Section VI-A adversary that has already spent the
+// brute-force key-search effort to land at a chosen ring position; the
+// 25-hour HSDir-flag delay still applies, which is the timing constraint
+// the paper highlights.
+func (n *Network) InjectRelayAtFingerprint(fp Fingerprint) (*Relay, error) {
+	if _, dup := n.relays[fp]; dup {
+		return nil, fmt.Errorf("tor: fingerprint %s already present", fp)
+	}
+	r := n.newRelay(nil, fp)
+	return r, nil
+}
+
+func (n *Network) addRelayWithIdentity(id *Identity) (*Relay, error) {
+	fp := id.Fingerprint()
+	if _, dup := n.relays[fp]; dup {
+		return nil, fmt.Errorf("tor: fingerprint %s already present", fp)
+	}
+	return n.newRelay(id, fp), nil
+}
+
+func (n *Network) newRelay(id *Identity, fp Fingerprint) *Relay {
+	r := &Relay{
+		id:             id,
+		fp:             fp,
+		net:            n,
+		joined:         n.Now(),
+		circuits:       make(map[uint64]*relayCirc),
+		introByService: make(map[ServiceID]uint64),
+		rendByCookie:   make(map[[cookieSize]byte]uint64),
+		store:          make(map[DescriptorID]*Descriptor),
+	}
+	n.relays[fp] = r
+	n.order = append(n.order, fp)
+	return r
+}
+
+// Relay returns the live relay for a fingerprint, or nil.
+func (n *Network) Relay(fp Fingerprint) *Relay { return n.relays[fp] }
+
+// RemoveRelay kills a relay (operator shutdown, seizure, DoS). Every
+// circuit through it is destroyed in both directions — connections
+// riding those circuits die, and hidden services lose any introduction
+// point hosted there. The relay leaves future consensuses at the next
+// publication.
+func (n *Network) RemoveRelay(fp Fingerprint) {
+	r := n.relays[fp]
+	if r == nil {
+		return
+	}
+	ids := make([]uint64, 0, len(r.circuits))
+	for id := range r.circuits {
+		ids = append(ids, id)
+	}
+	sortUint64(ids)
+	for _, id := range ids {
+		rc, ok := r.circuits[id]
+		if !ok {
+			continue
+		}
+		delete(r.circuits, id)
+		if rc.linked != 0 {
+			if lc, ok := r.circuits[rc.linked]; ok {
+				lc.linked = 0
+				r.destroyBackward(lc, rc.linked)
+				delete(r.circuits, rc.linked)
+			}
+		}
+		if rc.next != nil {
+			end := &Cell{CircID: id, Cmd: CmdEnd}
+			if wire, err := end.Encode(); err == nil {
+				rc.next.teardownForward(id, wire)
+			}
+		}
+		r.destroyBackward(rc, id)
+	}
+	delete(n.relays, fp)
+	for i, o := range n.order {
+		if o == fp {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// destroyBackward walks toward the circuit origin deleting state and
+// finally notifies the origin proxy. Unlike data cells, destruction is
+// a link-level signal (as Tor's DESTROY is) and bypasses onion crypto.
+func (r *Relay) destroyBackward(rc *relayCirc, circID uint64) {
+	prev := rc.prev
+	origin := rc.origin
+	for prev != nil {
+		prc, ok := prev.circuits[circID]
+		if !ok {
+			return
+		}
+		delete(prev.circuits, circID)
+		if prc.introService != (ServiceID{}) {
+			if cur, ok := prev.introByService[prc.introService]; ok && cur == circID {
+				delete(prev.introByService, prc.introService)
+			}
+		}
+		origin = prc.origin
+		prev = prc.prev
+	}
+	if origin != nil {
+		origin.circuitDestroyed(circID)
+	}
+}
+
+func sortUint64(xs []uint64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// NumRelays reports how many relays are joined.
+func (n *Network) NumRelays() int { return len(n.relays) }
+
+// PublishConsensus snapshots the relay list, assigning the HSDir flag to
+// relays with sufficient uptime.
+func (n *Network) PublishConsensus() *Consensus {
+	now := n.Now()
+	infos := make([]RelayInfo, 0, len(n.order))
+	for _, fp := range n.order {
+		r := n.relays[fp]
+		infos = append(infos, RelayInfo{
+			FP:    fp,
+			HSDir: r.Uptime(now) >= n.cfg.HSDirUptime,
+		})
+	}
+	n.consensus = newConsensus(now, infos)
+	n.stats.ConsensusCount++
+	return n.consensus
+}
+
+// StartConsensusSchedule begins hourly consensus publication on the
+// virtual clock. Call once; repeated calls are no-ops.
+func (n *Network) StartConsensusSchedule() {
+	if n.autoCons {
+		return
+	}
+	n.autoCons = true
+	n.sched.Every(n.cfg.ConsensusInterval, func() bool {
+		n.PublishConsensus()
+		return true
+	})
+}
+
+// Bootstrap is the standard test/experiment setup: join numRelays
+// relays, advance virtual time past the HSDir uptime threshold, publish
+// a consensus, and start the hourly schedule.
+func (n *Network) Bootstrap(numRelays int) error {
+	if numRelays < n.cfg.PathLen {
+		return fmt.Errorf("%w: %d < path length %d", ErrNotEnoughRelays, numRelays, n.cfg.PathLen)
+	}
+	for i := 0; i < numRelays; i++ {
+		if _, err := n.AddRelay(); err != nil {
+			return err
+		}
+	}
+	n.sched.RunFor(n.cfg.HSDirUptime + time.Hour)
+	n.PublishConsensus()
+	n.StartConsensusSchedule()
+	return nil
+}
+
+// pickPath selects a circuit path of cfg.PathLen distinct relays ending
+// at terminal (terminal may be zero-valued for "any"), excluding none.
+func (n *Network) pickPath(terminal Fingerprint) ([]*Relay, error) {
+	c := n.consensus
+	if c == nil {
+		return nil, ErrNoConsensus
+	}
+	exclude := map[Fingerprint]struct{}{}
+	var terminalRelay *Relay
+	hops := n.cfg.PathLen
+	if terminal != (Fingerprint{}) {
+		terminalRelay = n.relays[terminal]
+		if terminalRelay == nil {
+			return nil, fmt.Errorf("tor: terminal relay %s not found", terminal)
+		}
+		exclude[terminal] = struct{}{}
+		hops--
+	}
+	fps := c.PickRelays(n.rng, hops, exclude)
+	if len(fps) < hops {
+		return nil, fmt.Errorf("%w: need %d, consensus offers %d", ErrNotEnoughRelays, hops, len(fps))
+	}
+	path := make([]*Relay, 0, n.cfg.PathLen)
+	for _, fp := range fps {
+		r := n.relays[fp]
+		if r == nil {
+			return nil, fmt.Errorf("tor: consensus lists dead relay %s", fp)
+		}
+		path = append(path, r)
+	}
+	if terminalRelay != nil {
+		path = append(path, terminalRelay)
+	}
+	return path, nil
+}

@@ -1,0 +1,679 @@
+package tor
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// Dial and hosting errors.
+var (
+	ErrNoDescriptor  = errors.New("tor: no descriptor available")
+	ErrDialFailed    = errors.New("tor: rendezvous failed")
+	ErrIntroFailed   = errors.New("tor: introduction failed")
+	ErrConnClosed    = errors.New("tor: connection closed")
+	ErrServiceExists = errors.New("tor: service already hosted on this proxy")
+	ErrStopped       = errors.New("tor: hidden service stopped")
+)
+
+// circuitPurpose tags what an origin circuit is for.
+type circuitPurpose int
+
+const (
+	purposeHSIntro circuitPurpose = iota + 1
+	purposeClientIntro
+	purposeClientRend
+	purposeServiceRend
+)
+
+// originCirc is the proxy-side state of a circuit this proxy built.
+type originCirc struct {
+	id      uint64
+	path    []*Relay
+	fwd     []*ctrStream // mirrors of each hop's forward stream
+	bwd     []*ctrStream // mirrors of each hop's backward stream
+	purpose circuitPurpose
+	hs      *HiddenService // for purposeHSIntro
+	conn    *Conn          // for rendezvous purposes
+	ready   bool           // client rend: RENDEZVOUS2 received
+	failed  bool           // END received
+	frag    []byte         // DATA fragment reassembly buffer
+}
+
+// OnionProxy is a participant's onion proxy (OP): it builds circuits,
+// hosts hidden services, and dials .onion addresses. One proxy per
+// simulated host. Like Tor, each proxy pins a small set of entry
+// guards and builds every circuit through one of them.
+type OnionProxy struct {
+	net      *Network
+	circuits map[uint64]*originCirc
+	services map[ServiceID]*HiddenService
+	guards   []Fingerprint
+}
+
+// numGuards is the entry-guard set size, as in Tor's classic default.
+const numGuards = 3
+
+// Guards returns the proxy's current entry guards (selecting them on
+// first use).
+func (p *OnionProxy) Guards() []Fingerprint {
+	p.refreshGuards()
+	return append([]Fingerprint(nil), p.guards...)
+}
+
+// refreshGuards drops dead guards and tops the set back up from the
+// consensus.
+func (p *OnionProxy) refreshGuards() {
+	alive := p.guards[:0]
+	for _, g := range p.guards {
+		if p.net.Relay(g) != nil {
+			alive = append(alive, g)
+		}
+	}
+	p.guards = alive
+	if len(p.guards) >= numGuards {
+		return
+	}
+	c := p.net.Consensus()
+	if c == nil {
+		return
+	}
+	exclude := map[Fingerprint]struct{}{}
+	for _, g := range p.guards {
+		exclude[g] = struct{}{}
+	}
+	for _, fp := range c.PickRelays(p.net.rng, numGuards-len(p.guards), exclude) {
+		p.guards = append(p.guards, fp)
+	}
+}
+
+// pickPath selects a circuit path entering through one of the proxy's
+// guards and ending at terminal (zero-valued terminal means "any").
+func (p *OnionProxy) pickPath(terminal Fingerprint) ([]*Relay, error) {
+	c := p.net.Consensus()
+	if c == nil {
+		return nil, ErrNoConsensus
+	}
+	p.refreshGuards()
+	if len(p.guards) == 0 {
+		return nil, ErrNotEnoughRelays
+	}
+	// A guard that is also the terminal would shorten the path; exclude
+	// it from the entry choice when possible.
+	candidates := make([]Fingerprint, 0, len(p.guards))
+	for _, g := range p.guards {
+		if g != terminal {
+			candidates = append(candidates, g)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: all guards collide with terminal", ErrNotEnoughRelays)
+	}
+	guard := candidates[p.net.rng.Intn(len(candidates))]
+
+	exclude := map[Fingerprint]struct{}{guard: {}}
+	hops := p.net.cfg.PathLen - 1
+	var terminalRelay *Relay
+	if terminal != (Fingerprint{}) {
+		terminalRelay = p.net.Relay(terminal)
+		if terminalRelay == nil {
+			return nil, fmt.Errorf("tor: terminal relay %s not found", terminal)
+		}
+		exclude[terminal] = struct{}{}
+		hops--
+	}
+	middles := c.PickRelays(p.net.rng, hops, exclude)
+	if len(middles) < hops {
+		return nil, fmt.Errorf("%w: need %d middles, consensus offers %d", ErrNotEnoughRelays, hops, len(middles))
+	}
+	path := make([]*Relay, 0, p.net.cfg.PathLen)
+	path = append(path, p.net.Relay(guard))
+	for _, fp := range middles {
+		r := p.net.Relay(fp)
+		if r == nil {
+			return nil, fmt.Errorf("tor: consensus lists dead relay %s", fp)
+		}
+		path = append(path, r)
+	}
+	if terminalRelay != nil {
+		path = append(path, terminalRelay)
+	}
+	if path[0] == nil {
+		return nil, ErrNotEnoughRelays
+	}
+	return path, nil
+}
+
+// NewProxy attaches a fresh onion proxy to the network.
+func NewProxy(n *Network) *OnionProxy {
+	return &OnionProxy{
+		net:      n,
+		circuits: make(map[uint64]*originCirc),
+		services: make(map[ServiceID]*HiddenService),
+	}
+}
+
+// Network returns the proxy's network.
+func (p *OnionProxy) Network() *Network { return p.net }
+
+// buildCircuit extends a circuit along path, installing fresh symmetric
+// keys at each hop (the completed-handshake model).
+func (p *OnionProxy) buildCircuit(path []*Relay, purpose circuitPurpose) *originCirc {
+	p.net.nextCirc++
+	id := p.net.nextCirc
+	oc := &originCirc{id: id, path: path, purpose: purpose}
+	for i, r := range path {
+		keys := hopKeyPair{
+			fwdKey: p.net.rng.Bytes(16),
+			bwdKey: p.net.rng.Bytes(16),
+		}
+		rc := &relayCirc{
+			fwd: newCTRStream(keys.fwdKey),
+			bwd: newCTRStream(keys.bwdKey),
+		}
+		if i == 0 {
+			rc.origin = p
+		} else {
+			rc.prev = path[i-1]
+		}
+		if i+1 < len(path) {
+			rc.next = path[i+1]
+		}
+		r.circuits[id] = rc
+		oc.fwd = append(oc.fwd, newCTRStream(keys.fwdKey))
+		oc.bwd = append(oc.bwd, newCTRStream(keys.bwdKey))
+	}
+	p.circuits[id] = oc
+	p.net.stats.CircuitsBuilt++
+	return oc
+}
+
+// send originates a cell on the circuit, applying all onion layers.
+func (p *OnionProxy) send(oc *originCirc, cmd Command, flags byte, payload []byte) error {
+	cell := &Cell{CircID: oc.id, Cmd: cmd, Flags: flags, Payload: payload}
+	wire, err := cell.Encode()
+	if err != nil {
+		return err
+	}
+	for i := len(oc.fwd) - 1; i >= 0; i-- {
+		oc.fwd[i].xorBody(&wire)
+	}
+	oc.path[0].receiveForward(oc.id, wire)
+	return nil
+}
+
+// deliverBackward receives a backward cell addressed to this origin.
+func (p *OnionProxy) deliverBackward(circID uint64, wire [CellSize]byte) {
+	oc, ok := p.circuits[circID]
+	if !ok {
+		return
+	}
+	for _, s := range oc.bwd {
+		s.xorBody(&wire)
+	}
+	cell, err := DecodeCell(wire)
+	if err != nil {
+		return
+	}
+	switch {
+	case cell.Cmd == CmdIntroduce2 && oc.purpose == purposeHSIntro:
+		if oc.hs != nil {
+			oc.hs.onIntroduce2(cell.Payload)
+		}
+	case cell.Cmd == CmdRendezvous2 && oc.purpose == purposeClientRend:
+		oc.ready = true
+	case cell.Cmd == CmdData:
+		p.onData(oc, cell)
+	case cell.Cmd == CmdEnd:
+		oc.failed = true
+		if oc.conn != nil {
+			oc.conn.markClosed()
+		}
+		delete(p.circuits, circID)
+	}
+}
+
+// onData reassembles message fragments and hands complete messages to
+// the circuit's connection with the end-to-end latency of the two
+// joined circuits.
+func (p *OnionProxy) onData(oc *originCirc, cell *Cell) {
+	oc.frag = append(oc.frag, cell.Payload...)
+	if cell.Flags&flagMore != 0 {
+		return
+	}
+	msg := oc.frag
+	oc.frag = nil
+	conn := oc.conn
+	if conn == nil {
+		return
+	}
+	delay := p.net.cfg.HopLatency * time.Duration(2*p.net.cfg.PathLen)
+	p.net.sched.After(delay, func() { conn.deliver(msg) })
+}
+
+// circuitDestroyed handles a link-level circuit destruction (a relay on
+// the path died).
+func (p *OnionProxy) circuitDestroyed(circID uint64) {
+	oc, ok := p.circuits[circID]
+	if !ok {
+		return
+	}
+	oc.failed = true
+	if oc.conn != nil {
+		oc.conn.markClosed()
+	}
+	delete(p.circuits, circID)
+}
+
+// teardown sends END up the circuit and drops local state.
+func (p *OnionProxy) teardown(oc *originCirc) {
+	if _, live := p.circuits[oc.id]; !live {
+		return
+	}
+	delete(p.circuits, oc.id)
+	end := &Cell{CircID: oc.id, Cmd: CmdEnd}
+	wire, err := end.Encode()
+	if err == nil {
+		oc.path[0].teardownForward(oc.id, wire)
+	}
+}
+
+// Shutdown closes every circuit and stops every service on this proxy —
+// the "host taken down" event.
+func (p *OnionProxy) Shutdown() {
+	for _, hs := range p.services {
+		hs.Stop()
+	}
+	ids := make([]uint64, 0, len(p.circuits))
+	for id := range p.circuits {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if oc, ok := p.circuits[id]; ok {
+			if oc.conn != nil {
+				oc.conn.markClosed()
+			}
+			p.teardown(oc)
+		}
+	}
+}
+
+// Conn is an established end-to-end hidden-service connection. The
+// server side never learns who the client is; the client side knows the
+// onion address it dialed.
+type Conn struct {
+	op     *OnionProxy
+	circ   *originCirc
+	remote string // dialed .onion (client side only)
+	local  string // serving .onion (server side only)
+	queue  [][]byte
+	onMsg  func([]byte)
+	closed bool
+}
+
+// RemoteOnion reports the dialed address ("" on the server side — the
+// mutual-anonymity property the paper builds on).
+func (c *Conn) RemoteOnion() string { return c.remote }
+
+// LocalOnion reports the serving address ("" on the client side).
+func (c *Conn) LocalOnion() string { return c.local }
+
+// Closed reports whether the connection is closed.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Send transmits msg, fragmenting it into fixed-size cells.
+func (c *Conn) Send(msg []byte) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	for off := 0; ; off += MaxCellPayload {
+		end := off + MaxCellPayload
+		var flags byte
+		if end < len(msg) {
+			flags = flagMore
+		} else {
+			end = len(msg)
+		}
+		if err := c.op.send(c.circ, CmdData, flags, msg[off:end]); err != nil {
+			return err
+		}
+		if flags&flagMore == 0 {
+			return nil
+		}
+	}
+}
+
+// Recv pops the next queued message; ok is false when nothing is
+// queued. Connections with a handler installed never queue.
+func (c *Conn) Recv() ([]byte, bool) {
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	msg := c.queue[0]
+	c.queue = c.queue[1:]
+	return msg, true
+}
+
+// SetHandler installs fn as the synchronous delivery callback, first
+// draining any queued messages into it.
+func (c *Conn) SetHandler(fn func([]byte)) {
+	for _, m := range c.queue {
+		fn(m)
+	}
+	c.queue = nil
+	c.onMsg = fn
+}
+
+// Close tears down the connection end to end.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.op.teardown(c.circ)
+}
+
+func (c *Conn) deliver(msg []byte) {
+	if c.closed {
+		return
+	}
+	if c.onMsg != nil {
+		c.onMsg(msg)
+		return
+	}
+	c.queue = append(c.queue, msg)
+}
+
+func (c *Conn) markClosed() { c.closed = true }
+
+// HiddenService is the server side of a hosted .onion service.
+type HiddenService struct {
+	op          *OnionProxy
+	identity    *Identity
+	handler     func(*Conn)
+	cookie      []byte
+	introPoints []Fingerprint
+	introCircs  []uint64
+	stopped     bool
+	lastPublish time.Time
+	lastPeriod  uint64
+}
+
+// Host publishes a hidden service for identity on this proxy. handler
+// is invoked synchronously for each established inbound connection.
+func (p *OnionProxy) Host(identity *Identity, handler func(*Conn)) (*HiddenService, error) {
+	sid := identity.ServiceID()
+	if _, dup := p.services[sid]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrServiceExists, sid)
+	}
+	c := p.net.Consensus()
+	if c == nil {
+		return nil, ErrNoConsensus
+	}
+	hs := &HiddenService{op: p, identity: identity, handler: handler}
+
+	ips := c.PickRelays(p.net.rng, p.net.cfg.IntroPoints, nil)
+	if len(ips) == 0 {
+		return nil, ErrNotEnoughRelays
+	}
+	sig := ed25519.Sign(identity.Priv, introBinding(identity.Pub))
+	payload := append(append([]byte(nil), identity.Pub...), sig...)
+	for _, ip := range ips {
+		path, err := p.pickPath(ip)
+		if err != nil {
+			return nil, fmt.Errorf("tor: intro circuit: %w", err)
+		}
+		oc := p.buildCircuit(path, purposeHSIntro)
+		oc.hs = hs
+		if err := p.send(oc, CmdEstablishIntro, 0, payload); err != nil {
+			return nil, err
+		}
+		hs.introPoints = append(hs.introPoints, ip)
+		hs.introCircs = append(hs.introCircs, oc.id)
+	}
+	if err := hs.publishDescriptors(); err != nil {
+		return nil, err
+	}
+	p.services[sid] = hs
+	p.net.sched.Every(p.net.cfg.ConsensusInterval, func() bool {
+		if hs.stopped {
+			return false
+		}
+		hs.maybeRepublish()
+		return true
+	})
+	return hs, nil
+}
+
+// Onion reports the service hostname.
+func (hs *HiddenService) Onion() string { return hs.identity.Onion() }
+
+// IntroPoints returns the service's current introduction relays.
+func (hs *HiddenService) IntroPoints() []Fingerprint {
+	return append([]Fingerprint(nil), hs.introPoints...)
+}
+
+// Stop withdraws the service: introduction circuits are torn down so
+// new dials fail immediately; established connections survive, as in
+// Tor.
+func (hs *HiddenService) Stop() {
+	if hs.stopped {
+		return
+	}
+	hs.stopped = true
+	for _, id := range hs.introCircs {
+		if oc, ok := hs.op.circuits[id]; ok {
+			hs.op.teardown(oc)
+		}
+	}
+	delete(hs.op.services, hs.identity.ServiceID())
+}
+
+// publishDescriptors computes per-replica descriptor ids and uploads to
+// every responsible HSDir.
+func (hs *HiddenService) publishDescriptors() error {
+	now := hs.op.net.Now()
+	c := hs.op.net.Consensus()
+	if c == nil {
+		return ErrNoConsensus
+	}
+	sid := hs.identity.ServiceID()
+	stored := 0
+	for r := 0; r < NumReplicas; r++ {
+		descID := ComputeDescriptorID(sid, hs.cookie, r, now)
+		d := &Descriptor{
+			Pub:         hs.identity.Pub,
+			IntroPoints: hs.IntroPoints(),
+			TimePeriod:  TimePeriod(now, sid),
+			Replica:     r,
+			PublishedAt: now,
+		}
+		d.Sign(hs.identity.Priv)
+		for _, fp := range c.ResponsibleHSDirs(descID) {
+			relay := hs.op.net.Relay(fp)
+			if relay == nil {
+				continue
+			}
+			if err := relay.StoreDescriptor(descID, d); err == nil {
+				stored++
+			}
+		}
+	}
+	if stored == 0 {
+		return fmt.Errorf("tor: could not store any descriptor for %s", sid)
+	}
+	hs.lastPublish = now
+	hs.lastPeriod = TimePeriod(now, sid)
+	return nil
+}
+
+// maybeRepublish repairs introduction circuits lost to relay churn and
+// refreshes descriptors when the time-period rolled or the previous
+// upload is approaching its TTL.
+func (hs *HiddenService) maybeRepublish() {
+	now := hs.op.net.Now()
+	sid := hs.identity.ServiceID()
+	introChanged := hs.repairIntroCircuits()
+	if introChanged || TimePeriod(now, sid) != hs.lastPeriod ||
+		now.Sub(hs.lastPublish) > hs.op.net.cfg.DescriptorTTL/2 {
+		// Best effort, as in Tor: a failed republish retries next tick.
+		_ = hs.publishDescriptors()
+	}
+}
+
+// repairIntroCircuits replaces introduction circuits that died (the
+// intro relay was removed or the circuit was destroyed), reporting
+// whether the intro-point set changed.
+func (hs *HiddenService) repairIntroCircuits() bool {
+	changed := false
+	exclude := map[Fingerprint]struct{}{}
+	for _, ip := range hs.introPoints {
+		exclude[ip] = struct{}{}
+	}
+	sig := ed25519.Sign(hs.identity.Priv, introBinding(hs.identity.Pub))
+	payload := append(append([]byte(nil), hs.identity.Pub...), sig...)
+	for i := 0; i < len(hs.introCircs); i++ {
+		if _, alive := hs.op.circuits[hs.introCircs[i]]; alive {
+			continue
+		}
+		changed = true
+		c := hs.op.net.Consensus()
+		if c == nil {
+			continue
+		}
+		picked := c.PickRelays(hs.op.net.rng, 1, exclude)
+		if len(picked) == 0 {
+			continue
+		}
+		ip := picked[0]
+		path, err := hs.op.pickPath(ip)
+		if err != nil {
+			continue
+		}
+		oc := hs.op.buildCircuit(path, purposeHSIntro)
+		oc.hs = hs
+		if err := hs.op.send(oc, CmdEstablishIntro, 0, payload); err != nil {
+			continue
+		}
+		hs.introPoints[i] = ip
+		hs.introCircs[i] = oc.id
+		exclude[ip] = struct{}{}
+	}
+	return changed
+}
+
+// onIntroduce2 completes the service side of a rendezvous: build a
+// circuit to the client's rendezvous point and join.
+func (hs *HiddenService) onIntroduce2(p []byte) {
+	if hs.stopped || len(p) != 20+cookieSize {
+		return
+	}
+	var rp Fingerprint
+	copy(rp[:], p[:20])
+	cookie := p[20:]
+	path, err := hs.op.pickPath(rp)
+	if err != nil {
+		return
+	}
+	oc := hs.op.buildCircuit(path, purposeServiceRend)
+	conn := &Conn{op: hs.op, circ: oc, local: hs.Onion()}
+	oc.conn = conn
+	if err := hs.op.send(oc, CmdRendezvous1, 0, cookie); err != nil {
+		return
+	}
+	if oc.failed {
+		return // rendezvous point refused (stale cookie)
+	}
+	if hs.handler != nil {
+		hs.handler(conn)
+	}
+}
+
+// Dial connects to a hidden service by onion address, running the full
+// descriptor-fetch / rendezvous / introduction protocol of Figure 1.
+func (p *OnionProxy) Dial(onion string) (*Conn, error) {
+	sid, err := ParseOnion(onion)
+	if err != nil {
+		return nil, err
+	}
+	c := p.net.Consensus()
+	if c == nil {
+		return nil, ErrNoConsensus
+	}
+	desc, err := p.fetchDescriptor(c, sid)
+	if err != nil {
+		return nil, err
+	}
+
+	// Establish the rendezvous point.
+	cookie := p.net.rng.Bytes(cookieSize)
+	rpPath, err := p.pickPath(Fingerprint{})
+	if err != nil {
+		return nil, err
+	}
+	rendCirc := p.buildCircuit(rpPath, purposeClientRend)
+	conn := &Conn{op: p, circ: rendCirc, remote: onion}
+	rendCirc.conn = conn
+	if err := p.send(rendCirc, CmdEstablishRendezvous, 0, cookie); err != nil {
+		return nil, err
+	}
+	rpFP := rpPath[len(rpPath)-1].Fingerprint()
+
+	// Introduce ourselves via one of the service's intro points.
+	intro := sim.Choice(p.net.rng, desc.IntroPoints)
+	introPath, err := p.pickPath(intro)
+	if err != nil {
+		p.teardown(rendCirc)
+		return nil, err
+	}
+	introCirc := p.buildCircuit(introPath, purposeClientIntro)
+	payload := make([]byte, 0, 10+20+cookieSize)
+	payload = append(payload, sid[:]...)
+	payload = append(payload, rpFP[:]...)
+	payload = append(payload, cookie...)
+	if err := p.send(introCirc, CmdIntroduce1, 0, payload); err != nil {
+		p.teardown(rendCirc)
+		return nil, err
+	}
+	introFailed := introCirc.failed
+	p.teardown(introCirc) // one-shot, as in Tor
+
+	if introFailed {
+		p.teardown(rendCirc)
+		return nil, fmt.Errorf("%w: service %s not introducing", ErrIntroFailed, sid)
+	}
+	if !rendCirc.ready {
+		p.teardown(rendCirc)
+		return nil, fmt.Errorf("%w: no RENDEZVOUS2 for %s", ErrDialFailed, sid)
+	}
+	return conn, nil
+}
+
+// fetchDescriptor tries every replica and every responsible HSDir.
+func (p *OnionProxy) fetchDescriptor(c *Consensus, sid ServiceID) (*Descriptor, error) {
+	now := p.net.Now()
+	for r := 0; r < NumReplicas; r++ {
+		descID := ComputeDescriptorID(sid, nil, r, now)
+		for _, fp := range c.ResponsibleHSDirs(descID) {
+			relay := p.net.Relay(fp)
+			if relay == nil {
+				continue
+			}
+			d := relay.FetchDescriptor(descID)
+			if d == nil {
+				continue
+			}
+			if err := d.Verify(sid); err != nil {
+				continue
+			}
+			if len(d.IntroPoints) == 0 {
+				continue
+			}
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoDescriptor, sid)
+}

@@ -1,0 +1,303 @@
+package tor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHiddenServiceEndToEnd(t *testing.T) {
+	n := newTestNetwork(t, 10, 15)
+
+	server := NewProxy(n)
+	var serverConn *Conn
+	id := testIdentity(t, 1)
+	hs, err := server.Host(id, func(c *Conn) { serverConn = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewProxy(n)
+	conn, err := client.Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serverConn == nil {
+		t.Fatal("service handler never invoked")
+	}
+
+	// Mutual anonymity: the server must not learn anything about the
+	// client; the client knows only the onion address it dialed.
+	if serverConn.RemoteOnion() != "" {
+		t.Fatalf("server learned client identity %q", serverConn.RemoteOnion())
+	}
+	if conn.RemoteOnion() != hs.Onion() {
+		t.Fatalf("client remote = %q, want %q", conn.RemoteOnion(), hs.Onion())
+	}
+	if serverConn.LocalOnion() != hs.Onion() {
+		t.Fatalf("server local = %q, want %q", serverConn.LocalOnion(), hs.Onion())
+	}
+
+	// Client -> server.
+	if err := conn.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().RunFor(time.Second)
+	got, ok := serverConn.Recv()
+	if !ok || !bytes.Equal(got, []byte("ping")) {
+		t.Fatalf("server received %q ok=%v, want ping", got, ok)
+	}
+
+	// Server -> client.
+	if err := serverConn.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().RunFor(time.Second)
+	got, ok = conn.Recv()
+	if !ok || !bytes.Equal(got, []byte("pong")) {
+		t.Fatalf("client received %q ok=%v, want pong", got, ok)
+	}
+}
+
+func TestLargeMessageFragmentationAcrossCells(t *testing.T) {
+	n := newTestNetwork(t, 11, 15)
+	server := NewProxy(n)
+	var serverConn *Conn
+	hs, err := server.Host(testIdentity(t, 2), func(c *Conn) { serverConn = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	conn, err := client.Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msg := make([]byte, 4*MaxCellPayload+123) // forces 5 fragments
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	if err := conn.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().RunFor(time.Second)
+	got, ok := serverConn.Recv()
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatalf("fragmented message corrupted (got %d bytes, ok=%v)", len(got), ok)
+	}
+}
+
+func TestMessageDeliveryUsesHopLatency(t *testing.T) {
+	n := newTestNetwork(t, 12, 15)
+	server := NewProxy(n)
+	var serverConn *Conn
+	hs, err := server.Host(testIdentity(t, 3), func(c *Conn) { serverConn = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("timed")); err != nil {
+		t.Fatal(err)
+	}
+	// 6 hops at 50ms each = 300ms end to end; at 200ms nothing yet.
+	n.Scheduler().RunFor(200 * time.Millisecond)
+	if _, ok := serverConn.Recv(); ok {
+		t.Fatal("message arrived before the end-to-end latency elapsed")
+	}
+	n.Scheduler().RunFor(200 * time.Millisecond)
+	if _, ok := serverConn.Recv(); !ok {
+		t.Fatal("message never arrived")
+	}
+}
+
+func TestConnHandlerDrainsQueue(t *testing.T) {
+	n := newTestNetwork(t, 13, 15)
+	server := NewProxy(n)
+	var serverConn *Conn
+	hs, err := server.Host(testIdentity(t, 4), func(c *Conn) { serverConn = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		if err := conn.Send([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Scheduler().RunFor(time.Second)
+	var got []string
+	serverConn.SetHandler(func(m []byte) { got = append(got, string(m)) })
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("handler drained %v, want [a b c] in order", got)
+	}
+	// Subsequent messages go straight to the handler.
+	if err := conn.Send([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().RunFor(time.Second)
+	if len(got) != 4 || got[3] != "d" {
+		t.Fatalf("handler missed live message: %v", got)
+	}
+}
+
+func TestDialUnknownServiceFails(t *testing.T) {
+	n := newTestNetwork(t, 14, 15)
+	client := NewProxy(n)
+	_, err := client.Dial(testIdentity(t, 99).Onion())
+	if !errors.Is(err, ErrNoDescriptor) {
+		t.Fatalf("dial unknown service error = %v, want ErrNoDescriptor", err)
+	}
+}
+
+func TestDialStoppedServiceFails(t *testing.T) {
+	n := newTestNetwork(t, 15, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 5), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs.Stop()
+	// The descriptor may still be cached on HSDirs, but the intro
+	// points no longer recognize the service.
+	_, err = NewProxy(n).Dial(hs.Onion())
+	if err == nil {
+		t.Fatal("dial of stopped service succeeded")
+	}
+	if !errors.Is(err, ErrIntroFailed) && !errors.Is(err, ErrNoDescriptor) {
+		t.Fatalf("error = %v, want intro failure or missing descriptor", err)
+	}
+}
+
+func TestConnCloseTearsDownBothSides(t *testing.T) {
+	n := newTestNetwork(t, 16, 15)
+	server := NewProxy(n)
+	var serverConn *Conn
+	hs, err := server.Host(testIdentity(t, 6), func(c *Conn) { serverConn = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if !conn.Closed() {
+		t.Fatal("client conn not closed")
+	}
+	if !serverConn.Closed() {
+		t.Fatal("server conn not closed after peer Close")
+	}
+	if err := conn.Send([]byte("x")); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("send on closed conn error = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestManyServicesOnOneProxy(t *testing.T) {
+	// SOAP hosts many clone services on one machine; the proxy must
+	// support that (IP/.onion decoupling).
+	n := newTestNetwork(t, 17, 15)
+	host := NewProxy(n)
+	var onions []string
+	for i := byte(0); i < 10; i++ {
+		hs, err := host.Host(testIdentity(t, 20+i), func(*Conn) {})
+		if err != nil {
+			t.Fatalf("service %d: %v", i, err)
+		}
+		onions = append(onions, hs.Onion())
+	}
+	client := NewProxy(n)
+	for _, onion := range onions {
+		if _, err := client.Dial(onion); err != nil {
+			t.Fatalf("dial %s: %v", onion, err)
+		}
+	}
+}
+
+func TestDuplicateServiceRejected(t *testing.T) {
+	n := newTestNetwork(t, 18, 15)
+	host := NewProxy(n)
+	id := testIdentity(t, 7)
+	if _, err := host.Host(id, func(*Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.Host(id, func(*Conn) {}); !errors.Is(err, ErrServiceExists) {
+		t.Fatalf("duplicate host error = %v, want ErrServiceExists", err)
+	}
+}
+
+func TestRelaysObserveOnlyEncryptedCells(t *testing.T) {
+	n := newTestNetwork(t, 19, 15)
+	server := NewProxy(n)
+	var serverConn *Conn
+	hs, err := server.Host(testIdentity(t, 8), func(c *Conn) { serverConn = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("secret payload")); err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().RunFor(time.Second)
+	if _, ok := serverConn.Recv(); !ok {
+		t.Fatal("message lost")
+	}
+	// Every relay moved cells, and the network counted the switching
+	// work; this is what a traffic observer sees — volume, not content.
+	total := 0
+	for _, ri := range n.Consensus().Relays {
+		total += n.Relay(ri.FP).Stats().CellsRelayed
+	}
+	if total == 0 {
+		t.Fatal("no cells were relayed; traffic bypassed the network")
+	}
+}
+
+func TestShutdownClosesEverything(t *testing.T) {
+	n := newTestNetwork(t, 20, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 9), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	conn, err := client.Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Shutdown()
+	// The established conn dies and new dials fail.
+	if err := conn.Send([]byte("x")); err == nil {
+		n.Scheduler().RunFor(time.Second)
+	}
+	if _, err := NewProxy(n).Dial(hs.Onion()); err == nil {
+		t.Fatal("dial succeeded after host shutdown")
+	}
+}
+
+func TestDescriptorRepublishAcrossPeriodRoll(t *testing.T) {
+	n := newTestNetwork(t, 21, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 10), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run two full virtual days: descriptor ids roll, the service must
+	// keep republishing to the new responsible HSDirs, and dials must
+	// keep working.
+	for day := 0; day < 2; day++ {
+		n.Scheduler().RunFor(24 * time.Hour)
+		if _, err := NewProxy(n).Dial(hs.Onion()); err != nil {
+			t.Fatalf("day %d: dial failed after period roll: %v", day+1, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package tor
+
+import (
+	"testing"
+)
+
+// TestRelayRoleAccounting verifies that the per-relay counters — the
+// only view a network observer gets — attribute work to the right
+// roles during a full rendezvous.
+func TestRelayRoleAccounting(t *testing.T) {
+	n := newTestNetwork(t, 98, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 60), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitsBefore := n.Stats().CircuitsBuilt
+
+	client := NewProxy(n)
+	conn, err := client.Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A dial builds at least 3 circuits: rendezvous, client intro, and
+	// the service's circuit to the RP.
+	if built := n.Stats().CircuitsBuilt - circuitsBefore; built < 3 {
+		t.Fatalf("dial built %d circuits, want >= 3", built)
+	}
+
+	var introForwards, rendJoins, served int
+	for _, ri := range n.Consensus().Relays {
+		st := n.Relay(ri.FP).Stats()
+		introForwards += st.IntrosForwarded
+		rendJoins += st.RendezvousJoins
+		served += st.DescriptorsServed
+	}
+	if introForwards != 1 {
+		t.Fatalf("intro forwards = %d, want 1", introForwards)
+	}
+	if rendJoins != 1 {
+		t.Fatalf("rendezvous joins = %d, want 1", rendJoins)
+	}
+	if served < 1 {
+		t.Fatal("no HSDir served the descriptor")
+	}
+	// Descriptor uploads: 2 replicas x up-to-3 HSDirs each.
+	stored := 0
+	for _, ri := range n.Consensus().Relays {
+		stored += n.Relay(ri.FP).Stats().DescriptorsStored
+	}
+	if stored < NumReplicas {
+		t.Fatalf("descriptors stored = %d, want >= %d", stored, NumReplicas)
+	}
+}

@@ -1,0 +1,41 @@
+package tor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+)
+
+// ctrStream is a persistent AES-128-CTR keystream for one direction of
+// one circuit hop, mirroring Tor's running-stream relay crypto. The
+// origin proxy and the relay hold synchronized copies; every cell that
+// traverses the hop advances both.
+type ctrStream struct {
+	s cipher.Stream
+}
+
+// newCTRStream builds a stream from a 16-byte key. The IV is zero; keys
+// are fresh per circuit hop and direction, so the (key, IV) pair never
+// repeats.
+func newCTRStream(key []byte) *ctrStream {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		// Key material is produced internally with the correct length; a
+		// failure here is programmer error, not input error.
+		panic("tor: bad AES key: " + err.Error())
+	}
+	iv := make([]byte, aes.BlockSize)
+	return &ctrStream{s: cipher.NewCTR(block, iv)}
+}
+
+// xorBody applies the keystream to the onion-encrypted portion of a wire
+// cell: everything after the cleartext circuit id.
+func (c *ctrStream) xorBody(wire *[CellSize]byte) {
+	c.s.XORKeyStream(wire[8:], wire[8:])
+}
+
+// hopKeyPair is the symmetric key material "negotiated" for one hop.
+// The simulator models the completed Diffie-Hellman handshake by
+// installing the same fresh keys at both endpoints.
+type hopKeyPair struct {
+	fwdKey, bwdKey []byte
+}
