@@ -7,6 +7,7 @@ package onionbots_test
 import (
 	"testing"
 
+	"onionbots/internal/botcrypto"
 	"onionbots/internal/experiment"
 	"onionbots/internal/sim"
 	"onionbots/internal/tor"
@@ -175,6 +176,58 @@ func BenchmarkVanityOnionSearch(b *testing.B) {
 		copy(seed[:], rng.Bytes(32))
 		id := tor.IdentityFromSeed(seed)
 		_ = id.ServiceID()
+	}
+}
+
+// BenchmarkCellRelayHop measures the data-plane fast path in isolation:
+// one fixed-size message pushed end to end over an established
+// rendezvous connection — an onion-layered send, three forward hops, a
+// rendezvous join, and three backward hops, all through the cached
+// per-hop cipher state and recycled cell buffers.
+func BenchmarkCellRelayHop(b *testing.B) {
+	sched := sim.NewScheduler()
+	n := tor.NewNetwork(sched, sim.NewRNG(2), tor.Config{})
+	if err := n.Bootstrap(20); err != nil {
+		b.Fatal(err)
+	}
+	var seed [32]byte
+	seed[0] = 2
+	server := tor.NewProxy(n)
+	hs, err := server.Host(tor.IdentityFromSeed(seed), func(*tor.Conn) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := tor.NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, tor.MaxCellPayload)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealOpenSession measures a seal/open round trip under a
+// cached botcrypto.SealKey session — the unit cost of every message a
+// bot sends or receives on the overlay.
+func BenchmarkSealOpenSession(b *testing.B) {
+	drbg := botcrypto.NewDRBG([]byte("bench-session"))
+	sk := botcrypto.NewSealKey(drbg.Bytes(32))
+	msg := drbg.Bytes(120)
+	var cell [botcrypto.SealedSize]byte
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sk.SealSizedInto(cell[:], msg, drbg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sk.Open(cell[:]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

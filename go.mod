@@ -1,0 +1,7 @@
+module onionbots
+
+go 1.24
+
+// Table 1 reproduces the weak crypto of historical botnets (RSA-512 in
+// Dirt Jumper-era kits); Go 1.24 refuses such keys unless waived.
+godebug rsa1024min=0

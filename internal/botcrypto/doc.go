@@ -18,4 +18,16 @@
 //
 // The sibling package legacy implements the Table I ciphers and the
 // audits that demonstrate their weaknesses.
+//
+// # Sessions
+//
+// Seal/Open derive their sub-keys from the caller's secret on every
+// call, which is the dominant fixed cost when one key seals millions of
+// messages in a simulation run. SealKey precomputes that session state
+// once — derived encryption and MAC keys, the expanded AES schedule,
+// the HMAC instance — and exposes the same wire format through
+// Seal/SealSized/Open/OpenSized methods plus SealSizedInto for sealing
+// into a caller-provided buffer. The package-level functions remain as
+// thin one-shot wrappers; hot paths (bots, the botmaster, SOAP clones,
+// SuperOnion hosts) hold SealKey sessions for their long-lived keys.
 package botcrypto

@@ -12,30 +12,31 @@ import (
 type DRBG struct {
 	seed    [32]byte
 	counter uint64
-	buf     []byte
+	buf     [32]byte
+	pos     int // consumed bytes of buf
 }
 
 var _ io.Reader = (*DRBG)(nil)
 
 // NewDRBG builds a stream from arbitrary seed material.
 func NewDRBG(seed []byte) *DRBG {
-	return &DRBG{seed: sha256.Sum256(seed)}
+	return &DRBG{seed: sha256.Sum256(seed), pos: sha256.Size}
 }
 
 // Read fills p deterministically. It never fails.
 func (d *DRBG) Read(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
-		if len(d.buf) == 0 {
+		if d.pos == len(d.buf) {
 			var block [40]byte
 			copy(block[:32], d.seed[:])
 			binary.BigEndian.PutUint64(block[32:], d.counter)
 			d.counter++
-			sum := sha256.Sum256(block[:])
-			d.buf = sum[:]
+			d.buf = sha256.Sum256(block[:])
+			d.pos = 0
 		}
-		c := copy(p, d.buf)
-		d.buf = d.buf[c:]
+		c := copy(p, d.buf[d.pos:])
+		d.pos += c
 		p = p[c:]
 	}
 	return n, nil

@@ -1,13 +1,8 @@
 package botcrypto
 
 import (
-	"crypto/aes"
-	"crypto/cipher"
-	"crypto/hmac"
 	"crypto/sha256"
-	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 )
 
@@ -54,39 +49,11 @@ func Seal(key []byte, msg []byte, random io.Reader) ([]byte, error) {
 
 // SealSized is Seal with an explicit total size, for protocols that
 // nest sealed cells (a directed command sealed to its target rides
-// inside a network-sealed envelope and must be smaller).
+// inside a network-sealed envelope and must be smaller). One-shot
+// callers pay the full key derivation per call; hot paths should hold a
+// SealKey instead.
 func SealSized(key, msg []byte, size int, random io.Reader) ([]byte, error) {
-	if size < sealOverhead+1 {
-		return nil, fmt.Errorf("%w: %d", ErrBadSealSize, size)
-	}
-	if len(msg) > MaxPlaintextFor(size) {
-		return nil, fmt.Errorf("%w: %d > %d", ErrPlaintextTooLarge, len(msg), MaxPlaintextFor(size))
-	}
-	encKey, macKey := deriveSealKeys(key)
-
-	out := make([]byte, size)
-	nonce := out[:nonceSize]
-	if _, err := io.ReadFull(random, nonce); err != nil {
-		return nil, fmt.Errorf("botcrypto: nonce: %w", err)
-	}
-
-	inner := make([]byte, size-nonceSize-tagSize)
-	binary.BigEndian.PutUint16(inner[:lenSize], uint16(len(msg)))
-	copy(inner[lenSize:], msg)
-	if _, err := io.ReadFull(random, inner[lenSize+len(msg):]); err != nil {
-		return nil, fmt.Errorf("botcrypto: padding: %w", err)
-	}
-
-	block, err := aes.NewCipher(encKey)
-	if err != nil {
-		return nil, fmt.Errorf("botcrypto: cipher: %w", err)
-	}
-	cipher.NewCTR(block, nonce).XORKeyStream(out[nonceSize:nonceSize+len(inner)], inner)
-
-	mac := hmac.New(sha256.New, macKey)
-	mac.Write(out[:size-tagSize])
-	copy(out[size-tagSize:], mac.Sum(nil))
-	return out, nil
+	return NewSealKey(key).SealSized(msg, size, random)
 }
 
 // Open authenticates and decrypts a standard-size sealed cell.
@@ -96,34 +63,7 @@ func Open(key []byte, sealed []byte) ([]byte, error) {
 
 // OpenSized reverses SealSized.
 func OpenSized(key, sealed []byte, size int) ([]byte, error) {
-	if size < sealOverhead+1 {
-		return nil, fmt.Errorf("%w: %d", ErrBadSealSize, size)
-	}
-	if len(sealed) != size {
-		return nil, fmt.Errorf("%w: size %d, want %d", ErrSealCorrupt, len(sealed), size)
-	}
-	encKey, macKey := deriveSealKeys(key)
-
-	mac := hmac.New(sha256.New, macKey)
-	mac.Write(sealed[:size-tagSize])
-	if !hmac.Equal(mac.Sum(nil), sealed[size-tagSize:]) {
-		return nil, ErrSealCorrupt
-	}
-
-	nonce := sealed[:nonceSize]
-	body := sealed[nonceSize : size-tagSize]
-	inner := make([]byte, len(body))
-	block, err := aes.NewCipher(encKey)
-	if err != nil {
-		return nil, fmt.Errorf("botcrypto: cipher: %w", err)
-	}
-	cipher.NewCTR(block, nonce).XORKeyStream(inner, body)
-
-	n := binary.BigEndian.Uint16(inner[:lenSize])
-	if int(n) > MaxPlaintextFor(size) {
-		return nil, fmt.Errorf("%w: bad inner length %d", ErrSealCorrupt, n)
-	}
-	return append([]byte(nil), inner[lenSize:lenSize+int(n)]...), nil
+	return NewSealKey(key).OpenSized(sealed, size)
 }
 
 // deriveSealKeys splits one secret into independent encryption and MAC

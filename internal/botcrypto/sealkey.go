@@ -1,0 +1,150 @@
+package botcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+)
+
+// SealKey is a precomputed sealing session: the encryption and MAC keys
+// derived from one secret, with the AES key schedule expanded and the
+// HMAC state allocated once. Sealing and opening under a SealKey produce
+// byte-identical wire cells to the package-level Seal/Open but skip the
+// per-call key derivation (two SHA-256 passes), AES key expansion, and
+// HMAC construction — the dominant fixed costs on the simulator's data
+// plane, where every bot reuses the same network key for every message.
+//
+// A SealKey owns internal scratch buffers and is therefore not safe for
+// concurrent use. The simulator is single-threaded per run; callers that
+// share a key across goroutines must use one SealKey per goroutine or
+// fall back to the package-level functions.
+type SealKey struct {
+	block cipher.Block
+	mac   hash.Hash // HMAC-SHA256 under the derived MAC key, Reset per use
+	inner []byte    // plaintext framing scratch, grown to the largest size seen
+	sum   []byte    // MAC output scratch
+}
+
+// NewSealKey derives the session keys for key and precomputes the cipher
+// and MAC state.
+func NewSealKey(key []byte) *SealKey {
+	encKey, macKey := deriveSealKeys(key)
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		// Derived keys are always 32 bytes; failure is programmer error.
+		panic("botcrypto: bad derived key: " + err.Error())
+	}
+	return &SealKey{
+		block: block,
+		mac:   hmac.New(sha256.New, macKey),
+		sum:   make([]byte, 0, tagSize),
+	}
+}
+
+// Seal is the session form of the package-level Seal.
+func (k *SealKey) Seal(msg []byte, random io.Reader) ([]byte, error) {
+	return k.SealSized(msg, SealedSize, random)
+}
+
+// SealSized is the session form of the package-level SealSized.
+func (k *SealKey) SealSized(msg []byte, size int, random io.Reader) ([]byte, error) {
+	out := make([]byte, size)
+	if err := k.SealSizedInto(out, msg, random); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SealSizedInto seals msg into the caller-provided cell out, whose
+// length fixes the sealed size. The only allocation left is whatever the
+// random source performs.
+func (k *SealKey) SealSizedInto(out, msg []byte, random io.Reader) error {
+	size := len(out)
+	if size < sealOverhead+1 {
+		return fmt.Errorf("%w: %d", ErrBadSealSize, size)
+	}
+	if len(msg) > MaxPlaintextFor(size) {
+		return fmt.Errorf("%w: %d > %d", ErrPlaintextTooLarge, len(msg), MaxPlaintextFor(size))
+	}
+	nonce := out[:nonceSize]
+	if _, err := io.ReadFull(random, nonce); err != nil {
+		return fmt.Errorf("botcrypto: nonce: %w", err)
+	}
+
+	inner := k.scratch(size - nonceSize - tagSize)
+	binary.BigEndian.PutUint16(inner[:lenSize], uint16(len(msg)))
+	copy(inner[lenSize:], msg)
+	if _, err := io.ReadFull(random, inner[lenSize+len(msg):]); err != nil {
+		return fmt.Errorf("botcrypto: padding: %w", err)
+	}
+	cipher.NewCTR(k.block, nonce).XORKeyStream(out[nonceSize:nonceSize+len(inner)], inner)
+
+	k.mac.Reset()
+	k.mac.Write(out[:size-tagSize])
+	copy(out[size-tagSize:], k.mac.Sum(k.sum[:0]))
+	return nil
+}
+
+// Open is the session form of the package-level Open.
+func (k *SealKey) Open(sealed []byte) ([]byte, error) {
+	return k.OpenSized(sealed, SealedSize)
+}
+
+// OpenSized is the session form of the package-level OpenSized.
+func (k *SealKey) OpenSized(sealed []byte, size int) ([]byte, error) {
+	inner, err := k.openScratch(sealed, size)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), inner...), nil
+}
+
+// OpenSizedInto authenticates and decrypts sealed, appending the
+// plaintext to dst and returning the extended slice.
+func (k *SealKey) OpenSizedInto(dst, sealed []byte, size int) ([]byte, error) {
+	inner, err := k.openScratch(sealed, size)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, inner...), nil
+}
+
+// openScratch does the work of OpenSized, returning the plaintext inside
+// k's scratch buffer (valid until the next operation on k).
+func (k *SealKey) openScratch(sealed []byte, size int) ([]byte, error) {
+	if size < sealOverhead+1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSealSize, size)
+	}
+	if len(sealed) != size {
+		return nil, fmt.Errorf("%w: size %d, want %d", ErrSealCorrupt, len(sealed), size)
+	}
+	k.mac.Reset()
+	k.mac.Write(sealed[:size-tagSize])
+	if !hmac.Equal(k.mac.Sum(k.sum[:0]), sealed[size-tagSize:]) {
+		return nil, ErrSealCorrupt
+	}
+
+	nonce := sealed[:nonceSize]
+	body := sealed[nonceSize : size-tagSize]
+	inner := k.scratch(len(body))
+	cipher.NewCTR(k.block, nonce).XORKeyStream(inner, body)
+
+	n := binary.BigEndian.Uint16(inner[:lenSize])
+	if int(n) > MaxPlaintextFor(size) {
+		return nil, fmt.Errorf("%w: bad inner length %d", ErrSealCorrupt, n)
+	}
+	return inner[lenSize : lenSize+int(n)], nil
+}
+
+// scratch returns k's reusable buffer resized to n bytes.
+func (k *SealKey) scratch(n int) []byte {
+	if cap(k.inner) < n {
+		k.inner = make([]byte, n)
+	}
+	return k.inner[:n]
+}

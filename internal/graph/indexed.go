@@ -1,5 +1,7 @@
 package graph
 
+import "slices"
+
 // Indexed is an immutable compressed-adjacency snapshot of a Graph with
 // dense ids 0..N-1. Metrics run against snapshots because repeated BFS
 // over map-based adjacency is an order of magnitude slower.
@@ -31,6 +33,10 @@ func (g *Graph) Snapshot() *Indexed {
 			nbr[cursor[i]] = index[v]
 			cursor[i]++
 		}
+		// Map iteration order is random; sort each row so snapshots — and
+		// everything order-sensitive built on them, like the double-sweep
+		// diameter heuristic — are a pure function of the graph.
+		slices.Sort(nbr[off[i]:off[i+1]])
 	}
 	return &Indexed{IDs: ids, off: off, nbr: nbr}
 }

@@ -132,51 +132,16 @@ func (ix *Indexed) Diameter() (diam int, connected bool) {
 	if n == 0 {
 		return 0, true
 	}
+	members := largestComponentMembers(ix)
 	sc := ix.newScratch()
-	// Find the largest component's members first.
-	comp := make([]int32, n)
-	for i := range comp {
-		comp[i] = -1
-	}
-	queue := make([]int32, 0, n)
-	bestComp, bestSize := int32(-1), 0
-	var nextComp int32
-	for s := 0; s < n; s++ {
-		if comp[s] >= 0 {
-			continue
-		}
-		id := nextComp
-		nextComp++
-		size := 0
-		queue = queue[:0]
-		queue = append(queue, int32(s))
-		comp[s] = id
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			size++
-			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
-				if comp[v] < 0 {
-					comp[v] = id
-					queue = append(queue, v)
-				}
-			}
-		}
-		if size > bestSize {
-			bestSize, bestComp = size, id
-		}
-	}
-	connected = nextComp <= 1
 	var max int32
-	for s := 0; s < n; s++ {
-		if comp[s] != bestComp {
-			continue
-		}
-		_, _, ecc := ix.bfs(int32(s), sc)
+	for _, s := range members {
+		_, _, ecc := ix.bfs(s, sc)
 		if ecc > max {
 			max = ecc
 		}
 	}
-	return int(max), connected
+	return int(max), len(members) == n
 }
 
 // DiameterApprox lower-bounds the diameter of the largest component with
@@ -226,6 +191,11 @@ func (ix *Indexed) DiameterApprox(sweeps int, rng *sim.RNG) (diam int, connected
 	return int(best), connected
 }
 
+// largestComponentMembers runs the shared largest-component scan: one
+// BFS sweep labelling every component, returning the members of the
+// biggest. Diameter and DiameterApprox both restrict their eccentricity
+// sweeps to it. On an empty graph it returns {0} for the convenience of
+// sweep callers, which never see that case (they guard n == 0).
 func largestComponentMembers(ix *Indexed) []int32 {
 	n := ix.N()
 	seen := make([]bool, n)

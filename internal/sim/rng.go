@@ -63,12 +63,19 @@ func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
 // must never be used for real key material outside tests.
 func (g *RNG) Bytes(n int) []byte {
 	b := make([]byte, n)
+	g.Fill(b)
+	return b
+}
+
+// Fill overwrites b with pseudorandom bytes, consuming exactly the same
+// stream positions as Bytes(len(b)) — hot paths can reuse a stack buffer
+// without perturbing a seeded run.
+func (g *RNG) Fill(b []byte) {
 	var word [8]byte
-	for i := 0; i < n; i += 8 {
+	for i := 0; i < len(b); i += 8 {
 		binary.LittleEndian.PutUint64(word[:], g.r.Uint64())
 		copy(b[i:], word[:])
 	}
-	return b
 }
 
 // Choice returns a uniform element of xs. It panics on an empty slice,

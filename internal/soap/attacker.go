@@ -86,7 +86,9 @@ type Attacker struct {
 	drbg  *botcrypto.DRBG
 	cfg   Config
 
-	netKey []byte // recovered from the captured bot
+	netKey  []byte // recovered from the captured bot
+	netSeal *botcrypto.SealKey
+	sealBuf [botcrypto.SealedSize]byte
 
 	clones    map[string]*clone // by onion
 	cloneList []string          // creation order, for NoN subsets
@@ -100,14 +102,15 @@ type Attacker struct {
 // recovered by reverse-engineering a captured bot.
 func NewAttacker(net *tor.Network, netKey []byte, cfg Config) *Attacker {
 	return &Attacker{
-		net:    net,
-		proxy:  tor.NewProxy(net),
-		rng:    net.RNG(),
-		drbg:   botcrypto.NewDRBG([]byte("soap-attacker")),
-		cfg:    cfg.withDefaults(),
-		netKey: append([]byte(nil), netKey...),
-		clones: make(map[string]*clone),
-		intel:  make(map[string]*intel),
+		net:     net,
+		proxy:   tor.NewProxy(net),
+		rng:     net.RNG(),
+		drbg:    botcrypto.NewDRBG([]byte("soap-attacker")),
+		cfg:     cfg.withDefaults(),
+		netKey:  append([]byte(nil), netKey...),
+		netSeal: botcrypto.NewSealKey(netKey),
+		clones:  make(map[string]*clone),
+		intel:   make(map[string]*intel),
 	}
 }
 
@@ -372,11 +375,10 @@ func (c *clone) newMsgID() [16]byte {
 }
 
 func (c *clone) send(conn *tor.Conn, env *core.Envelope) error {
-	sealed, err := botcrypto.Seal(c.a.netKey, env.Encode(), c.a.drbg)
-	if err != nil {
+	if err := c.a.netSeal.SealSizedInto(c.a.sealBuf[:], env.Encode(), c.a.drbg); err != nil {
 		return err
 	}
-	return conn.Send(sealed)
+	return conn.Send(c.a.sealBuf[:])
 }
 
 // onInboundConn handles bots dialing the clone (repair attempts pulled
@@ -389,7 +391,7 @@ func (c *clone) onInboundConn(conn *tor.Conn) {
 // accept all peering, answer pings, watch gossip — and silently drop
 // every command (that is the neutralization).
 func (c *clone) onMessage(conn *tor.Conn, dialed string, raw []byte) {
-	plain, err := botcrypto.Open(c.a.netKey, raw)
+	plain, err := c.a.netSeal.Open(raw)
 	if err != nil {
 		return
 	}

@@ -71,12 +71,13 @@ type Host struct {
 	cfg   Config
 	drbg  *botcrypto.DRBG
 
-	probeKey []byte
-	slots    []*virtualSlot
-	probeSeq int
-	nextSrc  int
-	running  bool
-	stats    Stats
+	probeKey  []byte
+	probeSeal *botcrypto.SealKey
+	slots     []*virtualSlot
+	probeSeq  int
+	nextSrc   int
+	running   bool
+	stats     Stats
 }
 
 // NewHost creates a host with M virtual nodes, each rallied with
@@ -91,6 +92,7 @@ func NewHost(bn *core.BotNet, cfg Config, name string,
 		drbg:     botcrypto.NewDRBG([]byte("superonion-host:" + name)),
 		probeKey: botcrypto.NewDRBG([]byte("probe-key:" + name)).Bytes(32),
 	}
+	h.probeSeal = botcrypto.NewSealKey(h.probeKey)
 	for s := 0; s < cfg.M; s++ {
 		if err := h.addVirtual(pick(s)); err != nil {
 			return nil, fmt.Errorf("superonion: host %s slot %d: %w", name, s, err)
@@ -161,7 +163,7 @@ func (h *Host) probe() {
 	src.received = true // the source trivially has it
 
 	payload := []byte(fmt.Sprintf("probe-%d", h.probeSeq))
-	inner, err := botcrypto.SealSized(h.probeKey, payload, core.DirectedSealSize, h.drbg)
+	inner, err := h.probeSeal.SealSized(payload, core.DirectedSealSize, h.drbg)
 	if err != nil {
 		return
 	}

@@ -79,29 +79,52 @@ var ErrCellTooLarge = errors.New("tor: cell payload exceeds MaxCellPayload")
 // padding keeps every cell the same size on the wire.
 func (c *Cell) Encode() ([CellSize]byte, error) {
 	var out [CellSize]byte
-	if len(c.Payload) > MaxCellPayload {
-		return out, fmt.Errorf("%w: %d bytes", ErrCellTooLarge, len(c.Payload))
-	}
-	binary.BigEndian.PutUint64(out[0:8], c.CircID)
-	out[8] = byte(c.Cmd)
-	out[9] = c.Flags
-	binary.BigEndian.PutUint16(out[10:12], uint16(len(c.Payload)))
-	copy(out[cellHeaderSize:], c.Payload)
-	return out, nil
+	err := c.encodeInto(&out)
+	return out, err
 }
 
-// DecodeCell parses a fixed-size wire cell.
+// encodeInto renders the cell into a caller-provided wire buffer,
+// zeroing the padding tail — the allocation-free form the data plane
+// uses with stack scratch buffers.
+func (c *Cell) encodeInto(wire *[CellSize]byte) error {
+	if len(c.Payload) > MaxCellPayload {
+		return fmt.Errorf("%w: %d bytes", ErrCellTooLarge, len(c.Payload))
+	}
+	binary.BigEndian.PutUint64(wire[0:8], c.CircID)
+	wire[8] = byte(c.Cmd)
+	wire[9] = c.Flags
+	binary.BigEndian.PutUint16(wire[10:12], uint16(len(c.Payload)))
+	n := copy(wire[cellHeaderSize:], c.Payload)
+	tail := wire[cellHeaderSize+n:]
+	for i := range tail {
+		tail[i] = 0
+	}
+	return nil
+}
+
+// DecodeCell parses a fixed-size wire cell into a freshly allocated
+// Cell whose payload is independent of raw.
 func DecodeCell(raw [CellSize]byte) (*Cell, error) {
-	length := binary.BigEndian.Uint16(raw[10:12])
-	if int(length) > MaxCellPayload {
-		return nil, fmt.Errorf("tor: cell declares %d payload bytes, max %d", length, MaxCellPayload)
+	c := &Cell{}
+	if err := decodeCellView(c, &raw); err != nil {
+		return nil, err
 	}
-	c := &Cell{
-		CircID: binary.BigEndian.Uint64(raw[0:8]),
-		Cmd:    Command(raw[8]),
-		Flags:  raw[9],
-		Payload: append([]byte(nil),
-			raw[cellHeaderSize:cellHeaderSize+int(length)]...),
-	}
+	c.Payload = append([]byte(nil), c.Payload...)
 	return c, nil
+}
+
+// decodeCellView parses wire into c with c.Payload aliasing wire's
+// storage. The view is only valid while wire is unmodified; the data
+// plane processes cells synchronously and copies any payload bytes it
+// retains, so terminal handling never needs the DecodeCell copy.
+func decodeCellView(c *Cell, wire *[CellSize]byte) error {
+	length := binary.BigEndian.Uint16(wire[10:12])
+	if int(length) > MaxCellPayload {
+		return fmt.Errorf("tor: cell declares %d payload bytes, max %d", length, MaxCellPayload)
+	}
+	c.CircID = binary.BigEndian.Uint64(wire[0:8])
+	c.Cmd = Command(wire[8])
+	c.Flags = wire[9]
+	c.Payload = wire[cellHeaderSize : cellHeaderSize+int(length)]
+	return nil
 }

@@ -1,6 +1,7 @@
 package tor
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"crypto/sha1"
 	"encoding/binary"
@@ -139,6 +140,27 @@ func (d *Descriptor) Verify(want ServiceID) error {
 		return fmt.Errorf("%w: bad signature", ErrBadDescriptor)
 	}
 	return nil
+}
+
+// equal reports field-for-field equality — used by the descriptor-cache
+// coherence probe, where signature equality alone must not be trusted
+// (a tampered descriptor could splice a valid signature onto altered
+// intro points).
+func (d *Descriptor) equal(o *Descriptor) bool {
+	if !bytes.Equal(d.Pub, o.Pub) ||
+		d.TimePeriod != o.TimePeriod ||
+		d.Replica != o.Replica ||
+		!d.PublishedAt.Equal(o.PublishedAt) ||
+		!bytes.Equal(d.Sig, o.Sig) ||
+		len(d.IntroPoints) != len(o.IntroPoints) {
+		return false
+	}
+	for i := range d.IntroPoints {
+		if d.IntroPoints[i] != o.IntroPoints[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // clone returns a defensive copy (directories hand descriptors to

@@ -11,6 +11,36 @@
 // VI-A), and SOAP clone hosting (Section VI-B) — exercise real code
 // paths with real cryptography, deterministically, inside one process.
 //
+// # Data-plane fast path
+//
+// The simulated data plane is built to sustain campaign-scale
+// experiment loads (millions of dials and cells per run):
+//
+//   - Circuit crypto is cached per hop: one AES schedule is expanded
+//     per network and each hop direction is a value-type CTR stream
+//     positioned by a fresh random IV, so building a circuit performs
+//     no key expansion and no heap allocation, and forwarding a cell
+//     performs no key derivation and no cipher construction
+//     (stream.go). Streams that carry a second cell upgrade once to the
+//     stdlib's pipelined CTR implementation.
+//   - Cells flow through recycled fixed-size scratch buffers
+//     (Network.getWire/putWire) and are decoded in place with
+//     payload views, so relaying a cell allocates nothing.
+//   - Each proxy keeps a verified-descriptor cache consulted before
+//     hitting HSDirs. A cached descriptor is reused only when a cheap
+//     coherence probe proves a fresh fetch would return byte-identical
+//     bytes (same time period, a responsible directory still serving
+//     the same signature); entries invalidate on descriptor-id
+//     rollover, republish, directory churn, and dial failure. The
+//     Ed25519 signature is verified once per descriptor, not once per
+//     dial.
+//   - Signature verification of immutable bytes (descriptors, intro
+//     bindings) is memoized network-wide; outcomes are unchanged
+//     because verification is a pure function of its input.
+//
+// All of this is observationally equivalent to the slow path: fixed
+// seeds produce byte-identical experiment outputs.
+//
 // Substitution note (see DESIGN.md): hidden-service identities are
 // Ed25519 keys rather than the RSA-1024 keys of 2015-era Tor. The
 // paper's address-rotation scheme requires the bot and the botmaster to

@@ -37,11 +37,14 @@ type ServiceID [10]byte
 
 // onionEncoding is unpadded lowercase base32; 10 bytes encode to exactly
 // 16 characters, the classic v2 onion hostname length.
-var onionEncoding = base32.StdEncoding.WithPadding(base32.NoPadding)
+var onionEncoding = base32.NewEncoding("abcdefghijklmnopqrstuvwxyz234567").WithPadding(base32.NoPadding)
 
 // String renders the .onion hostname for the identifier.
 func (id ServiceID) String() string {
-	return strings.ToLower(onionEncoding.EncodeToString(id[:])) + ".onion"
+	var buf [22]byte
+	onionEncoding.Encode(buf[:16], id[:])
+	copy(buf[16:], ".onion")
+	return string(buf[:])
 }
 
 // ParseOnion parses a "<16 base32 chars>.onion" hostname back into a
@@ -52,7 +55,7 @@ func ParseOnion(addr string) (ServiceID, error) {
 	if !ok {
 		return id, fmt.Errorf("tor: %q is not a .onion address", addr)
 	}
-	raw, err := onionEncoding.DecodeString(strings.ToUpper(host))
+	raw, err := onionEncoding.DecodeString(strings.ToLower(host))
 	if err != nil {
 		return id, fmt.Errorf("tor: bad onion hostname %q: %w", addr, err)
 	}
@@ -68,6 +71,8 @@ func ParseOnion(addr string) (ServiceID, error) {
 type Identity struct {
 	Priv ed25519.PrivateKey
 	Pub  ed25519.PublicKey
+
+	onion string // lazily cached hostname (Pub is immutable in practice)
 }
 
 // NewIdentity generates an identity from the given entropy source. A
@@ -97,8 +102,13 @@ func (id *Identity) ServiceID() ServiceID {
 	return out
 }
 
-// Onion returns the .onion hostname.
-func (id *Identity) Onion() string { return id.ServiceID().String() }
+// Onion returns the .onion hostname, computing it once.
+func (id *Identity) Onion() string {
+	if id.onion == "" {
+		id.onion = id.ServiceID().String()
+	}
+	return id.onion
+}
 
 // Fingerprint returns the full 20-byte SHA-1 digest of the public key.
 func (id *Identity) Fingerprint() Fingerprint { return FingerprintOf(id.Pub) }

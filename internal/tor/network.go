@@ -1,6 +1,11 @@
 package tor
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -77,16 +82,108 @@ type Network struct {
 	nextCirc  uint64
 	stats     NetworkStats
 	autoCons  bool
+
+	// Ed25519 verification memos. Signature verification is a pure
+	// function of immutable bytes, so once any party has verified a
+	// descriptor or intro binding, re-running the check elsewhere in the
+	// simulation must give the same answer; the memos skip the repeated
+	// ~70µs scalar multiplications without changing a single outcome.
+	// Entries accumulate for the life of the run, bounded by the number
+	// of distinct descriptors published and services hosted.
+	verifiedDescs  map[[sha256.Size]byte]struct{}
+	verifiedIntros map[[ed25519.PublicKeySize + ed25519.SignatureSize]byte]struct{}
+
+	// cellCipher is the shared AES schedule behind every hop's CTR
+	// stream; see stream.go for the keying model.
+	cellCipher cipher.Block
+
+	// ksPage is the shared keystream scratch page behind ctrStream.xorBody.
+	ksPage [CellSize]byte
+
+	// wireFree recycles cell scratch buffers through the synchronous
+	// data plane. Cells are processed depth-first on one goroutine, so a
+	// buffer is always returned after its call tree unwinds; the
+	// freelist's high-water mark is the deepest cell nesting of the run.
+	wireFree []*[CellSize]byte
+}
+
+// getWire takes a cell buffer off the freelist (or allocates one).
+// Callers must putWire it back once the cell's synchronous processing
+// has fully unwound, and must not retain references past that point.
+func (n *Network) getWire() *[CellSize]byte {
+	if len(n.wireFree) == 0 {
+		return new([CellSize]byte)
+	}
+	w := n.wireFree[len(n.wireFree)-1]
+	n.wireFree = n.wireFree[:len(n.wireFree)-1]
+	return w
+}
+
+// putWire returns a cell buffer to the freelist.
+func (n *Network) putWire(w *[CellSize]byte) {
+	n.wireFree = append(n.wireFree, w)
 }
 
 // NewNetwork creates an empty network on the given scheduler and RNG.
 func NewNetwork(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
-	return &Network{
-		sched:  sched,
-		rng:    rng,
-		cfg:    cfg.withDefaults(),
-		relays: make(map[Fingerprint]*Relay),
+	block, err := aes.NewCipher([]byte("onionbots-cells!"))
+	if err != nil {
+		panic("tor: cell cipher: " + err.Error())
 	}
+	return &Network{
+		sched:          sched,
+		rng:            rng,
+		cfg:            cfg.withDefaults(),
+		relays:         make(map[Fingerprint]*Relay),
+		verifiedDescs:  make(map[[sha256.Size]byte]struct{}),
+		verifiedIntros: make(map[[ed25519.PublicKeySize + ed25519.SignatureSize]byte]struct{}),
+		cellCipher:     block,
+	}
+}
+
+// verifyDescriptor is Descriptor.Verify memoized across the network. The
+// digest covers the dialed service id plus every signed byte, so a hit
+// proves this exact (service, descriptor) pair already passed the full
+// check somewhere in the run.
+func (n *Network) verifyDescriptor(sid ServiceID, d *Descriptor) error {
+	signed := d.signingBytes()
+	// Length-frame the variable-size fields: without it, bytes could be
+	// moved across the signingBytes/Sig boundary to collide with an
+	// already-verified descriptor's digest.
+	var frame [8]byte
+	binary.BigEndian.PutUint64(frame[:], uint64(len(signed)))
+	h := sha256.New()
+	h.Write(sid[:])
+	h.Write(frame[:])
+	h.Write(signed)
+	h.Write(d.Sig)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	if _, ok := n.verifiedDescs[key]; ok {
+		return nil
+	}
+	if err := d.Verify(sid); err != nil {
+		return err
+	}
+	n.verifiedDescs[key] = struct{}{}
+	return nil
+}
+
+// verifyIntroBinding memoizes the ESTABLISH_INTRO signature check: a
+// service presents the same (pub, sig) pair to every introduction relay
+// it ever recruits.
+func (n *Network) verifyIntroBinding(pub ed25519.PublicKey, sig []byte) bool {
+	var key [ed25519.PublicKeySize + ed25519.SignatureSize]byte
+	copy(key[:ed25519.PublicKeySize], pub)
+	copy(key[ed25519.PublicKeySize:], sig)
+	if _, ok := n.verifiedIntros[key]; ok {
+		return true
+	}
+	if !ed25519.Verify(pub, introBinding(pub), sig) {
+		return false
+	}
+	n.verifiedIntros[key] = struct{}{}
+	return true
 }
 
 // Now reports the network's virtual time.
@@ -188,10 +285,12 @@ func (n *Network) RemoveRelay(fp Fingerprint) {
 			}
 		}
 		if rc.next != nil {
-			end := &Cell{CircID: id, Cmd: CmdEnd}
-			if wire, err := end.Encode(); err == nil {
+			end := Cell{CircID: id, Cmd: CmdEnd}
+			wire := n.getWire()
+			if err := end.encodeInto(wire); err == nil {
 				rc.next.teardownForward(id, wire)
 			}
+			n.putWire(wire)
 		}
 		r.destroyBackward(rc, id)
 	}

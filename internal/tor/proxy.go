@@ -29,12 +29,16 @@ const (
 	purposeServiceRend
 )
 
+// hopCrypto is the origin's mirror of one hop's stream pair.
+type hopCrypto struct {
+	fwd, bwd ctrStream
+}
+
 // originCirc is the proxy-side state of a circuit this proxy built.
 type originCirc struct {
 	id      uint64
 	path    []*Relay
-	fwd     []*ctrStream // mirrors of each hop's forward stream
-	bwd     []*ctrStream // mirrors of each hop's backward stream
+	hops    []hopCrypto // mirrors of each hop's forward/backward streams
 	purpose circuitPurpose
 	hs      *HiddenService // for purposeHSIntro
 	conn    *Conn          // for rendezvous purposes
@@ -52,6 +56,15 @@ type OnionProxy struct {
 	circuits map[uint64]*originCirc
 	services map[ServiceID]*HiddenService
 	guards   []Fingerprint
+	// descCache holds descriptors this proxy has already fetched and
+	// signature-verified, keyed by service. See fetchDescriptor.
+	descCache map[ServiceID]*descCacheEntry
+}
+
+// descCacheEntry is one verified descriptor retained by a proxy.
+type descCacheEntry struct {
+	desc   *Descriptor
+	period uint64 // TimePeriod the descriptor ids were computed under
 }
 
 // numGuards is the entry-guard set size, as in Tor's classic default.
@@ -150,9 +163,10 @@ func (p *OnionProxy) pickPath(terminal Fingerprint) ([]*Relay, error) {
 // NewProxy attaches a fresh onion proxy to the network.
 func NewProxy(n *Network) *OnionProxy {
 	return &OnionProxy{
-		net:      n,
-		circuits: make(map[uint64]*originCirc),
-		services: make(map[ServiceID]*HiddenService),
+		net:       n,
+		circuits:  make(map[uint64]*originCirc),
+		services:  make(map[ServiceID]*HiddenService),
+		descCache: make(map[ServiceID]*descCacheEntry),
 	}
 }
 
@@ -160,19 +174,22 @@ func NewProxy(n *Network) *OnionProxy {
 func (p *OnionProxy) Network() *Network { return p.net }
 
 // buildCircuit extends a circuit along path, installing fresh symmetric
-// keys at each hop (the completed-handshake model).
+// stream state at each hop (the completed-handshake model): a fresh
+// random IV per hop and direction positions a CTR stream over the
+// network's shared cell cipher, with the relay's copy and the origin's
+// mirror advancing independently. No per-hop key expansion or heap
+// allocation happens here; see stream.go.
 func (p *OnionProxy) buildCircuit(path []*Relay, purpose circuitPurpose) *originCirc {
 	p.net.nextCirc++
 	id := p.net.nextCirc
-	oc := &originCirc{id: id, path: path, purpose: purpose}
+	oc := &originCirc{id: id, path: path, purpose: purpose, hops: make([]hopCrypto, len(path))}
+	var fwdIV, bwdIV [16]byte
 	for i, r := range path {
-		keys := hopKeyPair{
-			fwdKey: p.net.rng.Bytes(16),
-			bwdKey: p.net.rng.Bytes(16),
-		}
+		p.net.rng.Fill(fwdIV[:])
+		p.net.rng.Fill(bwdIV[:])
 		rc := &relayCirc{
-			fwd: newCTRStream(keys.fwdKey),
-			bwd: newCTRStream(keys.bwdKey),
+			fwd: newCTRStream(p.net, &fwdIV),
+			bwd: newCTRStream(p.net, &bwdIV),
 		}
 		if i == 0 {
 			rc.origin = p
@@ -183,39 +200,41 @@ func (p *OnionProxy) buildCircuit(path []*Relay, purpose circuitPurpose) *origin
 			rc.next = path[i+1]
 		}
 		r.circuits[id] = rc
-		oc.fwd = append(oc.fwd, newCTRStream(keys.fwdKey))
-		oc.bwd = append(oc.bwd, newCTRStream(keys.bwdKey))
+		oc.hops[i] = hopCrypto{fwd: newCTRStream(p.net, &fwdIV), bwd: newCTRStream(p.net, &bwdIV)}
 	}
 	p.circuits[id] = oc
 	p.net.stats.CircuitsBuilt++
 	return oc
 }
 
-// send originates a cell on the circuit, applying all onion layers.
+// send originates a cell on the circuit, applying all onion layers into
+// a stack scratch buffer that then flows through the whole path.
 func (p *OnionProxy) send(oc *originCirc, cmd Command, flags byte, payload []byte) error {
-	cell := &Cell{CircID: oc.id, Cmd: cmd, Flags: flags, Payload: payload}
-	wire, err := cell.Encode()
-	if err != nil {
+	cell := Cell{CircID: oc.id, Cmd: cmd, Flags: flags, Payload: payload}
+	wire := p.net.getWire()
+	defer p.net.putWire(wire)
+	if err := cell.encodeInto(wire); err != nil {
 		return err
 	}
-	for i := len(oc.fwd) - 1; i >= 0; i-- {
-		oc.fwd[i].xorBody(&wire)
+	for i := len(oc.hops) - 1; i >= 0; i-- {
+		oc.hops[i].fwd.xorBody(wire)
 	}
 	oc.path[0].receiveForward(oc.id, wire)
 	return nil
 }
 
 // deliverBackward receives a backward cell addressed to this origin.
-func (p *OnionProxy) deliverBackward(circID uint64, wire [CellSize]byte) {
+func (p *OnionProxy) deliverBackward(circID uint64, wire *[CellSize]byte) {
 	oc, ok := p.circuits[circID]
 	if !ok {
 		return
 	}
-	for _, s := range oc.bwd {
-		s.xorBody(&wire)
+	for i := range oc.hops {
+		oc.hops[i].bwd.xorBody(wire)
 	}
-	cell, err := DecodeCell(wire)
-	if err != nil {
+	var cellBuf Cell
+	cell := &cellBuf
+	if err := decodeCellView(cell, wire); err != nil {
 		return
 	}
 	switch {
@@ -274,9 +293,10 @@ func (p *OnionProxy) teardown(oc *originCirc) {
 		return
 	}
 	delete(p.circuits, oc.id)
-	end := &Cell{CircID: oc.id, Cmd: CmdEnd}
-	wire, err := end.Encode()
-	if err == nil {
+	end := Cell{CircID: oc.id, Cmd: CmdEnd}
+	wire := p.net.getWire()
+	defer p.net.putWire(wire)
+	if err := end.encodeInto(wire); err == nil {
 		oc.path[0].teardownForward(oc.id, wire)
 	}
 }
@@ -400,6 +420,11 @@ type HiddenService struct {
 	stopped     bool
 	lastPublish time.Time
 	lastPeriod  uint64
+	// introPayload is the constant ESTABLISH_INTRO cell body
+	// (pub || sig over the intro binding), signed once at Host time;
+	// Ed25519 is deterministic so re-signing per repair tick produced
+	// these exact bytes anyway.
+	introPayload []byte
 }
 
 // Host publishes a hidden service for identity on this proxy. handler
@@ -421,6 +446,7 @@ func (p *OnionProxy) Host(identity *Identity, handler func(*Conn)) (*HiddenServi
 	}
 	sig := ed25519.Sign(identity.Priv, introBinding(identity.Pub))
 	payload := append(append([]byte(nil), identity.Pub...), sig...)
+	hs.introPayload = payload
 	for _, ip := range ips {
 		path, err := p.pickPath(ip)
 		if err != nil {
@@ -533,8 +559,7 @@ func (hs *HiddenService) repairIntroCircuits() bool {
 	for _, ip := range hs.introPoints {
 		exclude[ip] = struct{}{}
 	}
-	sig := ed25519.Sign(hs.identity.Priv, introBinding(hs.identity.Pub))
-	payload := append(append([]byte(nil), hs.identity.Pub...), sig...)
+	payload := hs.introPayload
 	for i := 0; i < len(hs.introCircs); i++ {
 		if _, alive := hs.op.circuits[hs.introCircs[i]]; alive {
 			continue
@@ -643,18 +668,34 @@ func (p *OnionProxy) Dial(onion string) (*Conn, error) {
 
 	if introFailed {
 		p.teardown(rendCirc)
+		p.forgetDescriptor(sid)
 		return nil, fmt.Errorf("%w: service %s not introducing", ErrIntroFailed, sid)
 	}
 	if !rendCirc.ready {
 		p.teardown(rendCirc)
+		p.forgetDescriptor(sid)
 		return nil, fmt.Errorf("%w: no RENDEZVOUS2 for %s", ErrDialFailed, sid)
 	}
 	return conn, nil
 }
 
-// fetchDescriptor tries every replica and every responsible HSDir.
+// fetchDescriptor resolves a service descriptor, consulting the proxy's
+// verified-descriptor cache before hitting HSDirs. The Ed25519 signature
+// check dominated the dial path (~31% of campaign CPU went to
+// re-verifying the same descriptor on every dial), so each descriptor is
+// verified once when first fetched; later dials reuse it after a cheap
+// coherence probe (cachedDescriptorValid) proving a fresh fetch would
+// return byte-identical bytes. Entries invalidate on descriptor-id
+// rollover (TimePeriod change), republish (the stored signature no
+// longer matches), directory churn, and dial failure.
 func (p *OnionProxy) fetchDescriptor(c *Consensus, sid ServiceID) (*Descriptor, error) {
 	now := p.net.Now()
+	if e, ok := p.descCache[sid]; ok {
+		if p.cachedDescriptorValid(c, sid, e, now) {
+			return e.desc, nil
+		}
+		delete(p.descCache, sid)
+	}
 	for r := 0; r < NumReplicas; r++ {
 		descID := ComputeDescriptorID(sid, nil, r, now)
 		for _, fp := range c.ResponsibleHSDirs(descID) {
@@ -666,14 +707,41 @@ func (p *OnionProxy) fetchDescriptor(c *Consensus, sid ServiceID) (*Descriptor, 
 			if d == nil {
 				continue
 			}
-			if err := d.Verify(sid); err != nil {
+			if err := p.net.verifyDescriptor(sid, d); err != nil {
 				continue
 			}
 			if len(d.IntroPoints) == 0 {
 				continue
 			}
+			p.descCache[sid] = &descCacheEntry{desc: d, period: TimePeriod(now, sid)}
 			return d, nil
 		}
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNoDescriptor, sid)
+}
+
+// cachedDescriptorValid reports whether dialing from the cached entry is
+// indistinguishable from a fresh fetch: the descriptor-id ring position
+// still resolves to the same time period and at least one responsible
+// HSDir would still serve the byte-identical descriptor. Because HSDir
+// stores only change when a service republishes — which re-signs with a
+// fresh PublishedAt — signature equality at any responsible directory
+// proves a fresh fetch would return exactly the cached bytes.
+func (p *OnionProxy) cachedDescriptorValid(c *Consensus, sid ServiceID, e *descCacheEntry, now time.Time) bool {
+	if TimePeriod(now, sid) != e.period {
+		return false // descriptor ids rolled over
+	}
+	descID := ComputeDescriptorID(sid, nil, e.desc.Replica, now)
+	for _, fp := range c.ResponsibleHSDirs(descID) {
+		if relay := p.net.Relay(fp); relay != nil && relay.wouldServe(descID, e.desc) {
+			return true
+		}
+	}
+	return false
+}
+
+// forgetDescriptor drops a cached descriptor after a dial failure so the
+// next attempt re-fetches and re-verifies from the HSDirs.
+func (p *OnionProxy) forgetDescriptor(sid ServiceID) {
+	delete(p.descCache, sid)
 }

@@ -54,7 +54,7 @@ const cookieSize = 16
 
 // relayCirc is this relay's per-circuit routing state.
 type relayCirc struct {
-	fwd, bwd *ctrStream
+	fwd, bwd ctrStream
 	prev     *Relay      // nil when the previous hop is the origin proxy
 	origin   *OnionProxy // non-nil only at the first hop
 	next     *Relay      // nil when this relay is the terminal hop
@@ -101,7 +101,7 @@ func (r *Relay) StoreDescriptor(id DescriptorID, d *Descriptor) error {
 		derived := FingerprintOf(d.Pub)
 		copy(sid[:], derived[:10])
 	}
-	if err := d.Verify(sid); err != nil {
+	if err := r.net.verifyDescriptor(sid, d); err != nil {
 		return err
 	}
 	r.store[id] = d.clone()
@@ -127,35 +127,56 @@ func (r *Relay) FetchDescriptor(id DescriptorID) *Descriptor {
 	return d.clone()
 }
 
+// wouldServe reports whether FetchDescriptor(id) would return a
+// descriptor byte-identical to d. This is the coherence probe behind the
+// proxies' verified-descriptor cache: it mirrors FetchDescriptor's
+// malicious/presence/TTL checks but performs no clone and no signature
+// verification, and leaves the serving stats untouched.
+func (r *Relay) wouldServe(id DescriptorID, d *Descriptor) bool {
+	if r.malicious {
+		return false
+	}
+	s, ok := r.store[id]
+	if !ok {
+		return false
+	}
+	if r.net.Now().Sub(s.PublishedAt) > r.net.cfg.DescriptorTTL {
+		return false
+	}
+	return s.equal(d)
+}
+
 // receiveForward processes a forward-direction wire cell: strip this
 // relay's onion layer, then forward or, at the terminal hop, interpret.
-func (r *Relay) receiveForward(circID uint64, wire [CellSize]byte) {
+// The cell is processed synchronously hop to hop, so a single scratch
+// buffer flows through the whole path instead of being copied per hop.
+func (r *Relay) receiveForward(circID uint64, wire *[CellSize]byte) {
 	rc, ok := r.circuits[circID]
 	if !ok {
 		return // circuit torn down; drop silently as Tor does
 	}
-	rc.fwd.xorBody(&wire)
+	rc.fwd.xorBody(wire)
 	r.stats.CellsRelayed++
 	r.net.stats.CellsSwitched++
 	if rc.next != nil {
 		rc.next.receiveForward(circID, wire)
 		return
 	}
-	cell, err := DecodeCell(wire)
-	if err != nil {
+	var cell Cell
+	if err := decodeCellView(&cell, wire); err != nil {
 		return
 	}
-	r.handleTerminal(circID, rc, cell)
+	r.handleTerminal(circID, rc, &cell)
 }
 
 // receiveBackward processes a backward-direction wire cell: add this
 // relay's onion layer and pass toward the origin.
-func (r *Relay) receiveBackward(circID uint64, wire [CellSize]byte) {
+func (r *Relay) receiveBackward(circID uint64, wire *[CellSize]byte) {
 	rc, ok := r.circuits[circID]
 	if !ok {
 		return
 	}
-	rc.bwd.xorBody(&wire)
+	rc.bwd.xorBody(wire)
 	r.stats.CellsRelayed++
 	r.net.stats.CellsSwitched++
 	if rc.prev != nil {
@@ -168,11 +189,14 @@ func (r *Relay) receiveBackward(circID uint64, wire [CellSize]byte) {
 }
 
 // sendBackwardFromTerminal originates a cell at this (terminal) relay
-// and pushes it toward the circuit origin.
-func (r *Relay) sendBackwardFromTerminal(circID uint64, c *Cell) {
-	c.CircID = circID
-	wire, err := c.Encode()
-	if err != nil {
+// and pushes it toward the circuit origin. payload may alias a forward
+// wire buffer: it is copied into the fresh backward buffer before any
+// onion layer touches it.
+func (r *Relay) sendBackwardFromTerminal(circID uint64, cmd Command, flags byte, payload []byte) {
+	cell := Cell{CircID: circID, Cmd: cmd, Flags: flags, Payload: payload}
+	wire := r.net.getWire()
+	defer r.net.putWire(wire)
+	if err := cell.encodeInto(wire); err != nil {
 		return
 	}
 	r.receiveBackward(circID, wire)
@@ -192,8 +216,7 @@ func (r *Relay) handleTerminal(circID uint64, rc *relayCirc, cell *Cell) {
 	case CmdData:
 		if rc.linked != 0 {
 			if lc, ok := r.circuits[rc.linked]; ok && lc != nil {
-				out := &Cell{Cmd: CmdData, Flags: cell.Flags, Payload: cell.Payload}
-				r.sendBackwardFromTerminal(rc.linked, out)
+				r.sendBackwardFromTerminal(rc.linked, CmdData, cell.Flags, cell.Payload)
 			}
 		}
 	case CmdEnd:
@@ -211,7 +234,7 @@ func (r *Relay) handleEstablishIntro(circID uint64, rc *relayCirc, p []byte) {
 	}
 	pub := ed25519.PublicKey(p[:ed25519.PublicKeySize])
 	sig := p[ed25519.PublicKeySize:]
-	if !ed25519.Verify(pub, introBinding(pub), sig) {
+	if !r.net.verifyIntroBinding(pub, sig) {
 		return // refuse to introduce for a key the caller does not hold
 	}
 	var sid ServiceID
@@ -237,12 +260,11 @@ func (r *Relay) handleIntroduce1(clientCirc uint64, p []byte) {
 	introCirc, ok := r.introByService[sid]
 	if !ok {
 		// Service unknown or stopped: report failure to the client.
-		r.sendBackwardFromTerminal(clientCirc, &Cell{Cmd: CmdEnd})
+		r.sendBackwardFromTerminal(clientCirc, CmdEnd, 0, nil)
 		return
 	}
 	r.stats.IntrosForwarded++
-	out := &Cell{Cmd: CmdIntroduce2, Payload: append([]byte(nil), p[10:]...)}
-	r.sendBackwardFromTerminal(introCirc, out)
+	r.sendBackwardFromTerminal(introCirc, CmdIntroduce2, 0, p[10:])
 }
 
 // handleEstablishRendezvous parks a client circuit under its cookie.
@@ -265,19 +287,19 @@ func (r *Relay) handleRendezvous1(serviceCirc uint64, rc *relayCirc, p []byte) {
 	copy(ck[:], p)
 	clientCirc, ok := r.rendByCookie[ck]
 	if !ok {
-		r.sendBackwardFromTerminal(serviceCirc, &Cell{Cmd: CmdEnd})
+		r.sendBackwardFromTerminal(serviceCirc, CmdEnd, 0, nil)
 		return
 	}
 	delete(r.rendByCookie, ck)
 	ccirc, ok := r.circuits[clientCirc]
 	if !ok {
-		r.sendBackwardFromTerminal(serviceCirc, &Cell{Cmd: CmdEnd})
+		r.sendBackwardFromTerminal(serviceCirc, CmdEnd, 0, nil)
 		return
 	}
 	rc.linked = clientCirc
 	ccirc.linked = serviceCirc
 	r.stats.RendezvousJoins++
-	r.sendBackwardFromTerminal(clientCirc, &Cell{Cmd: CmdRendezvous2})
+	r.sendBackwardFromTerminal(clientCirc, CmdRendezvous2, 0, nil)
 }
 
 // teardown removes circuit state at this relay and propagates the END
@@ -298,23 +320,24 @@ func (r *Relay) teardown(circID uint64, fromPrev bool) {
 		rc.linked = 0
 		if lc, ok := r.circuits[linked]; ok {
 			lc.linked = 0
-			r.sendBackwardFromTerminal(linked, &Cell{Cmd: CmdEnd})
+			r.sendBackwardFromTerminal(linked, CmdEnd, 0, nil)
 			delete(r.circuits, linked)
 		}
 	}
 	if fromPrev && rc.next != nil {
-		end := &Cell{CircID: circID, Cmd: CmdEnd}
-		wire, err := end.Encode()
-		if err == nil {
-			// Forward the teardown without onion processing; END is a
-			// control signal and the next hops drop state on sight.
+		// Forward the teardown without onion processing; END is a
+		// control signal and the next hops drop state on sight.
+		end := Cell{CircID: circID, Cmd: CmdEnd}
+		wire := r.net.getWire()
+		defer r.net.putWire(wire)
+		if err := end.encodeInto(wire); err == nil {
 			rc.next.teardownForward(circID, wire)
 		}
 	}
 }
 
 // teardownForward propagates an END toward the terminal hop.
-func (r *Relay) teardownForward(circID uint64, wire [CellSize]byte) {
+func (r *Relay) teardownForward(circID uint64, wire *[CellSize]byte) {
 	rc, ok := r.circuits[circID]
 	if !ok {
 		return
@@ -328,7 +351,7 @@ func (r *Relay) teardownForward(circID uint64, wire [CellSize]byte) {
 	if rc.linked != 0 {
 		if lc, ok := r.circuits[rc.linked]; ok {
 			lc.linked = 0
-			r.sendBackwardFromTerminal(rc.linked, &Cell{Cmd: CmdEnd})
+			r.sendBackwardFromTerminal(rc.linked, CmdEnd, 0, nil)
 			delete(r.circuits, rc.linked)
 		}
 	}

@@ -3,39 +3,122 @@ package tor
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/subtle"
 )
 
-// ctrStream is a persistent AES-128-CTR keystream for one direction of
-// one circuit hop, mirroring Tor's running-stream relay crypto. The
-// origin proxy and the relay hold synchronized copies; every cell that
-// traverses the hop advances both.
+// The simulator models Tor's per-hop relay crypto as a running
+// AES-128-CTR stream per hop and direction, exactly as before, but the
+// cipher state is built for speed: one AES key schedule is expanded per
+// network (the cell cipher), and each hop direction is a value-type CTR
+// stream positioned by a fresh 128-bit random IV drawn from the run's
+// RNG. The (key, IV) pair is unique per hop and direction, so every hop
+// still applies a distinct keystream — what the onion-layering
+// experiments observe — while building a circuit performs zero heap
+// allocations and zero AES key expansions. The secrecy of the hop
+// streams is not load-bearing in the simulation (the completed-handshake
+// model installs identical state at both endpoints by construction).
+//
+// Most streams in a run belong to one-shot handshake circuits and only
+// ever see a single cell; they use an allocation-free block-at-a-time
+// path. A stream that sees a second cell is carrying traffic, so it
+// upgrades itself once to a stdlib CTR stream (one small allocation)
+// whose multi-block assembly pipelines the AES rounds.
+
+// ctrStream is a persistent AES-CTR keystream for one direction of one
+// circuit hop. The origin proxy and the relay hold synchronized copies;
+// every cell that traverses the hop advances both. The zero value is
+// unusable; make one with newCTRStream.
 type ctrStream struct {
-	s cipher.Stream
+	net   *Network            // owner of the shared cell cipher
+	ctr   [aes.BlockSize]byte // next counter block
+	pad   [aes.BlockSize]byte // current keystream block
+	used  int                 // consumed bytes of pad
+	prime bool                // saw a first cell; upgrade on the next
+	fast  cipher.Stream       // non-nil once upgraded
 }
 
-// newCTRStream builds a stream from a 16-byte key. The IV is zero; keys
-// are fresh per circuit hop and direction, so the (key, IV) pair never
-// repeats.
-func newCTRStream(key []byte) *ctrStream {
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		// Key material is produced internally with the correct length; a
-		// failure here is programmer error, not input error.
-		panic("tor: bad AES key: " + err.Error())
-	}
-	iv := make([]byte, aes.BlockSize)
-	return &ctrStream{s: cipher.NewCTR(block, iv)}
+// newCTRStream positions a stream at iv over the network's shared cell
+// cipher. The two synchronized copies of a hop direction are created by
+// calling this twice with the same iv.
+func newCTRStream(n *Network, iv *[aes.BlockSize]byte) ctrStream {
+	return ctrStream{net: n, ctr: *iv, used: aes.BlockSize}
 }
 
 // xorBody applies the keystream to the onion-encrypted portion of a wire
 // cell: everything after the cleartext circuit id.
 func (c *ctrStream) xorBody(wire *[CellSize]byte) {
-	c.s.XORKeyStream(wire[8:], wire[8:])
+	b := wire[8:]
+	if c.fast == nil {
+		if c.prime {
+			c.upgrade()
+		} else {
+			c.prime = true
+			c.xorSlow(b)
+			return
+		}
+	}
+	c.fast.XORKeyStream(b, b)
 }
 
-// hopKeyPair is the symmetric key material "negotiated" for one hop.
-// The simulator models the completed Diffie-Hellman handshake by
-// installing the same fresh keys at both endpoints.
-type hopKeyPair struct {
-	fwdKey, bwdKey []byte
+// xorSlow is the allocation-free block-at-a-time path used for the
+// stream's first cell.
+func (c *ctrStream) xorSlow(b []byte) {
+	// Drain whatever is left of the current keystream block first.
+	if n := min(len(b), aes.BlockSize-c.used); n > 0 {
+		subtle.XORBytes(b[:n], b[:n], c.pad[c.used:c.used+n])
+		c.used += n
+		b = b[n:]
+	}
+	if len(b) == 0 {
+		return
+	}
+	// The keystream page lives on the Network rather than the stack:
+	// Encrypt is an interface call, so a local array would escape to the
+	// heap on every cell. xorSlow is a leaf — nothing re-enters it
+	// mid-fill — and the scheduler is single-threaded, so one shared
+	// page suffices.
+	ks := c.net.ksPage[:]
+	blocks := (len(b) + aes.BlockSize - 1) / aes.BlockSize
+	for i := 0; i < blocks; i++ {
+		c.net.cellCipher.Encrypt(ks[i*aes.BlockSize:(i+1)*aes.BlockSize], c.ctr[:])
+		c.incCtr()
+	}
+	subtle.XORBytes(b, b, ks[:len(b)])
+	// Park the unconsumed tail of the final block for the next cell.
+	copy(c.pad[:], ks[(blocks-1)*aes.BlockSize:blocks*aes.BlockSize])
+	c.used = len(b) - (blocks-1)*aes.BlockSize
+}
+
+// upgrade swaps in a stdlib CTR stream positioned at exactly the current
+// keystream offset: its IV is the counter of the partially consumed
+// block (the counter one before c.ctr when mid-block), and the consumed
+// prefix is discarded by advancing the fresh stream over scratch.
+func (c *ctrStream) upgrade() {
+	iv := c.ctr
+	discard := 0
+	if c.used < aes.BlockSize {
+		// c.ctr already points past the partially consumed pad block.
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			iv[i]--
+			if iv[i] != 0xff {
+				break
+			}
+		}
+		discard = c.used
+	}
+	c.fast = cipher.NewCTR(c.net.cellCipher, iv[:])
+	if discard > 0 {
+		skip := c.net.ksPage[:discard] // scratch; avoids a stack escape
+		c.fast.XORKeyStream(skip, skip)
+	}
+}
+
+// incCtr advances the counter block (big-endian, wrapping).
+func (c *ctrStream) incCtr() {
+	for i := aes.BlockSize - 1; i >= 0; i-- {
+		c.ctr[i]++
+		if c.ctr[i] != 0 {
+			break
+		}
+	}
 }

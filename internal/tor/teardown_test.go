@@ -134,6 +134,133 @@ func countCircuits(n *Network) int {
 	return total
 }
 
+// descriptorsServed sums the serving counter over every relay — the
+// observable cost of a client descriptor fetch.
+func descriptorsServed(n *Network) int {
+	total := 0
+	for _, ri := range n.Consensus().Relays {
+		if r := n.Relay(ri.FP); r != nil {
+			total += r.stats.DescriptorsServed
+		}
+	}
+	return total
+}
+
+func TestDescriptorCacheHitAvoidsRefetch(t *testing.T) {
+	n := newTestNetwork(t, 80, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 40), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatal(err)
+	}
+	served := descriptorsServed(n)
+	if served == 0 {
+		t.Fatal("first dial should have fetched a descriptor")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Dial(hs.Onion()); err != nil {
+			t.Fatalf("cached dial %d: %v", i, err)
+		}
+	}
+	if got := descriptorsServed(n); got != served {
+		t.Fatalf("cached dials hit HSDirs: served %d -> %d", served, got)
+	}
+	// A fresh proxy has no cache and must fetch for itself.
+	if _, err := NewProxy(n).Dial(hs.Onion()); err != nil {
+		t.Fatal(err)
+	}
+	if got := descriptorsServed(n); got <= served {
+		t.Fatal("fresh proxy did not fetch a descriptor")
+	}
+}
+
+func TestDescriptorCacheInvalidatedByTimePeriodRollover(t *testing.T) {
+	n := newTestNetwork(t, 81, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 41), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatal(err)
+	}
+	sid, _ := ParseOnion(hs.Onion())
+	before := TimePeriod(n.Now(), sid)
+	// Walk the clock across the next descriptor-id rollover; the hourly
+	// republish schedule keeps fresh descriptors at the new ring
+	// positions.
+	for TimePeriod(n.Now(), sid) == before {
+		n.Scheduler().RunFor(time.Hour)
+	}
+	served := descriptorsServed(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatalf("dial after rollover: %v", err)
+	}
+	if got := descriptorsServed(n); got == served {
+		t.Fatal("rollover did not invalidate the cache: no fresh fetch happened")
+	}
+	if e, ok := client.descCache[sid]; !ok || e.period == before {
+		t.Fatal("cache entry not replaced after rollover")
+	}
+}
+
+func TestDescriptorCacheStaleIntroPointsFallBackToFreshFetch(t *testing.T) {
+	n := newTestNetwork(t, 82, 25)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 42), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatal(err)
+	}
+	// Kill every introduction point the cached descriptor names. The
+	// service repairs its circuits and republishes on the next consensus
+	// tick, so the cached descriptor is now stale: its intro points are
+	// gone and the stored descriptors no longer match it.
+	for _, ip := range hs.IntroPoints() {
+		n.RemoveRelay(ip)
+	}
+	n.Scheduler().RunFor(n.Config().ConsensusInterval + time.Minute)
+	served := descriptorsServed(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatalf("dial after intro churn: %v", err)
+	}
+	if got := descriptorsServed(n); got == served {
+		t.Fatal("stale cache entry was used without a fresh fetch")
+	}
+}
+
+func TestDescriptorCacheInvalidatedOnDialFailure(t *testing.T) {
+	n := newTestNetwork(t, 83, 15)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 43), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatal(err)
+	}
+	sid, _ := ParseOnion(hs.Onion())
+	if _, ok := client.descCache[sid]; !ok {
+		t.Fatal("dial did not populate the descriptor cache")
+	}
+	hs.Stop()
+	if _, err := client.Dial(hs.Onion()); err == nil {
+		t.Fatal("dial succeeded after Stop")
+	}
+	if _, ok := client.descCache[sid]; ok {
+		t.Fatal("failed dial left the cached descriptor in place")
+	}
+}
+
 func TestConsensusExcludesNothingWhenAllEligible(t *testing.T) {
 	n := newTestNetwork(t, 75, 8)
 	c := n.Consensus()
