@@ -155,7 +155,7 @@ func BenchmarkHSDirPositioning(b *testing.B) {
 }
 
 // BenchmarkDDSRAblation regenerates the maintenance-policy ablation
-// table (DESIGN.md's design-choice study).
+// table (the design-choice study behind Section IV-C).
 func BenchmarkDDSRAblation(b *testing.B) {
 	cfg := experiment.DefaultAblationConfig(true)
 	for i := 0; i < b.N; i++ {

@@ -1,14 +1,25 @@
 // Command onionsim regenerates the OnionBots paper's tables and figures
-// from this repository's implementations.
+// from this repository's implementations, and sweeps them over
+// parameter grids.
 //
 // Usage:
 //
-//	onionsim -exp fig4 [-quick] [-csv dir]
+//	onionsim -list
+//	onionsim -exp fig4 [-quick] [-seed 1] [-parallel 8] [-csv dir] [-json]
 //	onionsim -exp all -quick
+//	onionsim -sweep examples/sweep/fig6-grid.json -parallel 8 -json
 //
-// Experiments: fig3, fig4, fig5, fig6, fig7, fig8, table1, probing,
-// hsdir, pow, all. Full (non-quick) runs use the paper's parameters
-// (n=5000/15000 graphs, 1000-15000 sweeps) and can take minutes.
+// -exp takes a registered experiment ID, a comma-separated list, or
+// "all"; -list prints the registry. Experiments fan out across a
+// worker pool (-parallel, default one worker per CPU); output is
+// byte-identical at any parallelism because every task runs on its own
+// RNG substream derived from (seed, task label). The one exception:
+// full-mode (non-quick) probing measures this machine's live
+// key-generation rate, so its rate-derived cells vary run to run and
+// say so. Progress goes to stderr, results to stdout (ASCII tables, or
+// one JSON document with -json); -csv additionally writes each result
+// to a file. Full runs use the paper's parameters (n=5000/15000
+// graphs, 1000-15000 sweeps) and can take minutes.
 package main
 
 import (
@@ -16,6 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"onionbots/internal/experiment"
 )
@@ -29,140 +43,180 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (fig3|fig4|fig5|fig6|fig7|fig8|table1|probing|hsdir|pow|ablation|all)")
-		quick  = flag.Bool("quick", false, "use scaled-down parameters")
-		csvDir = flag.String("csv", "", "also write each result as CSV into this directory")
-		seed   = flag.Uint64("seed", 1, "seed for seeded experiments")
+		exp      = flag.String("exp", "all", `experiment id, comma-separated list, or "all" (see -list)`)
+		quick    = flag.Bool("quick", false, "use scaled-down parameters")
+		csvDir   = flag.String("csv", "", "also write each result as CSV into this directory")
+		seed     = flag.Uint64("seed", 1, "root seed; every task derives its own substream from it")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value; see package doc for the full-mode probing exception)")
+		sweep    = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
+		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
 	)
 	flag.Parse()
 
-	results, err := collect(*exp, *quick, *seed)
+	if *list {
+		for _, id := range experiment.IDs() {
+			def, _ := experiment.Lookup(id)
+			fmt.Printf("%-10s %s\n", id, def.Title)
+		}
+		return nil
+	}
+
+	runner := &experiment.Runner{
+		Parallel: *parallel,
+		Progress: func(done, total int, tr experiment.TaskResult) {
+			status := "ok"
+			if tr.Err != nil {
+				status = "FAILED: " + tr.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s (%s)\n",
+				done, total, tr.Task.Label, status, tr.Elapsed.Round(time.Millisecond))
+		},
+	}
+
+	if *sweep != "" {
+		// A sweep spec carries its own experiments, presets, and seed
+		// grid; reject flag combinations that would otherwise be
+		// silently ignored.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "quick", "seed":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-sweep takes experiments, quick, and seeds from the spec file; drop %s",
+				strings.Join(conflict, ", "))
+		}
+		return runSweep(runner, *sweep, *jsonOut, *csvDir)
+	}
+
+	tasks, err := buildTasks(*exp, *quick, *seed)
 	if err != nil {
 		return err
 	}
+	taskResults, err := runner.Run(tasks)
+	if err != nil {
+		return err
+	}
+	var results []*experiment.Result
+	for _, tr := range taskResults {
+		if tr.Err != nil {
+			return fmt.Errorf("%s: %w", tr.Task.Label, tr.Err)
+		}
+		results = append(results, tr.Results...)
+	}
+	for _, r := range results {
+		if err := writeCSV(*csvDir, r.ID, r); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		doc, err := experiment.ResultsJSON(results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(doc))
+		return nil
+	}
 	for _, r := range results {
 		fmt.Println(r.Render())
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, r.ID+".csv")
-			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
-				return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// buildTasks resolves -exp into one task per selected experiment. The
+// task label is the experiment ID, so `-exp fig6 -seed 1` and
+// `-exp all -seed 1` run fig6 on the same substream.
+func buildTasks(exp string, quick bool, seed uint64) ([]experiment.Task, error) {
+	ids := experiment.IDs()
+	if exp != "all" {
+		ids = strings.Split(exp, ",")
+		for _, id := range ids {
+			if _, ok := experiment.Lookup(id); !ok {
+				return nil, fmt.Errorf("unknown experiment %q", id)
 			}
-			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	tasks := make([]experiment.Task, 0, len(ids))
+	for _, id := range ids {
+		tasks = append(tasks, experiment.Task{
+			Label:      id,
+			Experiment: id,
+			Params:     experiment.Params{Quick: quick, Seed: seed},
+		})
+	}
+	return tasks, nil
+}
+
+func runSweep(runner *experiment.Runner, path string, jsonOut bool, csvDir string) error {
+	spec, err := experiment.LoadSweep(path)
+	if err != nil {
+		return err
+	}
+	tasks, err := spec.Tasks()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: %d tasks\n", spec.Name, len(tasks))
+	taskResults, err := runner.Run(tasks)
+	if err != nil {
+		return err
+	}
+	aggregate := spec.Aggregate(taskResults)
+	if jsonOut {
+		doc, err := experiment.SweepJSON(spec, taskResults, aggregate)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(doc))
+	} else {
+		fmt.Println(aggregate.Render())
+	}
+	if csvDir != "" {
+		if err := writeCSV(csvDir, aggregate.ID, aggregate); err != nil {
+			return err
+		}
+		for _, tr := range taskResults {
+			for _, r := range tr.Results {
+				name := strings.NewReplacer("/", "_", "=", "-").Replace(tr.Task.Label) + "-" + r.ID
+				if err := writeCSV(csvDir, name, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, tr := range taskResults {
+		if tr.Err != nil {
+			return fmt.Errorf("%d of %d sweep tasks failed (first: %s: %v)",
+				countFailed(taskResults), len(taskResults), tr.Task.Label, tr.Err)
 		}
 	}
 	return nil
 }
 
-func collect(exp string, quick bool, seed uint64) ([]*experiment.Result, error) {
-	var out []*experiment.Result
-	add := func(rs ...*experiment.Result) {
-		out = append(out, rs...)
+func countFailed(trs []experiment.TaskResult) int {
+	n := 0
+	for _, tr := range trs {
+		if tr.Err != nil {
+			n++
+		}
 	}
-	want := func(id string) bool { return exp == "all" || exp == id }
+	return n
+}
 
-	if want("fig3") {
-		r, _, err := experiment.RunFig3()
-		if err != nil {
-			return nil, err
-		}
-		add(r)
+// writeCSV writes one result to dir/name.csv; an empty dir disables
+// it. The notice goes to stderr so stdout stays pure result data
+// (ASCII tables or the single -json document).
+func writeCSV(dir, name string, r *experiment.Result) error {
+	if dir == "" {
+		return nil
 	}
-	if want("fig4") {
-		for _, pruning := range []bool{false, true} {
-			cfg := experiment.DefaultFig4Config(quick)
-			cfg.Pruning = pruning
-			cfg.Seed = seed
-			closeness, degree, err := experiment.RunFig4(cfg)
-			if err != nil {
-				return nil, err
-			}
-			add(closeness, degree)
-		}
+	path := filepath.Join(dir, name+".csv")
+	if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
 	}
-	if want("fig5") {
-		sizes := []int{5000, 15000}
-		if quick {
-			sizes = []int{0} // quick preset ignores the size argument
-		}
-		for _, n := range sizes {
-			cfg := experiment.DefaultFig5Config(quick, n)
-			cfg.Seed = seed
-			comps, degree, diam, err := experiment.RunFig5(cfg)
-			if err != nil {
-				return nil, err
-			}
-			add(comps, degree, diam)
-		}
-	}
-	if want("fig6") {
-		cfg := experiment.DefaultFig6Config(quick)
-		cfg.Seed = seed
-		r, err := experiment.RunFig6(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("table1") {
-		r, err := experiment.RunTable1([]byte("onionsim"))
-		if err != nil {
-			return nil, err
-		}
-		if err := experiment.VerifyTable1Shape(r); err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("fig7") {
-		cfg := experiment.DefaultFig7Config(quick)
-		cfg.Seed = seed
-		r, err := experiment.RunFig7(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("fig8") {
-		cfg := experiment.DefaultFig8Config(quick)
-		cfg.Seed = seed
-		r, err := experiment.RunFig8(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("probing") {
-		r, err := experiment.RunProbingFeasibility()
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("hsdir") {
-		r, err := experiment.RunHSDirAttack(seed)
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("pow") {
-		r, err := experiment.RunPoWDefense(seed, quick)
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if want("ablation") {
-		cfg := experiment.DefaultAblationConfig(quick)
-		cfg.Seed = seed
-		r, err := experiment.RunDDSRAblation(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(r)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("unknown experiment %q", exp)
-	}
-	return out, nil
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

@@ -3,40 +3,83 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"onionbots/internal/experiment"
 )
 
-func TestCollectKnownExperiments(t *testing.T) {
+// runIDs resolves -exp the way main does and runs the tasks serially.
+func runIDs(t *testing.T, exp string, quick bool, seed uint64) []experiment.TaskResult {
+	t.Helper()
+	tasks, err := buildTasks(exp, quick, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", exp, err)
+	}
+	trs, err := (&experiment.Runner{Parallel: 1}).Run(tasks)
+	if err != nil {
+		t.Fatalf("%s: %v", exp, err)
+	}
+	return trs
+}
+
+func TestBuildTasksKnownExperiments(t *testing.T) {
 	// Each id must resolve to at least one result in quick mode; use
 	// only the fast ones here (campaign experiments are covered by the
 	// experiment package's own tests).
 	for _, exp := range []string{"fig3", "fig6", "table1", "probing", "hsdir", "ablation"} {
-		results, err := collect(exp, true, 1)
-		if err != nil {
-			t.Fatalf("%s: %v", exp, err)
-		}
-		if len(results) == 0 {
-			t.Fatalf("%s produced no results", exp)
-		}
-		for _, r := range results {
-			if r.Render() == "" || !strings.Contains(r.Render(), "==") {
-				t.Fatalf("%s: empty render", exp)
+		for _, tr := range runIDs(t, exp, true, 1) {
+			if tr.Err != nil {
+				t.Fatalf("%s: %v", exp, tr.Err)
+			}
+			if len(tr.Results) == 0 {
+				t.Fatalf("%s produced no results", exp)
+			}
+			for _, r := range tr.Results {
+				if r.Render() == "" || !strings.Contains(r.Render(), "==") {
+					t.Fatalf("%s: empty render", exp)
+				}
 			}
 		}
 	}
 }
 
-func TestCollectFig4ProducesFourPanels(t *testing.T) {
-	results, err := collect("fig4", true, 1)
+func TestBuildTasksAllCoversRegistry(t *testing.T) {
+	tasks, err := buildTasks("all", true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("fig4 produced %d results, want 4 (4a-4d)", len(results))
+	if len(tasks) != len(experiment.IDs()) {
+		t.Fatalf("all expanded to %d tasks, registry has %d", len(tasks), len(experiment.IDs()))
 	}
 }
 
-func TestCollectRejectsUnknown(t *testing.T) {
-	if _, err := collect("fig99", true, 1); err == nil {
+func TestBuildTasksCommaList(t *testing.T) {
+	tasks, err := buildTasks("fig3,table1", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 || tasks[0].Experiment != "fig3" || tasks[1].Experiment != "table1" {
+		t.Fatalf("unexpected tasks: %+v", tasks)
+	}
+}
+
+func TestCollectFig4ProducesFourPanels(t *testing.T) {
+	trs := runIDs(t, "fig4", true, 1)
+	if len(trs) != 1 {
+		t.Fatalf("fig4 expanded to %d tasks, want 1", len(trs))
+	}
+	if trs[0].Err != nil {
+		t.Fatal(trs[0].Err)
+	}
+	if len(trs[0].Results) != 4 {
+		t.Fatalf("fig4 produced %d results, want 4 (4a-4d)", len(trs[0].Results))
+	}
+}
+
+func TestBuildTasksRejectsUnknown(t *testing.T) {
+	if _, err := buildTasks("fig99", true, 1); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := buildTasks("fig3,fig99", true, 1); err == nil {
+		t.Fatal("unknown experiment accepted in a list")
 	}
 }

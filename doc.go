@@ -6,9 +6,10 @@
 // self-healing DDSR overlay (Section IV-C), the OnionBot reference
 // design (Section IV), the SOAP sybil mitigation (Section VI-B), the
 // HSDir-positioning mitigation (Section VI-A), and the hardened
-// next-generation variants (Section VII). See DESIGN.md for the system
-// inventory, EXPERIMENTS.md for paper-versus-measured results, and
-// bench_test.go for the per-figure regeneration harness.
+// next-generation variants (Section VII). See README.md for the system
+// inventory and how to reproduce each figure, docs/ARCHITECTURE.md for
+// the simulator design and the determinism contract, and bench_test.go
+// for the per-figure regeneration harness.
 //
 // The implementation lives under internal/; cmd/onionsim, cmd/soapctl
 // and cmd/ddsrviz are the entry points, and examples/ holds runnable

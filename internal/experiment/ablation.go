@@ -8,6 +8,28 @@ import (
 	"onionbots/internal/sim"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "ablation",
+		Title: "DDSR maintenance-policy ablation under gradual takedown",
+		Run: func(p Params) ([]*Result, error) {
+			cfg := DefaultAblationConfig(p.Quick)
+			cfg.Seed = p.Seed
+			if p.N > 0 {
+				cfg.N = p.N
+			}
+			if p.K > 0 {
+				cfg.K = p.K
+			}
+			r, err := RunDDSRAblation(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
 // AblationConfig parameterizes the DDSR design-choice ablation: each
 // maintenance ingredient is toggled independently and the overlay is
 // subjected to the same gradual takedown.

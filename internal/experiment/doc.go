@@ -1,13 +1,45 @@
-// Package experiment contains one runner per table and figure of the
-// OnionBots paper, regenerating each result from this repository's
-// implementations. Each runner accepts a config whose Default*(quick)
-// constructor offers two presets: the paper's full parameters (n=5000
-// and 15000 node graphs, 1000-15000 size sweeps) and a scaled-down
-// quick mode for tests and benchmarks.
+// Package experiment regenerates every table and figure of the
+// OnionBots paper from this repository's implementations, and provides
+// the engine that runs them — singly, in parallel, or swept over
+// parameter grids.
 //
-// Runners return a Result — named series of (x, y) points and/or table
-// rows plus free-form notes — which renders to an ASCII table or CSV.
-// EXPERIMENTS.md records the paper-vs-measured comparison for every
-// runner; cmd/onionsim exposes them on the command line; bench_test.go
-// wraps each in a benchmark.
+// # Registry
+//
+// Each experiment registers itself from init under a stable ID (fig3,
+// fig4, ..., table1, probing, hsdir, pow, ablation) with a Definition:
+// a title and a run function taking the generic Params (quick preset,
+// seed, and optional N/K/Frac overrides, which each experiment maps
+// onto its own config knobs). Lookup and IDs expose the catalogue;
+// cmd/onionsim is a thin shell over it.
+//
+// Every runner still has its direct Go API — a config struct whose
+// Default*(quick) constructor offers the paper's full parameters
+// (n=5000 and 15000 node graphs, 1000-15000 size sweeps) and a
+// scaled-down quick preset — and returns Results: named series of
+// (x, y) points and/or table rows plus free-form notes, rendering to
+// ASCII, CSV, or JSON.
+//
+// # Runner
+//
+// Runner executes a set of labelled tasks across a worker pool. Before
+// a task runs, its seed is replaced by sim.SubstreamSeed(seed, label),
+// so every task owns an independent random stream that is a pure
+// function of the root seed and the task's name. Combined with the
+// rule that experiments never read wall-clock time (quick-mode probing
+// assumes NominalKeyRate for exactly this reason), rendered output is
+// byte-identical at any parallelism and any scheduling order; results
+// come back in task order.
+//
+// # Sweeps
+//
+// Sweep is a JSON scenario spec: experiments crossed with grids of
+// sizes, degrees, takedown fractions, seeds, and trial replications.
+// Tasks expands the grid into labelled tasks for the Runner, and
+// Aggregate folds the outcomes into one table-shaped Result
+// (first/last/min/max per produced series) so a whole grid reads and
+// exports as a single artifact. See examples/sweep for a ready-to-run
+// spec.
+//
+// README.md records how to reproduce each figure on the command line;
+// bench_test.go wraps each runner in a benchmark.
 package experiment

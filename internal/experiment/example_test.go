@@ -1,0 +1,52 @@
+package experiment_test
+
+import (
+	"fmt"
+
+	"onionbots/internal/experiment"
+)
+
+// ExampleRunner runs one registered experiment through the worker
+// pool. The fig3 walkthrough is fully scripted, so its output is the
+// same on every machine.
+func ExampleRunner() {
+	tasks := []experiment.Task{{
+		Label:      "fig3",
+		Experiment: "fig3",
+		Params:     experiment.Params{Quick: true, Seed: 1},
+	}}
+	results, err := (&experiment.Runner{Parallel: 4}).Run(tasks)
+	if err != nil {
+		panic(err)
+	}
+	r := results[0].Results[0]
+	fmt.Println(r.ID, "panels:", len(r.Rows))
+	// Output: fig3 panels: 7
+}
+
+// ExampleSweep_Tasks expands a scenario grid into labelled tasks. Each
+// label doubles as the task's RNG substream name, which is what makes
+// sweep output independent of worker count and scheduling order.
+func ExampleSweep_Tasks() {
+	spec, err := experiment.ParseSweep([]byte(`{
+		"experiments": ["fig6"],
+		"quick": true,
+		"ns": [500, 600],
+		"seeds": [1, 2]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	tasks, err := spec.Tasks()
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range tasks {
+		fmt.Println(t.Label)
+	}
+	// Output:
+	// fig6/n=500/seed=1
+	// fig6/n=500/seed=2
+	// fig6/n=600/seed=1
+	// fig6/n=600/seed=2
+}

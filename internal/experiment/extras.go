@@ -12,30 +12,87 @@ import (
 	"onionbots/internal/tor"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "probing",
+		Title: "Random-probing and vanity-prefix infeasibility (Section IV-B)",
+		// Quick runs assume the nominal rate so output is a pure
+		// function of the parameters; full runs measure this machine.
+		Run: func(p Params) ([]*Result, error) {
+			rate := 0.0
+			if p.Quick {
+				rate = NominalKeyRate
+			}
+			r, err := RunProbingFeasibility(rate)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+	Register(Definition{
+		ID:    "hsdir",
+		Title: "HSDir positioning attack and descriptor-period recovery (Section VI-A)",
+		Run: func(p Params) ([]*Result, error) {
+			r, err := RunHSDirAttack(p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+	Register(Definition{
+		ID:    "pow",
+		Title: "Proof-of-work hardening vs SOAP (Section VII-A)",
+		Run: func(p Params) ([]*Result, error) {
+			r, err := RunPoWDefense(p.Seed, p.Quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
+// NominalKeyRate is the assumed onion-address derivation rate
+// (addresses/second) used when a probing run must be deterministic: it
+// is the right order of magnitude for one 2015-era CPU core, and using
+// a fixed value keeps quick-mode output byte-identical across machines
+// and runs.
+const NominalKeyRate = 25000.0
+
 // RunProbingFeasibility regenerates the Section IV-B infeasibility
 // arguments: the 32^16 address space against random-probing bootstrap,
 // and the vanity-prefix search cost (the paper cites ~25 days for an
-// 8-character prefix with 2015-era tooling). The key-generation rate is
-// measured live on this machine.
-func RunProbingFeasibility() (*Result, error) {
+// 8-character prefix with 2015-era tooling). A positive rate is taken
+// as the key-generation rate (addresses/second); rate <= 0 measures it
+// live on this machine.
+func RunProbingFeasibility(rate float64) (*Result, error) {
+	measured := rate <= 0
+	rateLabel := "at assumed rate"
+	if measured {
+		rateLabel = "at measured rate"
+	}
 	res := &Result{
 		ID:     "probing",
 		Title:  "Random probing and vanity-prefix infeasibility (Section IV-B)",
-		Header: []string{"scenario", "expected tries", "at measured rate"},
+		Header: []string{"scenario", "expected tries", rateLabel},
 	}
 
-	// Measure identity derivations per second (one derivation = one
-	// candidate onion address).
-	const trials = 2000
-	drbg := botcrypto.NewDRBG([]byte("probing-rate"))
-	start := time.Now()
-	var seed [32]byte
-	for i := 0; i < trials; i++ {
-		copy(seed[:], drbg.Bytes(32))
-		id := tor.IdentityFromSeed(seed)
-		_ = id.ServiceID()
+	if measured {
+		// Measure identity derivations per second (one derivation = one
+		// candidate onion address).
+		const trials = 2000
+		drbg := botcrypto.NewDRBG([]byte("probing-rate"))
+		start := time.Now()
+		var seed [32]byte
+		for i := 0; i < trials; i++ {
+			copy(seed[:], drbg.Bytes(32))
+			id := tor.IdentityFromSeed(seed)
+			_ = id.ServiceID()
+		}
+		rate = float64(trials) / time.Since(start).Seconds()
 	}
-	rate := float64(trials) / time.Since(start).Seconds()
 
 	for _, prefix := range []int{4, 6, 8, 12, 16} {
 		tries := tor.VanityPrefixTries(prefix)
@@ -55,7 +112,11 @@ func RunProbingFeasibility() (*Result, error) {
 			humanDuration(tor.EstimateVanitySearchDuration(16, rate*float64(size))),
 		})
 	}
-	res.AddNote("measured key-generation rate: %.0f addresses/s on this machine", rate)
+	if measured {
+		res.AddNote("measured key-generation rate: %.0f addresses/s on this machine", rate)
+	} else {
+		res.AddNote("assumed key-generation rate: %.0f addresses/s (deterministic quick mode)", rate)
+	}
 	res.AddNote("full namespace is 32^16 = %.3g addresses; random probing cannot bootstrap", tor.OnionAddressSpace())
 	return res, nil
 }

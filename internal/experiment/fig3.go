@@ -9,6 +9,22 @@ import (
 	"onionbots/internal/sim"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "fig3",
+		Title: "Self-repair walkthrough in the 12-node 3-regular graph (Fig 3)",
+		// The walkthrough is a fixed scripted sequence; it has no
+		// tunable parameters and takes no randomness from the task seed.
+		Run: func(Params) ([]*Result, error) {
+			r, _, err := RunFig3()
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
 // Fig3Graph builds the 12-node 3-regular topology of Figure 3, in which
 // node 7's neighbors are 0, 1 and 4 and none of those three are
 // adjacent to each other (the figure's dashed repair edges (0,1), (1,4)

@@ -9,6 +9,36 @@ import (
 	"onionbots/internal/sim"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "fig4",
+		Title: "Centrality under gradual takedown, with/without pruning (Figs 4a-4d)",
+		Run: func(p Params) ([]*Result, error) {
+			var out []*Result
+			for _, pruning := range []bool{false, true} {
+				cfg := DefaultFig4Config(p.Quick)
+				cfg.Pruning = pruning
+				cfg.Seed = p.Seed
+				if p.N > 0 {
+					cfg.N = p.N
+				}
+				if p.K > 0 {
+					cfg.Degrees = []int{p.K}
+				}
+				if p.Frac > 0 {
+					cfg.DeleteFrac = p.Frac
+				}
+				closeness, degree, err := RunFig4(cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, closeness, degree)
+			}
+			return out, nil
+		},
+	})
+}
+
 // Fig4Config parameterizes the Figure 4 centrality experiments: gradual
 // node deletion with DDSR repair in k-regular graphs, with and without
 // pruning.

@@ -8,6 +8,42 @@ import (
 	"onionbots/internal/sim"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "fig5",
+		Title: "DDSR vs normal graph resilience under takedown (Figs 5a-5f)",
+		Run: func(p Params) ([]*Result, error) {
+			sizes := []int{5000, 15000}
+			switch {
+			case p.N > 0:
+				sizes = []int{p.N}
+			case p.Quick:
+				sizes = []int{0} // quick preset ignores the size argument
+			}
+			var out []*Result
+			for _, n := range sizes {
+				cfg := DefaultFig5Config(p.Quick, n)
+				cfg.Seed = p.Seed
+				if p.Quick && p.N > 0 {
+					// Quick presets pin N; keep the preset's sampling
+					// density when a sweep overrides the size.
+					cfg.N = p.N
+					cfg.MeasureEvery = max(1, p.N/10)
+				}
+				if p.K > 0 {
+					cfg.K = p.K
+				}
+				comps, degree, diam, err := RunFig5(cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, comps, degree, diam)
+			}
+			return out, nil
+		},
+	})
+}
+
 // Fig5Config parameterizes the Figure 5 resilience comparison: gradual
 // deletion in a 10-regular graph, DDSR versus a normal (no-repair)
 // graph, tracking connected components, degree centrality, and
@@ -32,7 +68,7 @@ func DefaultFig5Config(quick bool, n int) Fig5Config {
 	if quick {
 		return Fig5Config{N: 400, K: 10, MeasureEvery: 40, DiameterSweeps: 4, Seed: 2}
 	}
-	return Fig5Config{N: n, K: 10, MeasureEvery: n / 50, DiameterSweeps: 4, Seed: 2}
+	return Fig5Config{N: n, K: 10, MeasureEvery: max(1, n/50), DiameterSweeps: 4, Seed: 2}
 }
 
 // RunFig5 regenerates Figures 5a/5b (components), 5c/5d (degree

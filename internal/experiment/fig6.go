@@ -8,6 +8,28 @@ import (
 	"onionbots/internal/sim"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "fig6",
+		Title: "First-partition threshold vs graph size (Fig 6)",
+		Run: func(p Params) ([]*Result, error) {
+			cfg := DefaultFig6Config(p.Quick)
+			cfg.Seed = p.Seed
+			if p.N > 0 {
+				cfg.Sizes = []int{p.N}
+			}
+			if p.K > 0 {
+				cfg.K = p.K
+			}
+			r, err := RunFig6(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
 // Fig6Config parameterizes the partition-threshold experiment: how many
 // simultaneous (unrepaired) deletions a 10-regular graph of each size
 // absorbs before it first partitions.

@@ -8,6 +8,25 @@ import (
 	"onionbots/internal/soap"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "fig7",
+		Title: "SOAP containment campaign against basic OnionBots (Fig 7)",
+		Run: func(p Params) ([]*Result, error) {
+			cfg := DefaultFig7Config(p.Quick)
+			cfg.Seed = p.Seed
+			if p.N > 0 {
+				cfg.Bots = p.N
+			}
+			r, err := RunFig7(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
 // Fig7Config parameterizes the SOAP campaign experiment at the protocol
 // level (full Tor substrate, real crypto).
 type Fig7Config struct {

@@ -9,6 +9,25 @@ import (
 	"onionbots/internal/superonion"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "fig8",
+		Title: "SuperOnion fleet vs basic botnet under SOAP (Fig 8)",
+		Run: func(p Params) ([]*Result, error) {
+			cfg := DefaultFig8Config(p.Quick)
+			cfg.Seed = p.Seed
+			if p.N > 0 {
+				cfg.Hosts = p.N
+			}
+			r, err := RunFig8(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
 // Fig8Config parameterizes the SuperOnion experiment: the Figure 8
 // construction plus the SOAP-resistance comparison of Section VII-B.
 type Fig8Config struct {

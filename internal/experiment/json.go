@@ -1,0 +1,25 @@
+package experiment
+
+import "encoding/json"
+
+// ResultsJSON renders a flat result list as an indented JSON document —
+// the machine-readable counterpart of Render/CSV that cmd/onionsim
+// emits under -json. Output is a pure function of the results (no
+// timestamps, no host state), so fixed seeds give byte-identical JSON.
+func ResultsJSON(results []*Result) ([]byte, error) {
+	doc := struct {
+		Results []*Result `json:"results"`
+	}{Results: results}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// SweepJSON renders a sweep run — spec, every task's full output, and
+// the aggregate table — as an indented JSON document.
+func SweepJSON(s *Sweep, tasks []TaskResult, aggregate *Result) ([]byte, error) {
+	doc := struct {
+		Sweep     *Sweep       `json:"sweep"`
+		Tasks     []TaskResult `json:"tasks"`
+		Aggregate *Result      `json:"aggregate"`
+	}{Sweep: s, Tasks: tasks, Aggregate: aggregate}
+	return json.MarshalIndent(doc, "", "  ")
+}

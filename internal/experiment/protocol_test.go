@@ -60,7 +60,7 @@ func TestFig8FleetBeatsBaseline(t *testing.T) {
 }
 
 func TestProbingFeasibilityTable(t *testing.T) {
-	res, err := RunProbingFeasibility()
+	res, err := RunProbingFeasibility(0) // measure live
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,6 +74,23 @@ func TestProbingFeasibilityTable(t *testing.T) {
 	}
 	if !strings.Contains(render, "centuries") {
 		t.Fatalf("expected at least one 'centuries' cost:\n%s", render)
+	}
+}
+
+func TestProbingFeasibilityFixedRateIsDeterministic(t *testing.T) {
+	a, err := RunProbingFeasibility(NominalKeyRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProbingFeasibility(NominalKeyRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("fixed-rate probing output varies:\n%s\n---\n%s", a.Render(), b.Render())
+	}
+	if !strings.Contains(a.Render(), "assumed key-generation rate") {
+		t.Fatalf("fixed-rate run should say so:\n%s", a.Render())
 	}
 }
 

@@ -7,31 +7,33 @@ import (
 
 // Point is one (x, y) sample of a series.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one named curve of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Result is a regenerated table or figure.
 type Result struct {
 	// ID is the experiment identifier ("fig4a", "table1", ...).
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment.
-	Title string
+	Title string `json:"title"`
 	// XLabel and YLabel name the axes for series-shaped results.
-	XLabel, YLabel string
+	XLabel string `json:"x_label,omitempty"`
+	YLabel string `json:"y_label,omitempty"`
 	// Series holds the curves (figure-shaped results).
-	Series []Series
+	Series []Series `json:"series,omitempty"`
 	// Header and Rows hold tabular results (table-shaped results).
-	Header []string
-	Rows   [][]string
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
 	// Notes records observations (thresholds, comparisons) the paper
 	// states in prose.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddNote appends an observation.

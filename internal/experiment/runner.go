@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// Task names one experiment invocation: which registered experiment to
+// run, under which label, with which parameters. The label doubles as
+// the task's RNG substream name — see Runner.
+type Task struct {
+	// Label uniquely identifies the task within one Runner.Run call
+	// ("fig6", "fig6/n=1000/seed=2/trial=0", ...).
+	Label string `json:"label"`
+	// Experiment is the registry ID to run.
+	Experiment string `json:"experiment"`
+	// Params are the generic parameters passed to the experiment.
+	Params Params `json:"params"`
+}
+
+// TaskResult pairs a task with its outcome. Results are positionally
+// stable: Runner.Run returns them in task order whatever the worker
+// count or completion order was.
+type TaskResult struct {
+	Task Task `json:"task"`
+	// EffectiveSeed is the substream seed the experiment actually ran
+	// with: sim.SubstreamSeed(Task.Params.Seed, Task.Label). Feeding it
+	// back through Params.Seed with an identical label reproduces the
+	// task bit-for-bit.
+	EffectiveSeed uint64 `json:"effective_seed"`
+	// Results holds the regenerated figures/tables (nil on error).
+	Results []*Result `json:"results,omitempty"`
+	// Err is the task's failure, if any.
+	Err error `json:"-"`
+	// Error mirrors Err as a string for JSON output.
+	Error string `json:"error,omitempty"`
+	// Elapsed is the task's wall-clock duration. It is reported on
+	// stderr progress lines only and deliberately excluded from JSON so
+	// machine-readable output stays byte-identical across runs.
+	Elapsed time.Duration `json:"-"`
+}
+
+// Runner executes experiment tasks across a worker pool with
+// deterministic results.
+//
+// Determinism contract: before invoking an experiment, the runner
+// replaces the task's seed with sim.SubstreamSeed(seed, label), giving
+// every task an independent random stream that is a pure function of
+// (root seed, task label). Experiments are forbidden from consulting
+// wall-clock time or shared mutable state, so the rendered output of a
+// task set is byte-identical at any Parallel value and any scheduling
+// order.
+type Runner struct {
+	// Parallel is the worker count. Values below 1 mean serial.
+	Parallel int
+	// Progress, if set, is called after each task completes, serialized
+	// under a lock, with the number of finished tasks so far. It is for
+	// stderr reporting; it must not write to stdout.
+	Progress func(done, total int, tr TaskResult)
+}
+
+// Run executes every task and returns one TaskResult per task, in task
+// order. Per-task failures (unknown experiment ID, experiment error,
+// panic) are reported in TaskResult.Err; Run itself fails only on a
+// malformed task set (duplicate labels, which would break the substream
+// independence guarantee).
+func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
+	seen := make(map[string]struct{}, len(tasks))
+	for _, t := range tasks {
+		if _, dup := seen[t.Label]; dup {
+			return nil, fmt.Errorf("duplicate task label %q", t.Label)
+		}
+		seen[t.Label] = struct{}{}
+	}
+
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]TaskResult, len(tasks))
+	idx := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runTask(tasks[i])
+				if r.Progress != nil {
+					mu.Lock()
+					done++
+					r.Progress(done, len(tasks), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+func runTask(t Task) (tr TaskResult) {
+	start := time.Now()
+	tr = TaskResult{Task: t, EffectiveSeed: sim.SubstreamSeed(t.Params.Seed, t.Label)}
+	defer func() {
+		if p := recover(); p != nil {
+			tr.Err = fmt.Errorf("task %s panicked: %v", t.Label, p)
+		}
+		if tr.Err != nil {
+			tr.Error = tr.Err.Error()
+			tr.Results = nil
+		}
+		tr.Elapsed = time.Since(start)
+	}()
+	def, ok := Lookup(t.Experiment)
+	if !ok {
+		tr.Err = fmt.Errorf("unknown experiment %q", t.Experiment)
+		return tr
+	}
+	p := t.Params
+	p.Seed = tr.EffectiveSeed
+	tr.Results, tr.Err = def.Run(p)
+	return tr
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"onionbots/internal/sim"
+)
+
+// fastTasks are the cheap registered experiments, used to exercise the
+// runner without the multi-second campaign experiments.
+func fastTasks(seed uint64) []Task {
+	var tasks []Task
+	for _, id := range []string{"fig3", "fig6", "table1", "probing", "hsdir", "ablation"} {
+		tasks = append(tasks, Task{
+			Label:      id,
+			Experiment: id,
+			Params:     Params{Quick: true, Seed: seed},
+		})
+	}
+	return tasks
+}
+
+func renderAll(trs []TaskResult) string {
+	var b strings.Builder
+	for _, tr := range trs {
+		b.WriteString(tr.Task.Label)
+		b.WriteString("\n")
+		for _, r := range tr.Results {
+			b.WriteString(r.Render())
+			b.WriteString(r.CSV())
+		}
+	}
+	return b.String()
+}
+
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := (&Runner{Parallel: 1}).Run(fastTasks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Parallel: 8}).Run(fastTasks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Err != nil {
+			t.Fatalf("%s: %v", serial[i].Task.Label, serial[i].Err)
+		}
+	}
+	if a, b := renderAll(serial), renderAll(parallel); a != b {
+		t.Fatalf("output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestRunnerResultsAreInTaskOrder(t *testing.T) {
+	tasks := fastTasks(2)
+	trs, err := (&Runner{Parallel: 4}).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(trs), len(tasks))
+	}
+	for i := range tasks {
+		if trs[i].Task.Label != tasks[i].Label {
+			t.Fatalf("result %d is %q, want %q", i, trs[i].Task.Label, tasks[i].Label)
+		}
+	}
+}
+
+func TestRunnerDerivesSubstreamSeeds(t *testing.T) {
+	tasks := []Task{
+		{Label: "a", Experiment: "fig3", Params: Params{Seed: 7}},
+		{Label: "b", Experiment: "fig3", Params: Params{Seed: 7}},
+	}
+	trs, err := (&Runner{}).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trs[0].EffectiveSeed != sim.SubstreamSeed(7, "a") {
+		t.Fatalf("effective seed %d, want SubstreamSeed(7, a) = %d",
+			trs[0].EffectiveSeed, sim.SubstreamSeed(7, "a"))
+	}
+	if trs[0].EffectiveSeed == trs[1].EffectiveSeed {
+		t.Fatal("same-seed tasks with different labels share a substream")
+	}
+}
+
+func TestRunnerUnknownExperiment(t *testing.T) {
+	trs, err := (&Runner{Parallel: 2}).Run([]Task{
+		{Label: "good", Experiment: "fig3", Params: Params{Quick: true, Seed: 1}},
+		{Label: "bad", Experiment: "fig99", Params: Params{Quick: true, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trs[0].Err != nil {
+		t.Fatalf("good task failed: %v", trs[0].Err)
+	}
+	if trs[1].Err == nil || !strings.Contains(trs[1].Err.Error(), "unknown experiment") {
+		t.Fatalf("bad task err = %v, want unknown experiment", trs[1].Err)
+	}
+	if trs[1].Error == "" {
+		t.Fatal("JSON error mirror not populated")
+	}
+}
+
+func TestRunnerRejectsDuplicateLabels(t *testing.T) {
+	_, err := (&Runner{}).Run([]Task{
+		{Label: "x", Experiment: "fig3"},
+		{Label: "x", Experiment: "table1"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate-label rejection", err)
+	}
+}
+
+func TestRunnerProgressReportsEveryTask(t *testing.T) {
+	var seen []string
+	maxDone := 0
+	r := &Runner{Parallel: 3, Progress: func(done, total int, tr TaskResult) {
+		if total != 6 {
+			t.Errorf("total = %d, want 6", total)
+		}
+		if done <= maxDone {
+			t.Errorf("done not monotone: %d after %d", done, maxDone)
+		}
+		maxDone = done
+		seen = append(seen, tr.Task.Label)
+	}}
+	if _, err := r.Run(fastTasks(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("progress fired %d times, want 6", len(seen))
+	}
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	// Every experiment the CLI and docs advertise must be registered
+	// with a runnable definition.
+	want := []string{"ablation", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "hsdir", "pow", "probing", "table1"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %v, want %v", ids, want)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("registry has %v, want %v", ids, want)
+		}
+		def, ok := Lookup(id)
+		if !ok || def.Run == nil || def.Title == "" {
+			t.Fatalf("%s: incomplete definition %+v", id, def)
+		}
+	}
+}

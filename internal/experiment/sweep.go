@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Sweep is a scenario-sweep specification: one or more registered
+// experiments crossed with parameter grids. The zero value of every
+// axis means "keep the experiment's preset"; listing values fans the
+// experiment out over them. A sweep with E experiments, |ns| sizes,
+// |ks| degrees, |fracs| fractions, |seeds| seeds and T trials expands
+// to E*|ns|*|ks|*|fracs|*|seeds|*T tasks, each with its own RNG
+// substream derived from (seed, task label).
+//
+// Sweeps are written as JSON files (see examples/sweep):
+//
+//	{
+//	  "name": "fig6-grid",
+//	  "experiments": ["fig6"],
+//	  "quick": true,
+//	  "ns": [800, 1000, 1200],
+//	  "seeds": [1, 2, 3]
+//	}
+type Sweep struct {
+	// Name labels the sweep; the aggregate result's ID is "sweep-"+Name.
+	Name string `json:"name"`
+	// Experiments are the registry IDs to fan out.
+	Experiments []string `json:"experiments"`
+	// Quick selects the scaled-down presets for every task.
+	Quick bool `json:"quick,omitempty"`
+	// Ns, Ks, Fracs and Seeds are the grid axes (empty = preset).
+	Ns    []int     `json:"ns,omitempty"`
+	Ks    []int     `json:"ks,omitempty"`
+	Fracs []float64 `json:"fracs,omitempty"`
+	Seeds []uint64  `json:"seeds,omitempty"`
+	// Trials replicates every grid point this many times (default 1).
+	// Replicas share Params but get distinct labels, hence distinct RNG
+	// substreams — the cheap way to average away seed noise.
+	Trials int `json:"trials,omitempty"`
+}
+
+// ParseSweep decodes and validates a JSON sweep spec. Unknown fields
+// are rejected so a typo ("seed" for "seeds") cannot silently collapse
+// a grid axis.
+func ParseSweep(data []byte) (*Sweep, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Sweep
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("parse sweep: %w", err)
+	}
+	if len(s.Experiments) == 0 {
+		return nil, fmt.Errorf("parse sweep: no experiments listed")
+	}
+	if s.Trials < 0 {
+		return nil, fmt.Errorf("parse sweep: negative trials %d", s.Trials)
+	}
+	if s.Name == "" {
+		s.Name = strings.Join(s.Experiments, "+")
+	}
+	return &s, nil
+}
+
+// LoadSweep reads and parses a sweep spec file.
+func LoadSweep(path string) (*Sweep, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSweep(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Tasks expands the sweep into its full task grid, in deterministic
+// order (experiments × ns × ks × fracs × seeds × trials). Every
+// experiment ID is checked against the registry up front so a bad spec
+// fails before any work starts.
+func (s *Sweep) Tasks() ([]Task, error) {
+	for _, id := range s.Experiments {
+		if _, ok := Lookup(id); !ok {
+			return nil, fmt.Errorf("sweep %s: unknown experiment %q", s.Name, id)
+		}
+	}
+	ns, nSet := axisInts(s.Ns)
+	ks, kSet := axisInts(s.Ks)
+	fracs, fracSet := axisFloats(s.Fracs)
+	seeds, seedSet := axisSeeds(s.Seeds)
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+
+	var tasks []Task
+	for _, id := range s.Experiments {
+		for _, n := range ns {
+			for _, k := range ks {
+				for _, frac := range fracs {
+					for _, seed := range seeds {
+						for trial := 0; trial < trials; trial++ {
+							var label strings.Builder
+							label.WriteString(id)
+							if nSet {
+								fmt.Fprintf(&label, "/n=%d", n)
+							}
+							if kSet {
+								fmt.Fprintf(&label, "/k=%d", k)
+							}
+							if fracSet {
+								fmt.Fprintf(&label, "/frac=%g", frac)
+							}
+							if seedSet {
+								fmt.Fprintf(&label, "/seed=%d", seed)
+							}
+							if s.Trials > 1 {
+								fmt.Fprintf(&label, "/trial=%d", trial)
+							}
+							tasks = append(tasks, Task{
+								Label:      label.String(),
+								Experiment: id,
+								Params: Params{
+									Quick: s.Quick, Seed: seed,
+									N: n, K: k, Frac: frac,
+								},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return tasks, nil
+}
+
+// axisInts maps an absent axis to the single "keep preset" value.
+func axisInts(xs []int) ([]int, bool) {
+	if len(xs) == 0 {
+		return []int{0}, false
+	}
+	return xs, true
+}
+
+func axisFloats(xs []float64) ([]float64, bool) {
+	if len(xs) == 0 {
+		return []float64{0}, false
+	}
+	return xs, true
+}
+
+func axisSeeds(xs []uint64) ([]uint64, bool) {
+	if len(xs) == 0 {
+		return []uint64{1}, false
+	}
+	return xs, true
+}
+
+// Aggregate folds a sweep's task results into one table-shaped Result:
+// a row per produced series (first/last/min/max of y) and a row per
+// table-shaped sub-result, so a whole grid reads as a single table and
+// exports through the usual Render/CSV/JSON paths. Failed tasks appear
+// as error rows rather than vanishing.
+func (s *Sweep) Aggregate(trs []TaskResult) *Result {
+	res := &Result{
+		ID:    "sweep-" + s.Name,
+		Title: fmt.Sprintf("Scenario sweep %s: %s over %d tasks", s.Name, strings.Join(s.Experiments, ","), len(trs)),
+		Header: []string{"task", "result", "series", "points",
+			"y.first", "y.last", "y.min", "y.max"},
+	}
+	failed := 0
+	for _, tr := range trs {
+		if tr.Err != nil {
+			failed++
+			res.Rows = append(res.Rows, []string{
+				tr.Task.Label, "error: " + tr.Err.Error(), "-", "-", "-", "-", "-", "-",
+			})
+			continue
+		}
+		for _, r := range tr.Results {
+			for _, series := range r.Series {
+				first, last, min, max := seriesStats(series)
+				res.Rows = append(res.Rows, []string{
+					tr.Task.Label, r.ID, series.Name,
+					fmt.Sprintf("%d", len(series.Points)),
+					fmt.Sprintf("%g", first), fmt.Sprintf("%g", last),
+					fmt.Sprintf("%g", min), fmt.Sprintf("%g", max),
+				})
+			}
+			if len(r.Rows) > 0 {
+				res.Rows = append(res.Rows, []string{
+					tr.Task.Label, r.ID, "(table)",
+					fmt.Sprintf("%d", len(r.Rows)), "-", "-", "-", "-",
+				})
+			}
+		}
+	}
+	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v seeds=%v trials=%d",
+		len(s.Experiments), s.Ns, s.Ks, s.Fracs, s.Seeds, max(1, s.Trials))
+	if failed > 0 {
+		res.AddNote("%d/%d tasks failed", failed, len(trs))
+	}
+	return res
+}
+
+func seriesStats(s Series) (first, last, min, max float64) {
+	if len(s.Points) == 0 {
+		return 0, 0, 0, 0
+	}
+	first = s.Points[0].Y
+	last = s.Points[len(s.Points)-1].Y
+	min, max = first, first
+	for _, p := range s.Points {
+		if p.Y < min {
+			min = p.Y
+		}
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return first, last, min, max
+}

@@ -6,6 +6,25 @@ import (
 	"onionbots/internal/botcrypto/legacy"
 )
 
+func init() {
+	Register(Definition{
+		ID:    "table1",
+		Title: "Cryptographic use in different botnets, audited (Table I)",
+		// The audit's DRBG seed is a fixed string so the regenerated
+		// table matches the paper row-for-row regardless of task seed.
+		Run: func(Params) ([]*Result, error) {
+			r, err := RunTable1([]byte("onionsim"))
+			if err != nil {
+				return nil, err
+			}
+			if err := VerifyTable1Shape(r); err != nil {
+				return nil, err
+			}
+			return []*Result{r}, nil
+		},
+	})
+}
+
 // RunTable1 regenerates Table I ("Cryptographic use in different
 // botnets") by auditing from-scratch reimplementations of each family's
 // scheme, extended with the concrete attack outcomes and the OnionBot

@@ -9,7 +9,10 @@
 //   - RNG: a seeded PCG random stream with the helpers the experiments
 //     need (permutations, weighted coins, byte strings). All randomness in
 //     a run must flow through one RNG so that a single seed reproduces an
-//     entire figure.
+//     entire figure. SubstreamSeed derives named child seeds from a root
+//     seed and a label; the experiment runner gives every task its own
+//     substream this way, which is what makes parallel experiment output
+//     independent of worker count and scheduling order.
 //
 // The virtual epoch is 2015-01-14 UTC, the day the OnionBots paper was
 // posted to arXiv; experiments only ever use relative durations, the

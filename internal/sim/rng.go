@@ -28,6 +28,41 @@ func (g *RNG) Fork() *RNG {
 	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()|1))}
 }
 
+// SubstreamSeed derives a child seed from a root seed and a label. The
+// result is a pure function of (root, label): the experiment runner uses
+// it to give every task its own independent stream, so output depends
+// only on the root seed and the task's name — never on worker count or
+// scheduling order. Labels are hashed (FNV-1a) and the digest is mixed
+// with the root through two rounds of the splitmix64 finalizer, so
+// structurally similar labels ("trial=1" vs "trial=2") still land on
+// unrelated streams.
+func SubstreamSeed(root uint64, label string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	return splitmix64(splitmix64(root^0x6a09e667f3bcc908) ^ h)
+}
+
+// NewSubstream returns NewRNG(SubstreamSeed(root, label)).
+func NewSubstream(root uint64, label string) *RNG {
+	return NewRNG(SubstreamSeed(root, label))
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator — a
+// full-avalanche mixing of one 64-bit word.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0, matching
 // math/rand semantics.
 func (g *RNG) Intn(n int) int { return g.r.IntN(n) }

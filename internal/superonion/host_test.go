@@ -92,8 +92,8 @@ func TestFleetResistsFullSoapCampaign(t *testing.T) {
 	// probe detection plus replacement (re-bootstrapped through the
 	// C&C's registered-bots hotlist, which clones cannot join) keeps
 	// pulling hosts back out of containment. The race is parameterized
-	// by probe frequency versus attacker wave rate; EXPERIMENTS.md
-	// documents the collapse when the attacker outpaces detection.
+	// by probe frequency versus attacker wave rate; the fig8 experiment
+	// shows the collapse when the attacker outpaces detection.
 	bn, err := core.NewBotNet(63, 15, core.BotConfig{DMin: 2, DMax: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -41,7 +41,8 @@
 // All of this is observationally equivalent to the slow path: fixed
 // seeds produce byte-identical experiment outputs.
 //
-// Substitution note (see DESIGN.md): hidden-service identities are
+// Substitution note (see docs/ARCHITECTURE.md): hidden-service
+// identities are
 // Ed25519 keys rather than the RSA-1024 keys of 2015-era Tor. The
 // paper's address-rotation scheme requires the bot and the botmaster to
 // derive the same key independently from a shared seed; Ed25519 key
