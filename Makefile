@@ -1,0 +1,42 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep them in sync.
+
+# pipefail so `go test | benchjson` pipelines fail when go test fails.
+SHELL       := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+GO        ?= go
+BENCHTIME ?= 200x
+# The microbenchmark set archived per PR: scheduler (wheel vs heap),
+# batched ticks, descriptor stores (flat vs sharded), and the data-plane
+# fast paths from PR 1.
+BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial
+
+.PHONY: all build test bench determinism sweep-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the microbenchmark set with -benchmem and archives it as
+# BENCH_pr3.json (stderr keeps the human-readable stream).
+bench:
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem ./... \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+
+# determinism asserts the scheduler/runner contract: -exp all output is
+# byte-identical at any -parallel value.
+determinism:
+	$(GO) build -o /tmp/onionsim-ci ./cmd/onionsim
+	/tmp/onionsim-ci -exp all -quick -seed 1 -parallel 1 > /tmp/onionsim-p1.txt
+	/tmp/onionsim-ci -exp all -quick -seed 1 -parallel 4 > /tmp/onionsim-p4.txt
+	cmp /tmp/onionsim-p1.txt /tmp/onionsim-p4.txt
+
+sweep-smoke:
+	$(GO) build -o /tmp/onionsim-ci ./cmd/onionsim
+	/tmp/onionsim-ci -sweep examples/sweep/fig6-grid.json -parallel 4 -json > /dev/null
+	/tmp/onionsim-ci -sweep examples/sweep/fig5-fig6-quick.json -parallel 4 -json > /dev/null

@@ -8,6 +8,7 @@
 //	onionsim -exp fig4 [-quick] [-seed 1] [-parallel 8] [-csv dir] [-json]
 //	onionsim -exp all -quick
 //	onionsim -sweep examples/sweep/fig6-grid.json -parallel 8 -json
+//	onionsim -sweep examples/sweep/fig5-fig6-quick.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -exp takes a registered experiment ID, a comma-separated list, or
 // "all"; -list prints the registry. Experiments fan out across a
@@ -28,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,8 +53,35 @@ func run() error {
 		sweep    = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
 		list     = flag.Bool("list", false, "list registered experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "onionsim: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {

@@ -256,16 +256,23 @@ func (b *Bot) hostCurrentIdentity() error {
 	return nil
 }
 
+// startTimers installs the bot's recurring maintenance timers. They are
+// batched: every bot infected at the same virtual instant with the same
+// periods shares one wheel event per period (ping/repair beacons, NoN
+// gossip, rotation), so a 10^5-bot population schedules a handful of
+// events per period instead of 3·10^5 — with firing order identical to
+// per-bot timers for contiguously created populations (see
+// sim.EveryBatched's ordering contract).
 func (b *Bot) startTimers() {
 	sched := b.net.Scheduler()
-	sched.Every(b.cfg.PingInterval, func() bool {
+	sched.EveryBatched(b.cfg.PingInterval, func() bool {
 		if !b.alive {
 			return false
 		}
 		b.pingTick()
 		return true
 	})
-	sched.Every(b.cfg.NoNInterval, func() bool {
+	sched.EveryBatched(b.cfg.NoNInterval, func() bool {
 		if !b.alive {
 			return false
 		}
@@ -273,7 +280,7 @@ func (b *Bot) startTimers() {
 		return true
 	})
 	if b.cfg.Rotation {
-		sched.Every(time.Hour, func() bool {
+		sched.EveryBatched(time.Hour, func() bool {
 			if !b.alive {
 				return false
 			}

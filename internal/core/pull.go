@@ -94,11 +94,13 @@ func (b *Bot) Poll() error {
 }
 
 // StartPolling schedules periodic polls (pull-based waiting stage).
+// Polls batch onto one shared wheel event per (interval, phase), like
+// the other per-bot maintenance timers.
 func (b *Bot) StartPolling(every time.Duration) {
 	if every <= 0 {
 		return
 	}
-	b.net.Scheduler().Every(every, func() bool {
+	b.net.Scheduler().EveryBatched(every, func() bool {
 		if !b.alive {
 			return false
 		}

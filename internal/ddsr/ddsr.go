@@ -58,6 +58,11 @@ type Overlay struct {
 	cfg   Config
 	rng   *sim.RNG
 	stats Stats
+	// nbuf and nnbuf are reusable neighbor-list scratches for the
+	// prune/floor scans, which would otherwise allocate and sort one
+	// (or, for NoN scans, k+1) slices per repair step.
+	nbuf  []int
+	nnbuf []int
 }
 
 var _ Maintainer = (*Overlay)(nil)
@@ -150,7 +155,8 @@ func (o *Overlay) RemoveNode(id int) {
 // highestDegreePeer returns the neighbor of v with the largest degree,
 // choosing uniformly at random among ties as the paper specifies.
 func (o *Overlay) highestDegreePeer(v int) int {
-	nbrs := o.g.Neighbors(v)
+	o.nbuf = o.g.AppendNeighbors(o.nbuf[:0], v)
+	nbrs := o.nbuf
 	best := -1
 	bestDeg := -1
 	count := 0
@@ -196,8 +202,10 @@ func (o *Overlay) lowestDegreeNoN(v int) int {
 	best := -1
 	bestDeg := int(^uint(0) >> 1)
 	count := 0
-	for _, u := range o.g.Neighbors(v) {
-		for _, w := range o.g.Neighbors(u) {
+	o.nbuf = o.g.AppendNeighbors(o.nbuf[:0], v)
+	for _, u := range o.nbuf {
+		o.nnbuf = o.g.AppendNeighbors(o.nnbuf[:0], u)
+		for _, w := range o.nnbuf {
 			if w == v || o.g.HasEdge(v, w) {
 				continue
 			}

@@ -117,9 +117,12 @@ func RunFig5(cfg Fig5Config) (components, degree, diameter *Result, err error) {
 			if g.NumNodes() == 0 {
 				return
 			}
-			comp.Points = append(comp.Points, Point{X: float64(deleted), Y: float64(graph.NumComponents(g))})
+			// One CSR snapshot feeds both the component count and the
+			// diameter sweep; the seed built a fresh snapshot for each.
+			ix := g.Snapshot()
+			comp.Points = append(comp.Points, Point{X: float64(deleted), Y: float64(len(ix.Components()))})
 			deg.Points = append(deg.Points, Point{X: float64(deleted), Y: graph.AvgDegreeCentrality(g)})
-			d, _ := graph.DiameterApprox(g, cfg.DiameterSweeps, mrng)
+			d, _ := ix.DiameterApprox(cfg.DiameterSweeps, mrng)
 			diam.Points = append(diam.Points, Point{X: float64(deleted), Y: float64(d)})
 		}
 		measure(0)

@@ -107,8 +107,14 @@ func RunFig6(cfg Fig6Config) (*Result, error) {
 				perm := rng.Perm(n)
 				threshold := n // if it never partitions (cannot happen), report n
 				start := int(float64(n) * cfg.CheckFrom)
-				checkpoint := g.Clone()
-				checkpointAt := 0
+				// lag trails g by at most one coarse stride: one clone up
+				// front, then the same deletions replayed a checkpoint
+				// late. When a coarse connectivity check fails, the exact
+				// threshold is fine-scanned on lag — O(1) amortized per
+				// deletion where the seed cloned the whole graph at every
+				// passing checkpoint.
+				lag := g.Clone()
+				lagAt := 0
 				for i := 0; i < n-1; i++ {
 					g.RemoveNode(perm[i])
 					if i+1 < start {
@@ -118,20 +124,20 @@ func RunFig6(cfg Fig6Config) (*Result, error) {
 					if !coarse {
 						continue
 					}
-					if graph.NumComponents(g) > 1 {
+					if !g.Connected() {
 						// Fine-scan from the last connected checkpoint.
-						fine := checkpoint
-						for j := checkpointAt; j <= i; j++ {
-							fine.RemoveNode(perm[j])
-							if graph.NumComponents(fine) > 1 {
+						for j := lagAt; j <= i; j++ {
+							lag.RemoveNode(perm[j])
+							if !lag.Connected() {
 								threshold = j + 1
 								break
 							}
 						}
 						break
 					}
-					checkpoint = g.Clone()
-					checkpointAt = i + 1
+					for ; lagAt <= i; lagAt++ {
+						lag.RemoveNode(perm[lagAt])
+					}
 				}
 				thresholds[si][trial] = threshold
 			}()

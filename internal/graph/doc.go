@@ -7,7 +7,14 @@
 // Mutation (AddEdge/RemoveNode/...) happens on Graph. Measurement happens
 // on an Indexed snapshot: a compressed adjacency form with dense integer
 // ids that makes repeated BFS cheap. Experiments mutate, snapshot,
-// measure, and repeat.
+// measure, and repeat. Two exceptions to the snapshot rule keep hot
+// loops allocation-free: Graph.Connected answers "still one component?"
+// straight off the adjacency maps (the Fig 6 partition scan asks it
+// after every deletion batch), and AppendNeighbors is the scratch-buffer
+// form of Neighbors for per-step repair scans. All BFS helpers mark
+// visited nodes by stamping a reusable slice with the sweep's generation
+// number, so starting a sweep is a counter bump rather than a reset or
+// an allocation.
 //
 // Determinism: iteration-order-sensitive helpers (Nodes, Neighbors)
 // return sorted slices, so callers that combine them with a seeded RNG

@@ -8,8 +8,19 @@ import (
 // Graph is a mutable, undirected, simple graph over int node ids.
 // The zero value is not usable; call New.
 type Graph struct {
-	adj   map[int]map[int]struct{}
-	edges int
+	adj      map[int]map[int]struct{}
+	edges    int
+	maxID    int // largest id ever added; sizes the Connected scratch
+	minID    int // smallest id ever added; gates the dense fast path
+	peakSize int // largest population ever held; gates the dense fast path
+
+	// Connected's reusable BFS scratch: index-stamped visit slice (a
+	// node is visited iff visit[id] == visitGen, so a new sweep is a
+	// generation bump, not a reset or an allocation) plus the BFS queue.
+	// Clones do not inherit the scratch; it is rebuilt on first use.
+	visit    []uint32
+	visitGen uint32
+	queue    []int
 }
 
 // New returns an empty graph.
@@ -33,6 +44,15 @@ func (g *Graph) HasNode(id int) bool {
 func (g *Graph) AddNode(id int) {
 	if _, ok := g.adj[id]; !ok {
 		g.adj[id] = make(map[int]struct{})
+		if id > g.maxID {
+			g.maxID = id
+		}
+		if id < g.minID {
+			g.minID = id
+		}
+		if len(g.adj) > g.peakSize {
+			g.peakSize = len(g.adj)
+		}
 	}
 }
 
@@ -123,13 +143,24 @@ func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
 
 // Neighbors returns the sorted neighbors of id.
 func (g *Graph) Neighbors(id int) []int {
+	return g.AppendNeighbors(nil, id)
+}
+
+// AppendNeighbors appends the sorted neighbors of id to buf and returns
+// the extended slice — the allocation-free form of Neighbors for hot
+// loops that pass a reused scratch buffer (DDSR repair calls this per
+// prune/floor step).
+func (g *Graph) AppendNeighbors(buf []int, id int) []int {
 	nbrs := g.adj[id]
-	out := make([]int, 0, len(nbrs))
-	for v := range nbrs {
-		out = append(out, v)
+	if buf == nil {
+		buf = make([]int, 0, len(nbrs))
 	}
-	sort.Ints(out)
-	return out
+	start := len(buf)
+	for v := range nbrs {
+		buf = append(buf, v)
+	}
+	sort.Ints(buf[start:])
+	return buf
 }
 
 // Nodes returns all node ids, sorted.
@@ -161,9 +192,82 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.edges) / float64(len(g.adj))
 }
 
-// Clone returns a deep copy.
+// Connected reports whether the graph is connected, without building an
+// Indexed snapshot: one BFS straight over the adjacency maps, visited
+// bookkeeping in the reusable index-stamped scratch. Empty and
+// single-node graphs count as connected. This is the fast path behind
+// partition-threshold scans (Fig 6), which ask "still one component?"
+// after every deletion batch; the answer is independent of traversal
+// order, so the map-iteration start node does not affect determinism.
+//
+// The stamped scratch is indexed by node id, so it assumes the densely
+// packed non-negative ids every generator in this repository produces;
+// graphs with negative or very sparse ids (judged against the peak
+// population, so deletion-heavy scans never lose the fast path) fall
+// back to a map-visited BFS (same answer, per-call allocation).
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n <= 1 {
+		return true
+	}
+	if g.minID < 0 || g.maxID > 4*g.peakSize+1024 {
+		return g.connectedByMap()
+	}
+	if len(g.visit) <= g.maxID {
+		g.visit = make([]uint32, g.maxID+1)
+		g.visitGen = 0
+	}
+	g.visitGen++
+	if g.visitGen == 0 {
+		clear(g.visit)
+		g.visitGen = 1
+	}
+	gen := g.visitGen
+	g.queue = g.queue[:0]
+	for id := range g.adj {
+		g.visit[id] = gen
+		g.queue = append(g.queue, id)
+		break // any start node: connectivity is order-independent
+	}
+	reached := 1
+	for head := 0; head < len(g.queue); head++ {
+		for v := range g.adj[g.queue[head]] {
+			if g.visit[v] != gen {
+				g.visit[v] = gen
+				g.queue = append(g.queue, v)
+				reached++
+			}
+		}
+	}
+	return reached == n
+}
+
+// connectedByMap is Connected's fallback for id spaces the stamped
+// scratch cannot index.
+func (g *Graph) connectedByMap() bool {
+	visited := make(map[int]struct{}, len(g.adj))
+	queue := make([]int, 0, len(g.adj))
+	for id := range g.adj {
+		visited[id] = struct{}{}
+		queue = append(queue, id)
+		break
+	}
+	for head := 0; head < len(queue); head++ {
+		for v := range g.adj[queue[head]] {
+			if _, ok := visited[v]; !ok {
+				visited[v] = struct{}{}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(visited) == len(g.adj)
+}
+
+// Clone returns a deep copy (without the Connected scratch, which the
+// copy rebuilds on first use).
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make(map[int]map[int]struct{}, len(g.adj)), edges: g.edges}
+	c := &Graph{adj: make(map[int]map[int]struct{}, len(g.adj)), edges: g.edges,
+		maxID: g.maxID, minID: g.minID, peakSize: g.peakSize}
 	for u, nbrs := range g.adj {
 		m := make(map[int]struct{}, len(nbrs))
 		for v := range nbrs {

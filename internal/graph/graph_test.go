@@ -154,3 +154,37 @@ func TestGraphPropertyRandomMutations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestConnectedSparseAndNegativeIDs(t *testing.T) {
+	// Negative and hash-like sparse ids take the map-visited fallback;
+	// the answer must match the snapshot-based component count.
+	g := New()
+	g.AddEdge(-5, 1000000007)
+	g.AddEdge(1000000007, 3)
+	if !g.Connected() {
+		t.Fatal("3-node path reported disconnected")
+	}
+	g.AddNode(42)
+	if g.Connected() {
+		t.Fatal("graph with isolated node reported connected")
+	}
+	if got := NumComponents(g); got != 2 {
+		t.Fatalf("NumComponents = %d, want 2", got)
+	}
+}
+
+func TestConnectedMatchesComponents(t *testing.T) {
+	rng := sim.NewRNG(31)
+	g, err := RandomRegular(60, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(60)
+	for i := 0; i < 57; i++ {
+		g.RemoveNode(perm[i])
+		want := NumComponents(g) <= 1
+		if got := g.Connected(); got != want {
+			t.Fatalf("after %d deletions: Connected=%v, NumComponents says %v", i+1, got, want)
+		}
+	}
+}

@@ -48,27 +48,50 @@ func (ix *Indexed) N() int { return len(ix.IDs) }
 func (ix *Indexed) Degree(i int) int { return int(ix.off[i+1] - ix.off[i]) }
 
 // bfsScratch holds reusable BFS buffers so that metric loops allocate
-// once per snapshot rather than once per source.
+// once per snapshot rather than once per source. Visited bookkeeping is
+// index-stamped: stamp[i] == gen marks node i as reached by the current
+// sweep, so starting a new BFS is a generation bump instead of an O(n)
+// slice reset (and instead of the per-sweep map or []bool allocations
+// the seed helpers paid).
 type bfsScratch struct {
 	dist  []int32
+	stamp []uint32
+	gen   uint32
 	queue []int32
 }
 
 func (ix *Indexed) newScratch() *bfsScratch {
 	return &bfsScratch{
 		dist:  make([]int32, ix.N()),
+		stamp: make([]uint32, ix.N()),
 		queue: make([]int32, 0, ix.N()),
 	}
 }
 
-// bfs runs a breadth-first search from src and returns (sum of distances
-// to reached nodes, number of reached nodes including src, eccentricity).
-func (ix *Indexed) bfs(src int32, sc *bfsScratch) (sum int64, reached int, ecc int32) {
-	for i := range sc.dist {
-		sc.dist[i] = -1
+// next advances the scratch to a fresh generation, handling the (in
+// practice unreachable) uint32 wraparound with one full reset.
+func (sc *bfsScratch) next() {
+	sc.gen++
+	if sc.gen == 0 {
+		clear(sc.stamp)
+		sc.gen = 1
 	}
 	sc.queue = sc.queue[:0]
+}
+
+// seen reports whether i was visited in the current generation.
+func (sc *bfsScratch) seen(i int32) bool { return sc.stamp[i] == sc.gen }
+
+// visit marks i visited in the current generation.
+func (sc *bfsScratch) visit(i int32) { sc.stamp[i] = sc.gen }
+
+// bfs runs a breadth-first search from src and returns (sum of distances
+// to reached nodes, number of reached nodes including src, eccentricity).
+// Callers reading sc.dist afterwards must gate each entry on sc.seen.
+func (ix *Indexed) bfs(src int32, sc *bfsScratch) (sum int64, reached int, ecc int32) {
+	sc.next()
 	sc.dist[src] = 0
+	sc.visit(src)
 	sc.queue = append(sc.queue, src)
 	reached = 1
 	for head := 0; head < len(sc.queue); head++ {
@@ -79,7 +102,8 @@ func (ix *Indexed) bfs(src int32, sc *bfsScratch) (sum int64, reached int, ecc i
 		}
 		sum += int64(du)
 		for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
-			if sc.dist[v] < 0 {
+			if !sc.seen(v) {
+				sc.visit(v)
 				sc.dist[v] = du + 1
 				sc.queue = append(sc.queue, v)
 				reached++

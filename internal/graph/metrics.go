@@ -16,24 +16,24 @@ func NumComponents(g *Graph) int { return len(Components(g)) }
 // Components returns component sizes, largest first.
 func (ix *Indexed) Components() []int {
 	n := ix.N()
-	seen := make([]bool, n)
-	queue := make([]int32, 0, n)
+	sc := ix.newScratch()
+	sc.next()
 	var sizes []int
 	for s := 0; s < n; s++ {
-		if seen[s] {
+		if sc.seen(int32(s)) {
 			continue
 		}
 		size := 0
-		queue = queue[:0]
-		queue = append(queue, int32(s))
-		seen[s] = true
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
+		head := len(sc.queue)
+		sc.queue = append(sc.queue, int32(s))
+		sc.visit(int32(s))
+		for ; head < len(sc.queue); head++ {
+			u := sc.queue[head]
 			size++
 			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
-				if !seen[v] {
-					seen[v] = true
-					queue = append(queue, v)
+				if !sc.seen(v) {
+					sc.visit(v)
+					sc.queue = append(sc.queue, v)
 				}
 			}
 		}
@@ -132,8 +132,8 @@ func (ix *Indexed) Diameter() (diam int, connected bool) {
 	if n == 0 {
 		return 0, true
 	}
-	members := largestComponentMembers(ix)
 	sc := ix.newScratch()
+	members := largestComponentMembers(ix, sc)
 	var max int32
 	for _, s := range members {
 		_, _, ecc := ix.bfs(s, sc)
@@ -171,15 +171,16 @@ func (ix *Indexed) DiameterApprox(sweeps int, rng *sim.RNG) (diam int, connected
 	connected = reached == n
 
 	// Identify the largest component so sweeps start inside it.
-	members := largestComponentMembers(ix)
+	members := largestComponentMembers(ix, sc)
 	var best int32
 	for s := 0; s < sweeps; s++ {
 		src := members[rng.Intn(len(members))]
 		_, _, _ = ix.bfs(src, sc)
-		// Farthest node from src (scan dist).
+		// Farthest node from src: scan dist ascending by index, gated on
+		// the visit stamp (unstamped entries hold stale generations).
 		far, fd := src, int32(0)
 		for i, d := range sc.dist {
-			if d > fd {
+			if sc.stamp[i] == sc.gen && d > fd {
 				far, fd = int32(i), d
 			}
 		}
@@ -194,31 +195,31 @@ func (ix *Indexed) DiameterApprox(sweeps int, rng *sim.RNG) (diam int, connected
 // largestComponentMembers runs the shared largest-component scan: one
 // BFS sweep labelling every component, returning the members of the
 // biggest. Diameter and DiameterApprox both restrict their eccentricity
-// sweeps to it. On an empty graph it returns {0} for the convenience of
-// sweep callers, which never see that case (they guard n == 0).
-func largestComponentMembers(ix *Indexed) []int32 {
+// sweeps to it, passing their scratch (whose generation this consumes).
+// On an empty graph it returns {0} for the convenience of sweep
+// callers, which never see that case (they guard n == 0).
+func largestComponentMembers(ix *Indexed, sc *bfsScratch) []int32 {
 	n := ix.N()
-	seen := make([]bool, n)
-	queue := make([]int32, 0, n)
+	sc.next()
 	var best []int32
 	for s := 0; s < n; s++ {
-		if seen[s] {
+		if sc.seen(int32(s)) {
 			continue
 		}
-		queue = queue[:0]
-		queue = append(queue, int32(s))
-		seen[s] = true
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
+		sc.queue = sc.queue[:0]
+		sc.queue = append(sc.queue, int32(s))
+		sc.visit(int32(s))
+		for head := 0; head < len(sc.queue); head++ {
+			u := sc.queue[head]
 			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
-				if !seen[v] {
-					seen[v] = true
-					queue = append(queue, v)
+				if !sc.seen(v) {
+					sc.visit(v)
+					sc.queue = append(sc.queue, v)
 				}
 			}
 		}
-		if len(queue) > len(best) {
-			best = append(best[:0:0], queue...)
+		if len(sc.queue) > len(best) {
+			best = append(best[:0:0], sc.queue...)
 		}
 	}
 	if best == nil {

@@ -1,0 +1,89 @@
+package sim
+
+import "time"
+
+// Batched recurring timers. A simulation with n bots, each running an
+// Every(period) maintenance timer, pays n heap insertions per period and
+// keeps n pending events alive. EveryBatched collapses all subscribers
+// that share a (period, subscription instant) pair into one recurring
+// wheel event that iterates the due callbacks in subscription order —
+// one event per period per setup burst, regardless of population.
+//
+// Ordering contract: within a batch, subscribers run back to back in
+// subscription order — the order their individual timers would have
+// fired, since simultaneous events fire FIFO. Against other same-instant
+// events, the batch event occupies the sequence position of the *first*
+// subscriber's individual timer: it is created when that subscriber
+// subscribes and reschedules at every instant the individual timers
+// would all have rescheduled. That makes batching output-identical to
+// individual Every timers provided no *foreign* event, scheduled
+// between two subscriptions of the same burst, fires at exactly a tick
+// instant of the batch (it would interleave between individual timers
+// but sort entirely before or after the batch; the repository's bot
+// populations subscribe contiguously at setup, and the CI byte-compare
+// holds). Subscribers arriving at a *different* virtual instant never
+// join an existing batch (even when their phase lines up) precisely
+// because their individual timer would have carried a fresh sequence
+// number; they start a new batch, which for a population trickling in
+// one at a time degrades gracefully to per-subscriber timers.
+type batchKey struct {
+	period  int64
+	created int64 // virtual ns the batch was created; implies the phase
+}
+
+// tickBatch is the shared recurring event for one (period, instant).
+// Note the key is (period, instant) only, not the call site: distinct
+// logical timer groups subscribed interleaved at one instant with one
+// period merge into a single batch, which preserves exactly the
+// interleaved subscription order their individual timers would fire in.
+type tickBatch struct {
+	subs []func() bool
+}
+
+// EveryBatched schedules fn like Every(d, fn) — first run d from now,
+// repeating while fn returns true — but multiplexes every subscriber
+// with the same period and subscription instant onto a single recurring
+// event. Use it for per-entity maintenance timers in large populations
+// built in setup bursts. A non-positive d is rejected by doing nothing.
+func (s *Scheduler) EveryBatched(d time.Duration, fn func() bool) {
+	if d <= 0 {
+		return
+	}
+	key := batchKey{period: int64(d), created: s.nowNS}
+	if s.batches == nil {
+		s.batches = make(map[batchKey]*tickBatch)
+	}
+	if b, ok := s.batches[key]; ok {
+		b.subs = append(b.subs, fn)
+		return
+	}
+	b := &tickBatch{subs: []func() bool{fn}}
+	s.batches[key] = b
+	first := true
+	s.Every(d, func() bool {
+		if first {
+			// Joins are only possible at the creation instant, which has
+			// passed by the first tick; drop the lookup entry so a
+			// trickling population does not accumulate dead map keys.
+			first = false
+			delete(s.batches, key)
+		}
+		// Compact in place with an explicit index: a subscriber's fn may
+		// append to b.subs mid-iteration (a same-instant EveryBatched
+		// call from inside a tick); re-reading len each step keeps it.
+		w := 0
+		for i := 0; i < len(b.subs); i++ {
+			sub := b.subs[i]
+			if sub() {
+				b.subs[w] = sub
+				w++
+			}
+		}
+		// Zero dropped tails so unsubscribed closures become collectable.
+		for i := w; i < len(b.subs); i++ {
+			b.subs[i] = nil
+		}
+		b.subs = b.subs[:w]
+		return len(b.subs) > 0
+	})
+}

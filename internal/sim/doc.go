@@ -3,9 +3,16 @@
 //
 // The kernel has two halves:
 //
-//   - Scheduler: a virtual clock plus an event priority queue. Events
+//   - Scheduler: a virtual clock plus an event queue — a hierarchical
+//     timer wheel cascading into a small near-term heap, with a pooled
+//     event arena so steady-state scheduling allocates nothing. Events
 //     scheduled for the same instant fire in FIFO order (stable sequence
-//     numbers), so a run is bit-reproducible given the same inputs.
+//     numbers), so a run is bit-reproducible given the same inputs;
+//     HeapScheduler keeps the original container/heap queue as the
+//     executable specification the wheel is differentially tested
+//     against. EveryBatched multiplexes recurring per-entity timers that
+//     share a period and subscription instant onto one wheel event,
+//     output-identically to individual Every timers.
 //   - RNG: a seeded PCG random stream with the helpers the experiments
 //     need (permutations, weighted coins, byte strings). All randomness in
 //     a run must flow through one RNG so that a single seed reproduces an

@@ -20,7 +20,6 @@ type Consensus struct {
 	PublishedAt time.Time
 	Relays      []RelayInfo // sorted by fingerprint
 	hsdirs      []Fingerprint
-	hsdirSet    map[Fingerprint]struct{}
 }
 
 func newConsensus(at time.Time, infos []RelayInfo) *Consensus {
@@ -28,12 +27,10 @@ func newConsensus(at time.Time, infos []RelayInfo) *Consensus {
 	c := &Consensus{
 		PublishedAt: at,
 		Relays:      infos,
-		hsdirSet:    make(map[Fingerprint]struct{}),
 	}
 	for _, ri := range infos {
 		if ri.HSDir {
 			c.hsdirs = append(c.hsdirs, ri.FP)
-			c.hsdirSet[ri.FP] = struct{}{}
 		}
 	}
 	return c
@@ -45,10 +42,12 @@ func (c *Consensus) NumRelays() int { return len(c.Relays) }
 // NumHSDirs reports how many relays currently hold the HSDir flag.
 func (c *Consensus) NumHSDirs() int { return len(c.hsdirs) }
 
-// IsHSDir reports whether fp holds the HSDir flag.
+// IsHSDir reports whether fp holds the HSDir flag. The hsdirs slice is
+// already fingerprint-sorted for ring lookups, so membership is a
+// binary search — no per-consensus set to build or rehash.
 func (c *Consensus) IsHSDir(fp Fingerprint) bool {
-	_, ok := c.hsdirSet[fp]
-	return ok
+	i := sort.Search(len(c.hsdirs), func(i int) bool { return !c.hsdirs[i].Less(fp) })
+	return i < len(c.hsdirs) && c.hsdirs[i] == fp
 }
 
 // ResponsibleHSDirs returns the HSDirsPerReplica directory fingerprints

@@ -32,6 +32,10 @@ type Config struct {
 	// HopLatency is the virtual per-hop delivery delay applied to DATA
 	// cells end to end. Default 50ms.
 	HopLatency time.Duration
+	// NewDescriptorStore constructs the per-HSDir descriptor backend.
+	// Default NewShardedDescriptorStore; set to NewFlatDescriptorStore
+	// (or a custom backend) to swap the storage layer network-wide.
+	NewDescriptorStore func() DescriptorStore
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HopLatency == 0 {
 		c.HopLatency = 50 * time.Millisecond
+	}
+	if c.NewDescriptorStore == nil {
+		c.NewDescriptorStore = func() DescriptorStore { return NewShardedDescriptorStore() }
 	}
 	return c
 }
@@ -76,8 +83,8 @@ type Network struct {
 	sched     *sim.Scheduler
 	rng       *sim.RNG
 	cfg       Config
-	relays    map[Fingerprint]*Relay
-	order     []Fingerprint // insertion order, for deterministic iteration
+	relays    *relayTable
+	order     []*Relay // insertion order (swap-removed; consensus sorts)
 	consensus *Consensus
 	nextCirc  uint64
 	stats     NetworkStats
@@ -134,7 +141,7 @@ func NewNetwork(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
 		sched:          sched,
 		rng:            rng,
 		cfg:            cfg.withDefaults(),
-		relays:         make(map[Fingerprint]*Relay),
+		relays:         newRelayTable(),
 		verifiedDescs:  make(map[[sha256.Size]byte]struct{}),
 		verifiedIntros: make(map[[ed25519.PublicKeySize + ed25519.SignatureSize]byte]struct{}),
 		cellCipher:     block,
@@ -222,7 +229,7 @@ func (n *Network) AddRelay() (*Relay, error) {
 // 25-hour HSDir-flag delay still applies, which is the timing constraint
 // the paper highlights.
 func (n *Network) InjectRelayAtFingerprint(fp Fingerprint) (*Relay, error) {
-	if _, dup := n.relays[fp]; dup {
+	if n.relays.get(fp) != nil {
 		return nil, fmt.Errorf("tor: fingerprint %s already present", fp)
 	}
 	r := n.newRelay(nil, fp)
@@ -231,7 +238,7 @@ func (n *Network) InjectRelayAtFingerprint(fp Fingerprint) (*Relay, error) {
 
 func (n *Network) addRelayWithIdentity(id *Identity) (*Relay, error) {
 	fp := id.Fingerprint()
-	if _, dup := n.relays[fp]; dup {
+	if n.relays.get(fp) != nil {
 		return nil, fmt.Errorf("tor: fingerprint %s already present", fp)
 	}
 	return n.newRelay(id, fp), nil
@@ -246,15 +253,16 @@ func (n *Network) newRelay(id *Identity, fp Fingerprint) *Relay {
 		circuits:       make(map[uint64]*relayCirc),
 		introByService: make(map[ServiceID]uint64),
 		rendByCookie:   make(map[[cookieSize]byte]uint64),
-		store:          make(map[DescriptorID]*Descriptor),
+		store:          n.cfg.NewDescriptorStore(),
 	}
-	n.relays[fp] = r
-	n.order = append(n.order, fp)
+	n.relays.put(fp, r)
+	r.orderIdx = len(n.order)
+	n.order = append(n.order, r)
 	return r
 }
 
 // Relay returns the live relay for a fingerprint, or nil.
-func (n *Network) Relay(fp Fingerprint) *Relay { return n.relays[fp] }
+func (n *Network) Relay(fp Fingerprint) *Relay { return n.relays.get(fp) }
 
 // RemoveRelay kills a relay (operator shutdown, seizure, DoS). Every
 // circuit through it is destroyed in both directions — connections
@@ -262,7 +270,7 @@ func (n *Network) Relay(fp Fingerprint) *Relay { return n.relays[fp] }
 // point hosted there. The relay leaves future consensuses at the next
 // publication.
 func (n *Network) RemoveRelay(fp Fingerprint) {
-	r := n.relays[fp]
+	r := n.relays.get(fp)
 	if r == nil {
 		return
 	}
@@ -294,13 +302,17 @@ func (n *Network) RemoveRelay(fp Fingerprint) {
 		}
 		r.destroyBackward(rc, id)
 	}
-	delete(n.relays, fp)
-	for i, o := range n.order {
-		if o == fp {
-			n.order = append(n.order[:i], n.order[i+1:]...)
-			break
-		}
+	n.relays.remove(fp)
+	// Swap-remove from the insertion-order slice: O(1) per removal, and
+	// harmless to determinism because PublishConsensus sorts its snapshot
+	// by fingerprint before anything consumes it.
+	last := len(n.order) - 1
+	if moved := n.order[last]; moved != r {
+		n.order[r.orderIdx] = moved
+		moved.orderIdx = r.orderIdx
 	}
+	n.order[last] = nil
+	n.order = n.order[:last]
 }
 
 // destroyBackward walks toward the circuit origin deleting state and
@@ -337,17 +349,16 @@ func sortUint64(xs []uint64) {
 }
 
 // NumRelays reports how many relays are joined.
-func (n *Network) NumRelays() int { return len(n.relays) }
+func (n *Network) NumRelays() int { return n.relays.len() }
 
 // PublishConsensus snapshots the relay list, assigning the HSDir flag to
 // relays with sufficient uptime.
 func (n *Network) PublishConsensus() *Consensus {
 	now := n.Now()
 	infos := make([]RelayInfo, 0, len(n.order))
-	for _, fp := range n.order {
-		r := n.relays[fp]
+	for _, r := range n.order {
 		infos = append(infos, RelayInfo{
-			FP:    fp,
+			FP:    r.fp,
 			HSDir: r.Uptime(now) >= n.cfg.HSDirUptime,
 		})
 	}
@@ -398,7 +409,7 @@ func (n *Network) pickPath(terminal Fingerprint) ([]*Relay, error) {
 	var terminalRelay *Relay
 	hops := n.cfg.PathLen
 	if terminal != (Fingerprint{}) {
-		terminalRelay = n.relays[terminal]
+		terminalRelay = n.relays.get(terminal)
 		if terminalRelay == nil {
 			return nil, fmt.Errorf("tor: terminal relay %s not found", terminal)
 		}
@@ -411,7 +422,7 @@ func (n *Network) pickPath(terminal Fingerprint) ([]*Relay, error) {
 	}
 	path := make([]*Relay, 0, n.cfg.PathLen)
 	for _, fp := range fps {
-		r := n.relays[fp]
+		r := n.relays.get(fp)
 		if r == nil {
 			return nil, fmt.Errorf("tor: consensus lists dead relay %s", fp)
 		}

@@ -464,7 +464,9 @@ func (p *OnionProxy) Host(identity *Identity, handler func(*Conn)) (*HiddenServi
 		return nil, err
 	}
 	p.services[sid] = hs
-	p.net.sched.Every(p.net.cfg.ConsensusInterval, func() bool {
+	// Batched: every service hosted at the same instant shares one
+	// republish/repair wheel event per consensus interval.
+	p.net.sched.EveryBatched(p.net.cfg.ConsensusInterval, func() bool {
 		if hs.stopped {
 			return false
 		}

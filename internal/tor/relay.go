@@ -27,11 +27,12 @@ type RelayStats struct {
 
 // Relay is one simulated onion router.
 type Relay struct {
-	id     *Identity
-	fp     Fingerprint
-	net    *Network
-	joined time.Time
-	stats  RelayStats
+	id       *Identity
+	fp       Fingerprint
+	net      *Network
+	joined   time.Time
+	orderIdx int // position in Network.order, maintained by swap-remove
+	stats    RelayStats
 	// malicious marks an adversary-controlled relay (Section VI-A): it
 	// accepts descriptor uploads but refuses to serve them, denying
 	// access to the hidden service.
@@ -46,8 +47,8 @@ type Relay struct {
 	// circuit.
 	rendByCookie map[[cookieSize]byte]uint64
 	// store holds hidden-service descriptors when this relay is an
-	// HSDir.
-	store map[DescriptorID]*Descriptor
+	// HSDir; the backend comes from Config.NewDescriptorStore.
+	store DescriptorStore
 }
 
 const cookieSize = 16
@@ -104,7 +105,7 @@ func (r *Relay) StoreDescriptor(id DescriptorID, d *Descriptor) error {
 	if err := r.net.verifyDescriptor(sid, d); err != nil {
 		return err
 	}
-	r.store[id] = d.clone()
+	r.store.Put(id, d.clone())
 	r.stats.DescriptorsStored++
 	return nil
 }
@@ -115,12 +116,12 @@ func (r *Relay) FetchDescriptor(id DescriptorID) *Descriptor {
 	if r.malicious {
 		return nil
 	}
-	d, ok := r.store[id]
+	d, ok := r.store.Get(id)
 	if !ok {
 		return nil
 	}
 	if r.net.Now().Sub(d.PublishedAt) > r.net.cfg.DescriptorTTL {
-		delete(r.store, id)
+		r.store.Delete(id)
 		return nil
 	}
 	r.stats.DescriptorsServed++
@@ -136,7 +137,7 @@ func (r *Relay) wouldServe(id DescriptorID, d *Descriptor) bool {
 	if r.malicious {
 		return false
 	}
-	s, ok := r.store[id]
+	s, ok := r.store.Get(id)
 	if !ok {
 		return false
 	}
