@@ -12,7 +12,7 @@ BENCHTIME ?= 200x
 # fast paths from PR 1.
 BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial
 
-.PHONY: all build test bench determinism sweep-smoke
+.PHONY: all build test bench determinism sweep-smoke linkcheck
 
 all: build test
 
@@ -40,3 +40,18 @@ sweep-smoke:
 	$(GO) build -o /tmp/onionsim-ci ./cmd/onionsim
 	/tmp/onionsim-ci -sweep examples/sweep/fig6-grid.json -parallel 4 -json > /dev/null
 	/tmp/onionsim-ci -sweep examples/sweep/fig5-fig6-quick.json -parallel 4 -json > /dev/null
+	# The churn grid doubles as the dynamic-membership determinism gate:
+	# the full JSON document must be byte-identical at any worker count.
+	/tmp/onionsim-ci -sweep examples/sweep/churn-grid.json -parallel 1 -json > /tmp/onionsim-churn-p1.json
+	/tmp/onionsim-ci -sweep examples/sweep/churn-grid.json -parallel 4 -json > /tmp/onionsim-churn-p4.json
+	cmp /tmp/onionsim-churn-p1.json /tmp/onionsim-churn-p4.json
+
+# linkcheck fails on dangling docs/*.md references anywhere in the tree
+# (markdown or Go docs), so the handbook cannot silently rot.
+linkcheck:
+	@refs=$$(grep -rhoE 'docs/[A-Za-z0-9_.-]+\.md' --include='*.md' --include='*.go' . | sort -u); \
+	status=0; \
+	for f in $$refs; do \
+		if [ ! -f "$$f" ]; then echo "dangling doc reference: $$f"; status=1; fi; \
+	done; \
+	exit $$status

@@ -7,11 +7,15 @@
 //	onionsim -list
 //	onionsim -exp fig4 [-quick] [-seed 1] [-parallel 8] [-csv dir] [-json]
 //	onionsim -exp all -quick
+//	onionsim -exp churn-repair -quick -churn '{"process":"poisson","leave":16}'
 //	onionsim -sweep examples/sweep/fig6-grid.json -parallel 8 -json
+//	onionsim -sweep examples/sweep/churn-grid.json -parallel 8
 //	onionsim -sweep examples/sweep/fig5-fig6-quick.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -exp takes a registered experiment ID, a comma-separated list, or
-// "all"; -list prints the registry. Experiments fan out across a
+// "all"; -list prints the registry; -churn hands every -exp task an
+// inline churn spec (see internal/churn and docs/EXPERIMENTS.md).
+// Experiments fan out across a
 // worker pool (-parallel, default one worker per CPU); output is
 // byte-identical at any parallelism because every task runs on its own
 // RNG substream derived from (seed, task label). The one exception:
@@ -33,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"onionbots/internal/churn"
 	"onionbots/internal/experiment"
 )
 
@@ -49,6 +54,7 @@ func run() error {
 		quick    = flag.Bool("quick", false, "use scaled-down parameters")
 		csvDir   = flag.String("csv", "", "also write each result as CSV into this directory")
 		seed     = flag.Uint64("seed", 1, "root seed; every task derives its own substream from it")
+		churnStr = flag.String("churn", "", `inline churn spec applied to -exp tasks, e.g. '{"process":"poisson","leave":8}'`)
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value; see package doc for the full-mode probing exception)")
 		sweep    = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
@@ -110,18 +116,18 @@ func run() error {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "quick", "seed":
+			case "exp", "quick", "seed", "churn":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
 		if len(conflict) > 0 {
-			return fmt.Errorf("-sweep takes experiments, quick, and seeds from the spec file; drop %s",
+			return fmt.Errorf("-sweep takes experiments, quick, seeds, and churn from the spec file; drop %s",
 				strings.Join(conflict, ", "))
 		}
 		return runSweep(runner, *sweep, *jsonOut, *csvDir)
 	}
 
-	tasks, err := buildTasks(*exp, *quick, *seed)
+	tasks, err := buildTasks(*exp, *quick, *seed, *churnStr)
 	if err != nil {
 		return err
 	}
@@ -157,8 +163,10 @@ func run() error {
 
 // buildTasks resolves -exp into one task per selected experiment. The
 // task label is the experiment ID, so `-exp fig6 -seed 1` and
-// `-exp all -seed 1` run fig6 on the same substream.
-func buildTasks(exp string, quick bool, seed uint64) ([]experiment.Task, error) {
+// `-exp all -seed 1` run fig6 on the same substream. A non-empty
+// churnStr is parsed as an inline churn.Spec and handed to every task
+// (experiments without a churn phase ignore it).
+func buildTasks(exp string, quick bool, seed uint64, churnStr string) ([]experiment.Task, error) {
 	ids := experiment.IDs()
 	if exp != "all" {
 		ids = strings.Split(exp, ",")
@@ -168,12 +176,20 @@ func buildTasks(exp string, quick bool, seed uint64) ([]experiment.Task, error) 
 			}
 		}
 	}
+	var cspec *churn.Spec
+	if churnStr != "" {
+		spec, err := churn.ParseSpec([]byte(churnStr))
+		if err != nil {
+			return nil, fmt.Errorf("-churn: %w", err)
+		}
+		cspec = &spec
+	}
 	tasks := make([]experiment.Task, 0, len(ids))
 	for _, id := range ids {
 		tasks = append(tasks, experiment.Task{
 			Label:      id,
 			Experiment: id,
-			Params:     experiment.Params{Quick: quick, Seed: seed},
+			Params:     experiment.Params{Quick: quick, Seed: seed, Churn: cspec},
 		})
 	}
 	return tasks, nil

@@ -27,12 +27,27 @@ type EncryptionKeyPair struct {
 }
 
 // NewEncryptionKeyPair derives a keypair from the given entropy source.
+// The seed is read explicitly rather than through ecdh's GenerateKey:
+// the stdlib inserts a randomized zero-or-one-byte read
+// (randutil.MaybeReadByte) before consuming the seed, which would make
+// every byte a seeded DRBG hands out afterwards — and therefore whole
+// simulation runs — differ run to run on a coin flip.
 func NewEncryptionKeyPair(random io.Reader) (*EncryptionKeyPair, error) {
-	priv, err := ecdh.X25519().GenerateKey(random)
+	priv, err := x25519KeyFrom(random)
 	if err != nil {
 		return nil, fmt.Errorf("botcrypto: X25519 keygen: %w", err)
 	}
 	return &EncryptionKeyPair{Priv: priv, Pub: priv.PublicKey()}, nil
+}
+
+// x25519KeyFrom reads exactly 32 bytes from random and forms an X25519
+// private key — GenerateKey minus the deliberate stdlib nondeterminism.
+func x25519KeyFrom(random io.Reader) (*ecdh.PrivateKey, error) {
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(random, seed); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(seed)
 }
 
 // SealToPublic encrypts msg so only the holder of pub's private key can
@@ -40,7 +55,7 @@ func NewEncryptionKeyPair(random io.Reader) (*EncryptionKeyPair, error) {
 // output is ephemeralPub(32) || SealedSize bytes; like every sealed
 // cell, it is indistinguishable from random on the wire.
 func SealToPublic(pub *ecdh.PublicKey, msg []byte, random io.Reader) ([]byte, error) {
-	eph, err := ecdh.X25519().GenerateKey(random)
+	eph, err := x25519KeyFrom(random)
 	if err != nil {
 		return nil, fmt.Errorf("%w: ephemeral keygen: %v", ErrECIES, err)
 	}

@@ -1,0 +1,75 @@
+package botcrypto
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+)
+
+// Key generation must consume a fixed number of DRBG bytes: the stdlib
+// ecdh GenerateKey inserts a randomized zero-or-one-byte read
+// (randutil.MaybeReadByte), which once made every byte the botmaster's
+// DRBG handed out after X25519 keygen — its network key, its identity
+// seed, and therefore the C&C onion address and the whole simulation —
+// differ run to run on a coin flip. The churn-hotlist experiment
+// exposed it: the C&C's descriptor-rollover hour depends on its
+// service id, so the flip moved a protocol-visible outage window.
+func TestEncryptionKeyPairDeterministicFromDRBG(t *testing.T) {
+	gen := func() ([]byte, []byte) {
+		d := NewDRBG([]byte("keygen-det"))
+		kp, err := NewEncryptionKeyPair(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The next read exposes the DRBG position: it shifts if keygen
+		// consumed a variable byte count.
+		return kp.Pub.Bytes(), d.Bytes(32)
+	}
+	pub0, next0 := gen()
+	for i := 0; i < 32; i++ {
+		pub, next := gen()
+		if !bytes.Equal(pub, pub0) {
+			t.Fatalf("X25519 keypair differs on rerun %d", i)
+		}
+		if !bytes.Equal(next, next0) {
+			t.Fatalf("DRBG position differs after keygen on rerun %d", i)
+		}
+	}
+}
+
+func TestSealToPublicDeterministicFromDRBG(t *testing.T) {
+	recipient, err := NewEncryptionKeyPair(NewDRBG([]byte("recipient")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal := func() []byte {
+		d := NewDRBG([]byte("sealer"))
+		out, err := SealToPublic(recipient.Pub, []byte("K_B material here, 32 bytes long"), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := seal()
+	for i := 0; i < 32; i++ {
+		if !bytes.Equal(seal(), first) {
+			t.Fatalf("SealToPublic output differs on rerun %d (ephemeral keygen leaked stdlib randomness)", i)
+		}
+	}
+}
+
+func TestEd25519KeygenDeterministicFromDRBG(t *testing.T) {
+	gen := func() ed25519.PublicKey {
+		pub, _, err := ed25519.GenerateKey(NewDRBG([]byte("ed-det")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pub
+	}
+	first := gen()
+	for i := 0; i < 32; i++ {
+		if !bytes.Equal(gen(), first) {
+			t.Fatalf("ed25519.GenerateKey nondeterministic on rerun %d — wrap it like x25519KeyFrom", i)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package churn generates dynamic-membership scenarios: deterministic
+// processes that join, remove, and mass-takedown members of a running
+// population on the simulation's virtual clock. The paper evaluates
+// resilience under one-shot deletion (Figs 5/6); real botnet
+// populations churn continuously, and the mitigation literature (SOAP
+// campaigns, regional cleanups) acts on exactly those dynamics — this
+// package makes them a first-class experiment axis.
+//
+// # Model
+//
+// An Engine binds a Target — any population with join/leave semantics —
+// to the scheduler and records an Event trace. Processes attach to the
+// engine and compose freely:
+//
+//   - Poisson: memoryless join/leave at fixed mean rates, exponential
+//     inter-arrival times drawn from the process's RNG substream.
+//   - Diurnal: the same process under sinusoidal day/night rate
+//     modulation, realized by thinning so arrivals stay a pure
+//     function of the substream.
+//   - Takedown: a correlated mass removal at one scheduled instant —
+//     a fraction of one region, or a random member's k-hop overlay
+//     neighborhood.
+//
+// Two target adapters ship here: OverlayTarget drives a ddsr.Maintainer
+// (the graph-level DDSR overlay or the no-repair Normal baseline, with
+// joins under the policy via ddsr.Joiner), and BotNetTarget drives a
+// protocol-level core.BotNet (joins are real infections, leaves are
+// takedowns).
+//
+// # Determinism
+//
+// Every process draws all of its randomness — arrival times, thinning,
+// member selection — from a private substream derived at Attach time
+// as sim.NewSubstream(engineSeed, "churn/"+name). Events execute on
+// the single-threaded scheduler in (time, sequence) order. The trace
+// is therefore a pure function of (seed, process set, initial target
+// state): a swept churn axis is byte-identical at any -parallel value,
+// the same contract the experiment runner gives task seeds.
+//
+// # Specs
+//
+// Spec is the declarative JSON form ({"process": "poisson", "leave":
+// 8}) used by experiment.Params.Churn and the sweep schema's "churn"
+// axis; Spec.Label renders it into task labels so distinct specs land
+// on distinct substreams. See docs/EXPERIMENTS.md for the end-to-end
+// walkthrough of posing a churn question as a sweep.
+package churn

@@ -1,0 +1,176 @@
+package churn
+
+import (
+	"fmt"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// Target is a population a churn process can act on. The engine calls
+// these from inside scheduler events, so implementations must be
+// synchronous and must draw any randomness from the rng they are
+// handed — that rng belongs to the calling process's substream, which
+// is what keeps a swept churn axis deterministic at any parallelism.
+type Target interface {
+	// Size reports the current population.
+	Size() int
+	// Join admits one fresh member, reporting whether a member was
+	// actually added (a target may not support joins, or may fail).
+	Join(rng *sim.RNG) bool
+	// Leave removes one uniformly random member, reporting whether a
+	// member was actually removed (false on an empty population).
+	Leave(rng *sim.RNG) bool
+}
+
+// Regional is a Target partitioned into regions, supporting the
+// correlated regional takedowns of the mitigation literature (ISP
+// cleanups, national CERT actions) where a whole slice of the
+// population disappears at one instant.
+type Regional interface {
+	Target
+	// Regions reports the partition count.
+	Regions() int
+	// TakedownRegion removes frac of region's current members (chosen
+	// uniformly) and returns how many were removed.
+	TakedownRegion(rng *sim.RNG, region int, frac float64) int
+}
+
+// Neighborhood is a Target with topology, supporting correlated
+// takedowns of a random member together with everything within k
+// overlay hops — the shape of a peer-list walking takedown.
+type Neighborhood interface {
+	Target
+	// TakedownNeighborhood removes a uniformly random member and its
+	// k-hop overlay neighborhood, returning how many were removed.
+	TakedownNeighborhood(rng *sim.RNG, hops int) int
+}
+
+// Kind classifies a churn trace event.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	KindJoin Kind = iota + 1
+	KindLeave
+	KindTakedown
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindTakedown:
+		return "takedown"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the churn trace: what happened, when (virtual
+// time since sim.Epoch), under which process, and the population size
+// right after.
+type Event struct {
+	At      time.Duration
+	Process string
+	Kind    Kind
+	// Count is how many members the event affected (takedowns remove
+	// whole regions or neighborhoods at once).
+	Count int
+	// Size is the target population immediately after the event.
+	Size int
+}
+
+// Engine attaches churn processes to a running simulation: it owns the
+// target, derives every attached process's RNG substream, and records
+// the event trace. One engine drives one target; processes compose by
+// attaching several to the same engine.
+//
+// Determinism contract: the engine never draws randomness itself. Each
+// process is seeded with sim.NewSubstream(seed, "churn/"+name) at
+// Attach time, so the full event trace is a pure function of (seed,
+// attached process set, target state) — independent of sweep worker
+// count or scheduling order, exactly like experiment task substreams.
+type Engine struct {
+	sched   *sim.Scheduler
+	seed    uint64
+	target  Target
+	trace   []Event
+	stopped bool
+	names   map[string]struct{}
+}
+
+// NewEngine creates an engine driving target on sched. seed is the
+// substream root for every attached process; experiments pass
+// sim.SubstreamSeed(taskSeed, "<experiment>/churn") or similar.
+func NewEngine(sched *sim.Scheduler, seed uint64, target Target) *Engine {
+	return &Engine{
+		sched:  sched,
+		seed:   seed,
+		target: target,
+		names:  map[string]struct{}{},
+	}
+}
+
+// Target returns the population under churn.
+func (e *Engine) Target() Target { return e.target }
+
+// Attach starts a process: it validates the process against the
+// target's capabilities, derives the process's RNG substream from the
+// engine seed and the process name, and schedules its first event.
+// Attaching two processes with the same name is rejected — they would
+// share a substream, breaking independence.
+func (e *Engine) Attach(p Process) error {
+	name := p.Name()
+	if name == "" {
+		return fmt.Errorf("churn: process has no name")
+	}
+	if _, dup := e.names[name]; dup {
+		return fmt.Errorf("churn: duplicate process name %q (set Label to disambiguate)", name)
+	}
+	if err := p.validate(e.target); err != nil {
+		return err
+	}
+	e.names[name] = struct{}{}
+	p.attach(e, sim.NewSubstream(e.seed, "churn/"+name))
+	return nil
+}
+
+// Stop halts every attached process: events already on the scheduler
+// still fire but become no-ops. Use it to freeze the population for
+// post-run measurement.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Trace returns a copy of the recorded event trace, in firing order.
+func (e *Engine) Trace() []Event { return append([]Event(nil), e.trace...) }
+
+// Counts tallies the trace: members joined, left, and removed by
+// takedowns.
+func (e *Engine) Counts() (joined, left, takendown int) {
+	for _, ev := range e.trace {
+		switch ev.Kind {
+		case KindJoin:
+			joined += ev.Count
+		case KindLeave:
+			left += ev.Count
+		case KindTakedown:
+			takendown += ev.Count
+		}
+	}
+	return joined, left, takendown
+}
+
+// record appends one trace event stamped with the current virtual time
+// and population.
+func (e *Engine) record(process string, kind Kind, count int) {
+	e.trace = append(e.trace, Event{
+		At:      e.sched.Elapsed(),
+		Process: process,
+		Kind:    kind,
+		Count:   count,
+		Size:    e.target.Size(),
+	})
+}

@@ -1,0 +1,262 @@
+package churn
+
+import (
+	"onionbots/internal/core"
+	"onionbots/internal/ddsr"
+	"onionbots/internal/sim"
+)
+
+// OverlayOptions tunes an OverlayTarget.
+type OverlayOptions struct {
+	// JoinPeers is how many uniformly random alive peers a joining node
+	// is introduced to (its bootstrap candidate list). Default 10; the
+	// maintainer's own policy decides how many links actually form.
+	JoinPeers int
+	// Regions partitions nodes by id modulo Regions for correlated
+	// regional takedowns. Zero leaves the target non-regional.
+	Regions int
+}
+
+// OverlayTarget adapts a ddsr.Maintainer — a DDSR overlay or a Normal
+// no-repair graph — to the churn engine. It tracks the alive id set in
+// a swap-remove slice so uniform member selection is O(1), allocates
+// fresh ids for joins, and implements both correlated-takedown
+// capabilities (regions by id modulo, neighborhoods by BFS over the
+// maintainer's graph).
+//
+// Joins require the maintainer to implement ddsr.Joiner (both Overlay
+// and Normal do); on a plain Maintainer, Join reports false and a
+// join/leave process degrades to pure departure.
+type OverlayTarget struct {
+	m      ddsr.Maintainer
+	opts   OverlayOptions
+	alive  []int
+	pos    map[int]int // id -> index in alive
+	nextID int
+}
+
+var (
+	_ Regional     = (*OverlayTarget)(nil)
+	_ Neighborhood = (*OverlayTarget)(nil)
+)
+
+// NewOverlayTarget wraps m, whose current nodes form the initial
+// population.
+func NewOverlayTarget(m ddsr.Maintainer, opts OverlayOptions) *OverlayTarget {
+	if opts.JoinPeers <= 0 {
+		opts.JoinPeers = 10
+	}
+	ids := m.Graph().Nodes()
+	t := &OverlayTarget{
+		m:     m,
+		opts:  opts,
+		alive: ids,
+		pos:   make(map[int]int, len(ids)),
+	}
+	for i, id := range ids {
+		t.pos[id] = i
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+	}
+	return t
+}
+
+// Maintainer returns the wrapped overlay for measurement.
+func (t *OverlayTarget) Maintainer() ddsr.Maintainer { return t.m }
+
+// Size implements Target.
+func (t *OverlayTarget) Size() int { return len(t.alive) }
+
+// Join implements Target: a fresh node is introduced to JoinPeers
+// random alive nodes and linked under the maintainer's join policy.
+func (t *OverlayTarget) Join(rng *sim.RNG) bool {
+	j, ok := t.m.(ddsr.Joiner)
+	if !ok {
+		return false
+	}
+	peers := t.pickPeers(rng, t.opts.JoinPeers)
+	id := t.nextID
+	t.nextID++
+	j.Join(id, peers)
+	t.pos[id] = len(t.alive)
+	t.alive = append(t.alive, id)
+	return true
+}
+
+// pickPeers selects up to k distinct alive ids by index draws with
+// duplicate rejection — O(k) expected for the small k ≪ n this serves
+// (bootstrap candidate lists), instead of sim.Sample's full O(n)
+// copy-and-shuffle, which would make every join event linear in the
+// population. Collisions re-draw, so the draw count (and therefore the
+// substream position) stays a pure function of the rng state.
+func (t *OverlayTarget) pickPeers(rng *sim.RNG, k int) []int {
+	n := len(t.alive)
+	if k >= n {
+		return append([]int(nil), t.alive...)
+	}
+	peers := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(peers) < k {
+		i := rng.Intn(n)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		peers = append(peers, t.alive[i])
+	}
+	return peers
+}
+
+// Leave implements Target: a uniformly random alive node is removed
+// under the maintainer's repair policy.
+func (t *OverlayTarget) Leave(rng *sim.RNG) bool {
+	if len(t.alive) == 0 {
+		return false
+	}
+	t.remove(t.alive[rng.Intn(len(t.alive))])
+	return true
+}
+
+// Regions implements Regional.
+func (t *OverlayTarget) Regions() int { return t.opts.Regions }
+
+// TakedownRegion implements Regional: remove frac of the region's
+// current members (region = id modulo Regions), rounded to nearest, at
+// least one when the region is non-empty and frac > 0.
+func (t *OverlayTarget) TakedownRegion(rng *sim.RNG, region int, frac float64) int {
+	if t.opts.Regions < 1 {
+		return 0
+	}
+	members := make([]int, 0, len(t.alive)/t.opts.Regions+1)
+	for _, id := range t.alive {
+		if id%t.opts.Regions == region {
+			members = append(members, id)
+		}
+	}
+	n := int(frac*float64(len(members)) + 0.5)
+	if n == 0 && len(members) > 0 && frac > 0 {
+		n = 1
+	}
+	victims := sim.Sample(rng, members, n)
+	for _, id := range victims {
+		t.remove(id)
+	}
+	return len(victims)
+}
+
+// TakedownNeighborhood implements Neighborhood: a uniformly random
+// member and everything within hops overlay hops of it are removed.
+// The victim set is collected before any removal so the repair edges a
+// self-healing maintainer adds mid-takedown cannot widen the blast.
+func (t *OverlayTarget) TakedownNeighborhood(rng *sim.RNG, hops int) int {
+	if len(t.alive) == 0 {
+		return 0
+	}
+	src := t.alive[rng.Intn(len(t.alive))]
+	g := t.m.Graph()
+	victims := []int{src}
+	seen := map[int]struct{}{src: {}}
+	frontier := []int{src}
+	for h := 0; h < hops; h++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if _, dup := seen[w]; !dup {
+					seen[w] = struct{}{}
+					victims = append(victims, w)
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	for _, id := range victims {
+		t.remove(id)
+	}
+	return len(victims)
+}
+
+// remove takes id out of the alive set and the maintainer.
+func (t *OverlayTarget) remove(id int) {
+	i, ok := t.pos[id]
+	if !ok {
+		return
+	}
+	last := len(t.alive) - 1
+	moved := t.alive[last]
+	t.alive[i] = moved
+	t.pos[moved] = i
+	t.alive = t.alive[:last]
+	delete(t.pos, id)
+	t.m.RemoveNode(id)
+}
+
+// BotNetTarget adapts a protocol-level core.BotNet: joins are real
+// infections (key derivation, rally, peering handshakes settle as the
+// simulation proceeds), leaves are takedowns of random alive bots, and
+// regions partition bots by infection order modulo Regions.
+type BotNetTarget struct {
+	bn       *core.BotNet
+	strategy core.BootstrapStrategy
+	regions  int
+}
+
+var _ Regional = (*BotNetTarget)(nil)
+
+// NewBotNetTarget wraps bn. strategy seeds each join's bootstrap
+// candidates (nil = the Grow default, HardcodedList{P: 0.5}); regions
+// partitions bots for correlated takedowns (0 = non-regional).
+func NewBotNetTarget(bn *core.BotNet, strategy core.BootstrapStrategy, regions int) *BotNetTarget {
+	return &BotNetTarget{bn: bn, strategy: strategy, regions: regions}
+}
+
+// Size implements Target. O(1): the botnet maintains an alive index.
+func (t *BotNetTarget) Size() int { return t.bn.AliveCount() }
+
+// Join implements Target by infecting one bot from a random alive
+// infector.
+func (t *BotNetTarget) Join(rng *sim.RNG) bool {
+	_, err := t.bn.InfectFrom(t.strategy, rng)
+	return err == nil
+}
+
+// Leave implements Target by taking down a uniformly random alive bot
+// — an O(1) pick off the botnet's alive index, no roster copy per
+// departure.
+func (t *BotNetTarget) Leave(rng *sim.RNG) bool {
+	b := t.bn.RandomAliveBot(rng)
+	if b == nil {
+		return false
+	}
+	t.bn.Takedown(b)
+	return true
+}
+
+// Regions implements Regional.
+func (t *BotNetTarget) Regions() int { return t.regions }
+
+// TakedownRegion implements Regional: bots whose infection index is
+// congruent to region modulo Regions are the region's members; frac of
+// its alive members (rounded to nearest, at least one when non-empty)
+// are taken down.
+func (t *BotNetTarget) TakedownRegion(rng *sim.RNG, region int, frac float64) int {
+	if t.regions < 1 {
+		return 0
+	}
+	var members []*core.Bot
+	for i, b := range t.bn.Bots() {
+		if i%t.regions == region && b.Alive() {
+			members = append(members, b)
+		}
+	}
+	n := int(frac*float64(len(members)) + 0.5)
+	if n == 0 && len(members) > 0 && frac > 0 {
+		n = 1
+	}
+	victims := sim.Sample(rng, members, n)
+	for _, b := range victims {
+		t.bn.Takedown(b)
+	}
+	return len(victims)
+}

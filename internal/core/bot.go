@@ -161,6 +161,9 @@ type Bot struct {
 	alive    bool
 	executed []ExecRecord
 	stats    BotStats
+	// onTakedown, when set (by the owning BotNet), runs once when the
+	// bot dies so population indexes stay O(1)-consistent.
+	onTakedown func()
 	// lastHotlistQuery rate-limits re-rallying when the bot is starved
 	// of peer candidates.
 	lastHotlistQuery time.Time
@@ -341,6 +344,9 @@ func (b *Bot) Takedown() {
 		return
 	}
 	b.alive = false
+	if b.onTakedown != nil {
+		b.onTakedown()
+	}
 	if b.ownProxy {
 		b.proxy.Shutdown()
 	} else {

@@ -91,6 +91,13 @@ type BotNet struct {
 	bots    []*Bot
 	nextBot int
 	seed    uint64
+	// alive is the unordered swap-remove index of living bots
+	// (maintained via Bot.onTakedown), giving churn processes O(1)
+	// population counts and uniform victim picks without scanning or
+	// copying the full roster per event. AliveBots still reports in
+	// infection order off bn.bots.
+	alive    []*Bot
+	alivePos map[*Bot]int
 	// SettleTime is how long Grow runs the clock after each infection
 	// so peering handshakes complete. Default 2s of virtual time.
 	SettleTime time.Duration
@@ -117,7 +124,29 @@ func NewBotNet(seed uint64, numRelays int, cfg BotConfig) (*BotNet, error) {
 		cfg:        cfg,
 		seed:       seed,
 		SettleTime: 2 * time.Second,
+		alivePos:   make(map[*Bot]int),
 	}, nil
+}
+
+// adopt registers a freshly created bot in the roster and the alive
+// index, wiring the takedown hook that keeps the index exact.
+func (bn *BotNet) adopt(b *Bot) {
+	bn.bots = append(bn.bots, b)
+	bn.alivePos[b] = len(bn.alive)
+	bn.alive = append(bn.alive, b)
+	b.onTakedown = func() {
+		i, ok := bn.alivePos[b]
+		if !ok {
+			return
+		}
+		last := len(bn.alive) - 1
+		moved := bn.alive[last]
+		bn.alive[i] = moved
+		bn.alivePos[moved] = i
+		bn.alive[last] = nil
+		bn.alive = bn.alive[:last]
+		delete(bn.alivePos, b)
+	}
 }
 
 // Config returns the bot configuration used for infections.
@@ -140,6 +169,24 @@ func (bn *BotNet) AliveBots() []*Bot {
 	return out
 }
 
+// AliveCount reports how many bots are currently alive — O(1) off the
+// alive index; churn processes poll this every event.
+func (bn *BotNet) AliveCount() int { return len(bn.alive) }
+
+// RandomAliveBot returns a uniformly random alive bot drawn with rng
+// (bn.RNG when nil), or nil when none is left. O(1) off the alive
+// index; the draw is over the index's internal (deterministic) order,
+// so it suits churn substreams that only need uniformity.
+func (bn *BotNet) RandomAliveBot(rng *sim.RNG) *Bot {
+	if len(bn.alive) == 0 {
+		return nil
+	}
+	if rng == nil {
+		rng = bn.RNG
+	}
+	return bn.alive[rng.Intn(len(bn.alive))]
+}
+
 // InfectOne creates a bot and rallies it with the given bootstrap
 // candidates. The caller (or Grow) must pump the clock for the peering
 // handshakes to finish.
@@ -151,26 +198,38 @@ func (bn *BotNet) InfectOne(bootstrap []string) (*Bot, error) {
 	if err != nil {
 		return nil, err
 	}
-	bn.bots = append(bn.bots, b)
+	bn.adopt(b)
 	if err := b.Rally(bootstrap); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
+// InfectFrom infects one bot bootstrapped from a random alive infector,
+// chosen with rng (bn.RNG when nil), using strategy (HardcodedList{P:
+// 0.5} when nil). Unlike Grow it does not pump the clock: the peering
+// handshakes settle as the simulation proceeds, which is exactly what a
+// churn process attached to the running scheduler wants.
+func (bn *BotNet) InfectFrom(strategy BootstrapStrategy, rng *sim.RNG) (*Bot, error) {
+	if strategy == nil {
+		strategy = HardcodedList{P: 0.5}
+	}
+	if rng == nil {
+		rng = bn.RNG
+	}
+	var infector *Bot
+	if alive := bn.AliveBots(); len(alive) > 0 {
+		infector = sim.Choice(rng, alive)
+	}
+	return bn.InfectOne(strategy.Candidates(bn, infector))
+}
+
 // Grow infects n bots using the strategy (HardcodedList{P: 0.5} when
 // nil), choosing a random alive infector for each new bot and letting
 // the network settle between infections.
 func (bn *BotNet) Grow(n int, strategy BootstrapStrategy) error {
-	if strategy == nil {
-		strategy = HardcodedList{P: 0.5}
-	}
 	for i := 0; i < n; i++ {
-		var infector *Bot
-		if alive := bn.AliveBots(); len(alive) > 0 {
-			infector = sim.Choice(bn.RNG, alive)
-		}
-		if _, err := bn.InfectOne(strategy.Candidates(bn, infector)); err != nil {
+		if _, err := bn.InfectFrom(strategy, bn.RNG); err != nil {
 			return fmt.Errorf("core: infection %d: %w", i, err)
 		}
 		bn.Run(bn.SettleTime)
@@ -180,6 +239,32 @@ func (bn *BotNet) Grow(n int, strategy BootstrapStrategy) error {
 
 // Takedown removes a bot (cleanup, seizure, or targeted DoS).
 func (bn *BotNet) Takedown(b *Bot) { b.Takedown() }
+
+// HotlistStaleness reports the fraction of registered C&C records whose
+// bot is no longer alive — the expected staleness of a hotlist answer
+// drawn right now, since the hotlist samples uniformly from the
+// registry and the registry never forgets. Records are matched against
+// bots by their current derived address, so the measure survives
+// address rotation. An empty registry reports 0.
+func (bn *BotNet) HotlistStaleness() float64 {
+	recs := bn.Master.Records()
+	if len(recs) == 0 {
+		return 0
+	}
+	alive := make(map[string]struct{}, len(bn.bots))
+	for _, b := range bn.bots {
+		if b.Alive() {
+			alive[b.Onion()] = struct{}{}
+		}
+	}
+	dead := 0
+	for _, r := range recs {
+		if _, ok := alive[bn.Master.CurrentOnionOf(r)]; !ok {
+			dead++
+		}
+	}
+	return float64(dead) / float64(len(recs))
+}
 
 // NewVirtualBot constructs a bot on a caller-supplied proxy (a
 // SuperOnion virtual node) wired to this botnet's master, and adopts it
@@ -192,7 +277,7 @@ func (bn *BotNet) NewVirtualBot(proxy *tor.OnionProxy) (*Bot, error) {
 	if err != nil {
 		return nil, err
 	}
-	bn.bots = append(bn.bots, b)
+	bn.adopt(b)
 	return b, nil
 }
 

@@ -149,3 +149,20 @@ func TestOverlayGraphIgnoresDeadPeersEdges(t *testing.T) {
 	}
 	_ = graph.NumComponents(g) // must not panic on partial state
 }
+
+func TestBotmasterIdentityDeterministic(t *testing.T) {
+	// The C&C onion must be a pure function of the seed. This once
+	// flipped run to run: ecdh's GenerateKey consumed a randomized
+	// zero-or-one extra DRBG byte, shifting the identity seed read
+	// after it (see botcrypto.TestEncryptionKeyPairDeterministicFromDRBG).
+	onion := func() string {
+		bn := newTestBotNet(t, 311, BotConfig{})
+		return bn.Master.Onion()
+	}
+	first := onion()
+	for i := 0; i < 5; i++ {
+		if got := onion(); got != first {
+			t.Fatalf("master onion differs on rerun %d: %s vs %s", i, got, first)
+		}
+	}
+}

@@ -16,6 +16,16 @@ type Maintainer interface {
 	Graph() *graph.Graph
 }
 
+// Joiner is a Maintainer whose policy also covers nodes joining the
+// overlay — the other half of membership churn. The churn engine
+// (internal/churn) feeds joins through this when the target supports it.
+type Joiner interface {
+	Maintainer
+	// Join adds a fresh node and links it to candidate peers under the
+	// policy, returning the number of edges created.
+	Join(id int, peers []int) int
+}
+
 // Config tunes the DDSR maintenance policy.
 type Config struct {
 	// DMin is the degree below which a node tries to acquire new peers
@@ -50,6 +60,11 @@ type Stats struct {
 	FloorEdgesAdded int
 	// NodesRemoved counts takedowns processed.
 	NodesRemoved int
+	// NodesJoined counts joins processed, and JoinEdgesAdded the direct
+	// links they created (churn scenarios). Floor re-peering triggered
+	// by a join counts toward FloorEdgesAdded, never here.
+	NodesJoined    int
+	JoinEdgesAdded int
 }
 
 // Overlay is a DDSR-maintained graph.
@@ -65,7 +80,10 @@ type Overlay struct {
 	nnbuf []int
 }
 
-var _ Maintainer = (*Overlay)(nil)
+var (
+	_ Maintainer = (*Overlay)(nil)
+	_ Joiner     = (*Overlay)(nil)
+)
 
 // New wraps g (taking ownership) in a DDSR overlay. rng drives the
 // random tie-breaks mandated by the pruning rule.
@@ -110,7 +128,15 @@ func (o *Overlay) RemoveNode(id int) {
 		return
 	}
 	o.stats.NodesRemoved++
+	o.repairNeighborhood(nbrs)
+}
 
+// repairNeighborhood runs the post-removal maintenance steps (clique
+// repair, prune, floor) for one orphaned neighborhood. Members that
+// have since been removed themselves are skipped by the graph
+// primitives, so deferred repair (Lagged) can replay stale
+// neighborhoods safely.
+func (o *Overlay) repairNeighborhood(nbrs []int) {
 	// Repairing: every pair of former neighbors links up.
 	o.stats.RepairEdgesAdded += o.g.AddEdgesAmong(nbrs)
 
@@ -150,6 +176,110 @@ func (o *Overlay) RemoveNode(id int) {
 		seen[v] = struct{}{}
 		o.enforceFloor(v)
 	}
+}
+
+// Lagged wraps an Overlay so self-repair runs with latency instead of
+// instantaneously: RemoveNode deletes the node at once but queues its
+// orphaned neighborhood, and Flush replays the queued repairs in
+// removal order. This models what the protocol actually does — a bot's
+// neighbors only notice its death at their next ping interval — and is
+// what makes churn rate a meaningful axis: between flushes, damage
+// accumulates unrepaired, so a Poisson leave process at rate λ races
+// the maintenance cadence. Joins and direct Overlay methods remain
+// immediate.
+type Lagged struct {
+	*Overlay
+	pending [][]int
+}
+
+var (
+	_ Maintainer = (*Lagged)(nil)
+	_ Joiner     = (*Lagged)(nil)
+)
+
+// NewLagged wraps o (taking ownership) with deferred repair.
+func NewLagged(o *Overlay) *Lagged { return &Lagged{Overlay: o} }
+
+// RemoveNode deletes the node immediately and queues the repair of its
+// orphaned neighborhood for the next Flush.
+func (l *Lagged) RemoveNode(id int) {
+	nbrs := l.g.RemoveNode(id)
+	if nbrs == nil {
+		return
+	}
+	l.stats.NodesRemoved++
+	l.pending = append(l.pending, nbrs)
+}
+
+// Flush replays every queued repair in removal order and returns how
+// many neighborhoods were repaired. Members removed since their
+// neighborhood was queued are skipped.
+func (l *Lagged) Flush() int {
+	n := len(l.pending)
+	for _, nbrs := range l.pending {
+		l.repairNeighborhood(nbrs)
+	}
+	l.pending = l.pending[:0]
+	return n
+}
+
+// PendingRepairs reports the queued, not-yet-flushed repair count.
+func (l *Lagged) PendingRepairs() int { return len(l.pending) }
+
+// Join adds node id and links it to the candidate peers under the
+// maintenance policy: the newcomer accepts candidates until it reaches
+// DMax, and a candidate pushed above DMax by the new link immediately
+// runs the prune rule (trim highest-degree peers) — accept-then-prune,
+// so a newcomer connects even into a saturated k-regular graph instead
+// of being refused everywhere and stranded. Afterwards the floor rule
+// tops up the newcomer and any prune victims that fell below DMin from
+// their neighbors-of-neighbors; those edges count toward
+// Stats.FloorEdgesAdded only, keeping the repair counters disjoint. It
+// returns the number of direct links created for the newcomer. Joining
+// an existing node is a no-op returning 0.
+func (o *Overlay) Join(id int, peers []int) int {
+	if o.g.HasNode(id) {
+		return 0
+	}
+	o.g.AddNode(id)
+	o.stats.NodesJoined++
+	added := 0
+	var lost map[int]struct{}
+	for _, p := range peers {
+		if o.cfg.DMax > 0 && o.g.Degree(id) >= o.cfg.DMax {
+			break
+		}
+		if !o.g.AddEdge(id, p) {
+			continue
+		}
+		added++
+		if !o.cfg.Pruning {
+			continue
+		}
+		for o.g.Degree(p) > o.cfg.DMax {
+			w := o.highestDegreePeer(p)
+			o.g.RemoveEdge(p, w)
+			o.stats.EdgesPruned++
+			if lost == nil {
+				lost = make(map[int]struct{})
+			}
+			lost[p] = struct{}{}
+			lost[w] = struct{}{}
+		}
+	}
+	if o.cfg.DMin > 0 {
+		o.enforceFloor(id)
+		candidates := make([]int, 0, len(lost))
+		for w := range lost {
+			candidates = append(candidates, w)
+		}
+		sortInts(candidates)
+		for _, v := range candidates {
+			o.enforceFloor(v)
+		}
+	}
+	o.stats.JoinEdgesAdded += added
+	return added
 }
 
 // highestDegreePeer returns the neighbor of v with the largest degree,

@@ -272,6 +272,57 @@ func TestPropertyInvariantsUnderRandomTakedown(t *testing.T) {
 	}
 }
 
+func TestJoinIntoSaturatedGraphConnects(t *testing.T) {
+	// Every node of a fresh k-regular graph sits exactly at DMax, so a
+	// naive "skip full candidates" join would strand the newcomer.
+	// Accept-then-prune must connect it while restoring the ceiling.
+	const n, k = 60, 6
+	rng := sim.NewRNG(21)
+	o, err := NewRegular(n, k, DefaultConfig(k), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := o.Join(n, []int{3, 7, 11, 19})
+	if added == 0 {
+		t.Fatal("join created no edges")
+	}
+	g := o.Graph()
+	if g.Degree(n) < o.Config().DMin {
+		t.Fatalf("newcomer degree %d below DMin %d", g.Degree(n), o.Config().DMin)
+	}
+	if g.MaxDegree() > k {
+		t.Fatalf("max degree %d exceeds DMax %d after join", g.MaxDegree(), k)
+	}
+	if !g.Connected() {
+		t.Fatal("graph disconnected after join")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.NodesJoined != 1 || st.JoinEdgesAdded != added {
+		t.Fatalf("stats = %+v, want 1 join with %d edges", st, added)
+	}
+	// Re-joining an existing id is a no-op.
+	if o.Join(n, []int{1}) != 0 {
+		t.Fatal("duplicate join created edges")
+	}
+}
+
+func TestNormalJoinLinksUnconditionally(t *testing.T) {
+	rng := sim.NewRNG(22)
+	m, err := NewNormalRegular(30, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added := m.Join(30, []int{0, 1, 2, 3, 4, 5}); added != 6 {
+		t.Fatalf("normal join added %d edges, want all 6", added)
+	}
+	if m.Graph().Degree(30) != 6 {
+		t.Fatalf("degree = %d, want 6 (no ceiling)", m.Graph().Degree(30))
+	}
+}
+
 func BenchmarkRemoveNodeWithPruning(b *testing.B) {
 	rng := sim.NewRNG(1)
 	o, err := NewRegular(5000, 10, DefaultConfig(10), rng)

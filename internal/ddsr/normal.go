@@ -29,8 +29,27 @@ func NewNormalRegular(n, k int, rng *sim.RNG) (*Normal, error) {
 	return NewNormal(g), nil
 }
 
+var _ Joiner = (*Normal)(nil)
+
 // RemoveNode deletes the node and its edges; nothing heals.
 func (m *Normal) RemoveNode(id int) { m.g.RemoveNode(id) }
+
+// Join adds the node and links it to every candidate peer — no policy,
+// no degree bounds, mirroring RemoveNode's "no maintenance" stance. It
+// returns the number of edges created.
+func (m *Normal) Join(id int, peers []int) int {
+	if m.g.HasNode(id) {
+		return 0
+	}
+	m.g.AddNode(id)
+	added := 0
+	for _, p := range peers {
+		if m.g.AddEdge(id, p) {
+			added++
+		}
+	}
+	return added
+}
 
 // Graph exposes the current topology.
 func (m *Normal) Graph() *graph.Graph { return m.g }

@@ -1,0 +1,433 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"onionbots/internal/churn"
+)
+
+func quickChurnRepairConfig(seed uint64, spec churn.Spec) ChurnRepairConfig {
+	cfg := DefaultChurnRepairConfig(true)
+	cfg.Seed = seed
+	cfg.Spec = spec
+	return cfg
+}
+
+func qualityOf(t *testing.T, res *Result) float64 {
+	t.Helper()
+	q := res.SeriesByName("quality")
+	if q == nil || len(q.Points) != 1 {
+		t.Fatalf("missing quality summary series: %+v", res.Series)
+	}
+	return q.Points[0].Y
+}
+
+func TestChurnRepairQualityDegradesMonotonicallyWithLeaveRate(t *testing.T) {
+	// The ROADMAP's scenario-library direction: expected-shape
+	// assertions, not just smoke. Repair quality must fall as Poisson
+	// leave outruns the repair cadence — the dynamic counterpart of
+	// Fig 5's "resilient until ~90% deletion".
+	quality := func(lambda float64) float64 {
+		res, err := RunChurnRepair(quickChurnRepairConfig(11,
+			churn.Spec{Process: "poisson", Leave: lambda}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qualityOf(t, res)
+	}
+	q4, q16, q64 := quality(4), quality(16), quality(64)
+	if !(q4 > q16 && q16 > q64) {
+		t.Fatalf("quality not monotone in λ: q(4)=%.3f q(16)=%.3f q(64)=%.3f", q4, q16, q64)
+	}
+	if q4-q16 < 0.1 || q16-q64 < 0.1 {
+		t.Errorf("degradation too shallow to be the expected cliff: %.3f, %.3f, %.3f", q4, q16, q64)
+	}
+	if q4 < 0.9 {
+		t.Errorf("mild churn (λ=4/h vs 30m repair) should keep quality high, got %.3f", q4)
+	}
+}
+
+func TestChurnRepairInstantRepairIsRateBlind(t *testing.T) {
+	// With RepairEvery=0 the overlay heals inside every removal, so the
+	// survival-pressure aside, degree health cannot depend on rate —
+	// the negative control that motivates the lagged maintainer.
+	run := func(lambda float64) *Result {
+		cfg := quickChurnRepairConfig(11, churn.Spec{Process: "poisson", Join: lambda, Leave: lambda})
+		cfg.RepairEvery = 0
+		cfg.Duration = 12 * time.Hour
+		res, err := RunChurnRepair(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, lambda := range []float64{4, 64} {
+		res := run(lambda)
+		comps := res.SeriesByName("components")
+		for _, p := range comps.Points {
+			if p.Y != 1 {
+				t.Fatalf("λ=%g: instant repair let components hit %g at h=%g", lambda, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestChurnHotlistStalenessShape(t *testing.T) {
+	cfg := DefaultChurnHotlistConfig(true)
+	cfg.Seed = 7
+	res, err := RunChurnHotlist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := res.SeriesByName("staleness")
+	reg := res.SeriesByName("registered")
+	alive := res.SeriesByName("alive")
+	if stale == nil || reg == nil || alive == nil {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	if first := stale.Points[0].Y; first != 0 {
+		t.Errorf("staleness starts at %g, want 0 (everyone just registered)", first)
+	}
+	grew := false
+	for i, p := range stale.Points {
+		if p.Y < 0 || p.Y > 1 {
+			t.Fatalf("staleness %g outside [0, 1]", p.Y)
+		}
+		if p.Y > 0.2 {
+			grew = true
+		}
+		if i > 0 && reg.Points[i].Y < reg.Points[i-1].Y {
+			t.Fatalf("registry shrank %g -> %g; it never forgets", reg.Points[i-1].Y, reg.Points[i].Y)
+		}
+	}
+	if !grew {
+		t.Error("staleness never exceeded 0.2 under a day of diurnal churn")
+	}
+	if last := alive.Points[len(alive.Points)-1].Y; last <= 0 {
+		t.Errorf("population died under balanced diurnal churn: %g alive", last)
+	}
+}
+
+func TestChurnSweepByteIdenticalAcrossParallelism(t *testing.T) {
+	// The acceptance gate: a churn sweep's full JSON document (tasks +
+	// aggregate) must not depend on the worker count.
+	spec := `{
+		"name": "churn-diff",
+		"experiments": ["churn-repair"],
+		"quick": true,
+		"churn": [{"process": "poisson", "leave": 8}, {"process": "poisson", "leave": 16}],
+		"seeds": [1],
+		"trials": 2,
+		"thresholds": [{"series": "quality", "axis": "churn", "below": 0.8}]
+	}`
+	s, err := ParseSweep([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := s.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("expanded to %d tasks, want 2 churn × 1 seed × 2 trials = 4", len(tasks))
+	}
+	doc := func(parallel int) []byte {
+		trs, err := (&Runner{Parallel: parallel}).Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := SweepJSON(s, trs, s.Aggregate(trs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	p1, p4 := doc(1), doc(4)
+	if !bytes.Equal(p1, p4) {
+		t.Fatal("churn sweep JSON differs between -parallel 1 and 4")
+	}
+}
+
+func TestSweepChurnAxisExpansion(t *testing.T) {
+	s := &Sweep{
+		Name:        "c",
+		Experiments: []string{"churn-repair"},
+		Quick:       true,
+		Churn: []churn.Spec{
+			{Process: "poisson", Leave: 8},
+			{Process: "diurnal", Join: 2, Leave: 2, Amplitude: 0.8},
+		},
+		Seeds: []uint64{1, 2},
+	}
+	tasks, err := s.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("expanded to %d tasks, want 2 churn × 2 seeds", len(tasks))
+	}
+	if tasks[0].Label != "churn-repair/churn=poisson;l=8/seed=1" {
+		t.Fatalf("first label = %q", tasks[0].Label)
+	}
+	if tasks[2].Label != "churn-repair/churn=diurnal;j=2;l=2;a=0.8/seed=1" {
+		t.Fatalf("third label = %q", tasks[2].Label)
+	}
+	if tasks[0].Params.Churn == nil || tasks[0].Params.Churn.Leave != 8 {
+		t.Fatalf("churn spec not threaded into params: %+v", tasks[0].Params)
+	}
+	// The axis must produce distinct substreams per spec.
+	if tasks[0].Label == tasks[2].Label {
+		t.Fatal("distinct churn specs share a label")
+	}
+}
+
+func TestParseSweepValidatesChurnAndThresholds(t *testing.T) {
+	cases := []struct{ name, spec, wantErr string }{
+		{"bad churn process",
+			`{"experiments":["fig6"],"churn":[{"process":"flash"}]}`, "unknown process"},
+		{"duplicate churn specs",
+			`{"experiments":["fig6"],"churn":[{"process":"poisson","leave":8},{"process":"poisson","leave":8}]}`,
+			"duplicate churn spec"},
+		{"churn unknown field",
+			`{"experiments":["fig6"],"churn":[{"process":"poisson","rate":8}]}`, "unknown field"},
+		{"threshold needs swept axis",
+			`{"experiments":["fig6"],"thresholds":[{"series":"q","axis":"churn","below":1}]}`, "not swept"},
+		{"threshold unknown axis",
+			`{"experiments":["fig6"],"ns":[10],"thresholds":[{"series":"q","axis":"size","below":1}]}`, "unknown axis"},
+		{"threshold both bounds",
+			`{"experiments":["fig6"],"ns":[10],"thresholds":[{"series":"q","axis":"n","above":1,"below":2}]}`, "exactly one"},
+		{"threshold no bounds",
+			`{"experiments":["fig6"],"ns":[10],"thresholds":[{"series":"q","axis":"n"}]}`, "exactly one"},
+		{"threshold bad stat",
+			`{"experiments":["fig6"],"ns":[10],"thresholds":[{"series":"q","axis":"n","stat":"median","below":1}]}`, "unknown stat"},
+		{"threshold no series",
+			`{"experiments":["fig6"],"ns":[10],"thresholds":[{"axis":"n","below":1}]}`, "no series"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSweep([]byte(tc.spec)); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// syntheticChurnTrs builds task results shaped like a churn × seeds ×
+// trials grid without running any experiment, so aggregate mechanics
+// are tested exactly.
+func syntheticChurnTrs(s *Sweep, lastQuality func(churnLabel string, seed uint64, trial int) float64) []TaskResult {
+	tasks, _ := s.Tasks()
+	trs := make([]TaskResult, 0, len(tasks))
+	for _, task := range tasks {
+		label := labelComponent(task.Label, "churn")
+		trial := 0
+		if tv := labelComponent(task.Label, "trial"); tv == "1" {
+			trial = 1
+		}
+		y := lastQuality(label, task.Params.Seed, trial)
+		trs = append(trs, TaskResult{Task: task, Results: []*Result{{
+			ID: "churn-repair",
+			Series: []Series{{Name: "quality",
+				Points: []Point{{X: 0, Y: y}}}},
+		}}})
+	}
+	return trs
+}
+
+func TestAggregateTrialStatsAndThresholdRows(t *testing.T) {
+	below := 0.8
+	s := &Sweep{
+		Name:        "agg",
+		Experiments: []string{"churn-repair"},
+		Churn: []churn.Spec{
+			{Process: "poisson", Leave: 4},
+			{Process: "poisson", Leave: 16},
+		},
+		Seeds:  []uint64{1, 2},
+		Trials: 2,
+		Thresholds: []Threshold{
+			{Series: "quality", Axis: "churn", Below: &below},
+			{Series: "nonexistent", Axis: "churn", Below: &below},
+		},
+	}
+	// λ=4 healthy (0.95, 0.97 per trial); λ=16 broken (0.4, 0.5).
+	agg := s.Aggregate(syntheticChurnTrs(s, func(label string, seed uint64, trial int) float64 {
+		base := 0.95
+		if label == "poisson;l=16" {
+			base = 0.4
+		}
+		return base + float64(trial)*0.02
+	}))
+
+	var meanRows, thresholdRows [][]string
+	for _, row := range agg.Rows {
+		if strings.Contains(row[2], "mean±sd") {
+			meanRows = append(meanRows, row)
+		}
+		if row[1] == "(threshold)" {
+			thresholdRows = append(thresholdRows, row)
+		}
+	}
+	// 2 churn × 2 seeds grid points, one quality series each.
+	if len(meanRows) != 4 {
+		t.Fatalf("got %d mean±sd rows, want 4:\n%s", len(meanRows), agg.Render())
+	}
+	for _, row := range meanRows {
+		if row[3] != "2" {
+			t.Fatalf("mean row over %s trials, want 2: %v", row[3], row)
+		}
+		if strings.Contains(row[0], "trial=") {
+			t.Fatalf("grid-point label still carries trial component: %v", row)
+		}
+	}
+	// First point: trials 0.95 and 0.97 -> mean 0.96, sd ~0.0141.
+	if got := meanRows[0][8]; got != "0.96" {
+		t.Fatalf("mean = %q, want 0.96", got)
+	}
+	if !strings.HasPrefix(meanRows[0][9], "0.014") {
+		t.Fatalf("stddev = %q, want ~0.0141", meanRows[0][9])
+	}
+
+	// Quality threshold: one row per seed group, crossing at l=16; the
+	// nonexistent series yields "(not crossed)" rows with 0 scanned.
+	if len(thresholdRows) != 4 {
+		t.Fatalf("got %d threshold rows, want 2 thresholds × 2 seed groups:\n%s",
+			len(thresholdRows), agg.Render())
+	}
+	for _, row := range thresholdRows[:2] {
+		if row[4] != "poisson;l=16" {
+			t.Fatalf("quality threshold crossed at %q, want poisson;l=16 (row %v)", row[4], row)
+		}
+		if row[8] == "-" {
+			t.Fatalf("crossing mean missing: %v", row)
+		}
+	}
+	for _, row := range thresholdRows[2:] {
+		if row[4] != "(not crossed)" || row[3] != "0" {
+			t.Fatalf("nonexistent series should scan nothing: %v", row)
+		}
+	}
+
+	// The note line must advertise the churn axis.
+	noteOK := false
+	for _, n := range agg.Notes {
+		if strings.Contains(n, "churn=[poisson;l=4 poisson;l=16]") {
+			noteOK = true
+		}
+	}
+	if !noteOK {
+		t.Fatalf("aggregate note omits the churn axis: %v", agg.Notes)
+	}
+}
+
+func TestSweepJSONRoundTripsChurnAxisAndStatRows(t *testing.T) {
+	below := 0.8
+	s := &Sweep{
+		Name:        "rt",
+		Experiments: []string{"churn-repair"},
+		Churn:       []churn.Spec{{Process: "poisson", Leave: 4}, {Process: "poisson", Leave: 16}},
+		Trials:      2,
+		Thresholds:  []Threshold{{Series: "quality", Axis: "churn", Below: &below}},
+	}
+	trs := syntheticChurnTrs(s, func(label string, _ uint64, trial int) float64 {
+		if label == "poisson;l=16" {
+			return 0.3
+		}
+		return 0.95
+	})
+	doc, err := SweepJSON(s, trs, s.Aggregate(trs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Sweep struct {
+			Churn []struct {
+				Process string  `json:"process"`
+				Leave   float64 `json:"leave"`
+			} `json:"churn"`
+			Thresholds []struct {
+				Series string   `json:"series"`
+				Axis   string   `json:"axis"`
+				Below  *float64 `json:"below"`
+			} `json:"thresholds"`
+		} `json:"sweep"`
+		Tasks []struct {
+			Task struct {
+				Label  string `json:"label"`
+				Params struct {
+					Churn *struct {
+						Process string  `json:"process"`
+						Leave   float64 `json:"leave"`
+					} `json:"churn"`
+				} `json:"params"`
+			} `json:"task"`
+		} `json:"tasks"`
+		Aggregate struct {
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+		} `json:"aggregate"`
+	}
+	if err := json.Unmarshal(doc, &decoded); err != nil {
+		t.Fatalf("sweep JSON does not round-trip: %v", err)
+	}
+	if len(decoded.Sweep.Churn) != 2 || decoded.Sweep.Churn[1].Leave != 16 {
+		t.Fatalf("churn axis lost in JSON: %+v", decoded.Sweep.Churn)
+	}
+	if len(decoded.Sweep.Thresholds) != 1 || decoded.Sweep.Thresholds[0].Below == nil {
+		t.Fatalf("thresholds lost in JSON: %+v", decoded.Sweep.Thresholds)
+	}
+	if decoded.Tasks[0].Task.Params.Churn == nil || decoded.Tasks[0].Task.Params.Churn.Process != "poisson" {
+		t.Fatalf("params.churn lost in JSON: %+v", decoded.Tasks[0].Task.Params)
+	}
+	wantHeader := []string{"task", "result", "series", "points",
+		"y.first", "y.last", "y.min", "y.max", "last.mean", "last.stddev"}
+	if len(decoded.Aggregate.Header) != len(wantHeader) {
+		t.Fatalf("aggregate header = %v, want %v", decoded.Aggregate.Header, wantHeader)
+	}
+	for i, h := range wantHeader {
+		if decoded.Aggregate.Header[i] != h {
+			t.Fatalf("aggregate header = %v, want %v", decoded.Aggregate.Header, wantHeader)
+		}
+	}
+	foundMean, foundThreshold := false, false
+	for _, row := range decoded.Aggregate.Rows {
+		if strings.Contains(row[2], "mean±sd") {
+			foundMean = true
+		}
+		if row[1] == "(threshold)" && row[4] == "poisson;l=16" {
+			foundThreshold = true
+		}
+	}
+	if !foundMean || !foundThreshold {
+		t.Fatalf("aggregate rows missing stats (mean=%v threshold=%v)", foundMean, foundThreshold)
+	}
+	// A churn-free spec must keep churn and thresholds out of its JSON
+	// entirely (omitempty), so pre-churn sweep documents are unchanged.
+	plain, err := json.Marshal(&Sweep{Name: "p", Experiments: []string{"fig6"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "churn") || strings.Contains(string(plain), "thresholds") {
+		t.Fatalf("zero-value sweep leaks churn fields: %s", plain)
+	}
+}
+
+func TestParamsJSONOmitsNilChurn(t *testing.T) {
+	plain, err := json.Marshal(Params{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "churn") {
+		t.Fatalf("nil churn leaks into params JSON: %s", plain)
+	}
+	spec := churn.Spec{Process: "poisson", Leave: 8}
+	withChurn, err := json.Marshal(Params{Seed: 1, Churn: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(withChurn), `"process":"poisson"`) {
+		t.Fatalf("churn spec missing from params JSON: %s", withChurn)
+	}
+}

@@ -6,11 +6,13 @@
 // # Registry
 //
 // Each experiment registers itself from init under a stable ID (fig3,
-// fig4, ..., table1, probing, hsdir, pow, ablation) with a Definition:
-// a title and a run function taking the generic Params (quick preset,
-// seed, and optional N/K/Frac overrides, which each experiment maps
-// onto its own config knobs). Lookup and IDs expose the catalogue;
-// cmd/onionsim is a thin shell over it.
+// fig4, ..., table1, probing, hsdir, pow, ablation, churn-repair,
+// churn-hotlist) with a Definition: a title and a run function taking
+// the generic Params (quick preset, seed, and optional N/K/Frac/Churn
+// overrides, which each experiment maps onto its own config knobs).
+// Lookup and IDs expose the catalogue; cmd/onionsim is a thin shell
+// over it, and docs/EXPERIMENTS.md is the prose handbook (a
+// completeness test keeps it in sync with the registry).
 //
 // Every runner still has its direct Go API — a config struct whose
 // Default*(quick) constructor offers the paper's full parameters
@@ -33,12 +35,17 @@
 // # Sweeps
 //
 // Sweep is a JSON scenario spec: experiments crossed with grids of
-// sizes, degrees, takedown fractions, seeds, and trial replications.
-// Tasks expands the grid into labelled tasks for the Runner, and
-// Aggregate folds the outcomes into one table-shaped Result
-// (first/last/min/max per produced series) so a whole grid reads and
-// exports as a single artifact. See examples/sweep for a ready-to-run
-// spec.
+// sizes, degrees, takedown fractions, churn scenarios (internal/churn
+// specs — Poisson join/leave, diurnal cycles, correlated takedowns),
+// seeds, and trial replications. Tasks expands the grid into labelled
+// tasks for the Runner, and Aggregate folds the outcomes into one
+// table-shaped Result: first/last/min/max per produced series, mean ±
+// sample stddev over trials per grid point when the spec replicates,
+// and one row per declarative Threshold rule — "first value on a
+// swept axis where a series statistic crosses a bound" — so a grid
+// answers its question directly ("λ at first partition"). See
+// examples/sweep for ready-to-run specs and docs/EXPERIMENTS.md for
+// the schema walkthrough.
 //
 // README.md records how to reproduce each figure on the command line;
 // bench_test.go wraps each runner in a benchmark.

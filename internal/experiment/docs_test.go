@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readRepoDoc loads a file relative to the repository root.
+func readRepoDoc(t *testing.T, parts ...string) string {
+	t.Helper()
+	path := filepath.Join(append([]string{"..", ".."}, parts...)...)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing doc: %v", err)
+	}
+	return string(data)
+}
+
+func TestExperimentsHandbookCoversRegistry(t *testing.T) {
+	// The handbook promises to catalogue every registered experiment;
+	// hold it to that, so adding an experiment without documenting it
+	// fails CI.
+	handbook := readRepoDoc(t, "docs", "EXPERIMENTS.md")
+	for _, id := range IDs() {
+		if !strings.Contains(handbook, "`"+id+"`") {
+			t.Errorf("docs/EXPERIMENTS.md does not catalogue experiment %q", id)
+		}
+	}
+}
+
+func TestHandbookIsLinkedFromReadmeAndArchitecture(t *testing.T) {
+	for _, doc := range [][]string{{"README.md"}, {"docs", "ARCHITECTURE.md"}} {
+		content := readRepoDoc(t, doc...)
+		if !strings.Contains(content, "EXPERIMENTS.md") {
+			t.Errorf("%s does not link docs/EXPERIMENTS.md", filepath.Join(doc...))
+		}
+	}
+}
+
+func TestReadmeReproductionTableCoversRegistry(t *testing.T) {
+	readme := readRepoDoc(t, "README.md")
+	for _, id := range IDs() {
+		if !strings.Contains(readme, "`"+id+"`") {
+			t.Errorf("README reproduction table misses experiment %q", id)
+		}
+	}
+}

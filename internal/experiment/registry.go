@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"onionbots/internal/churn"
 )
 
 // Params is the generic parameter set an experiment task receives. The
@@ -27,6 +29,10 @@ type Params struct {
 	// Frac overrides the takedown/deletion fraction for experiments
 	// that have one (fig4). 0 keeps the preset.
 	Frac float64 `json:"frac,omitempty"`
+	// Churn overrides the dynamic-membership scenario for experiments
+	// that run one (churn-repair, churn-hotlist). nil keeps the preset;
+	// experiments without a churn phase ignore it.
+	Churn *churn.Spec `json:"churn,omitempty"`
 }
 
 // Definition is one registered experiment: a stable ID, a title for

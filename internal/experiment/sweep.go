@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strings"
+
+	"onionbots/internal/churn"
 )
 
 // Sweep is a scenario-sweep specification: one or more registered
@@ -37,10 +40,109 @@ type Sweep struct {
 	Ks    []int     `json:"ks,omitempty"`
 	Fracs []float64 `json:"fracs,omitempty"`
 	Seeds []uint64  `json:"seeds,omitempty"`
+	// Churn sweeps dynamic-membership scenarios, one task per listed
+	// spec, exactly like the static axes — the lever behind questions
+	// such as "how does DDSR repair degrade under Poisson leave at λ?".
+	Churn []churn.Spec `json:"churn,omitempty"`
 	// Trials replicates every grid point this many times (default 1).
 	// Replicas share Params but get distinct labels, hence distinct RNG
 	// substreams — the cheap way to average away seed noise.
 	Trials int `json:"trials,omitempty"`
+	// Thresholds extract answers from the aggregated grid: each one
+	// scans a swept axis for the first value where a series statistic
+	// crosses a bound ("λ at first partition"). See Threshold.
+	Thresholds []Threshold `json:"thresholds,omitempty"`
+}
+
+// Threshold is a declarative answer-extraction rule for a sweep grid.
+// For every combination of the sweep's other axes, Aggregate walks the
+// named axis in spec order, averages the chosen per-task series
+// statistic over trials at each axis value, and reports the first axis
+// value whose mean crosses the bound. A churn grid with
+//
+//	{"series": "quality", "stat": "last", "axis": "churn", "below": 0.8}
+//
+// therefore answers "at which churn intensity does repair quality
+// first drop under 0.8?" as a single aggregate row.
+type Threshold struct {
+	// Result restricts the scan to results with this ID (empty = all).
+	Result string `json:"result,omitempty"`
+	// Series names the series whose statistic is scanned.
+	Series string `json:"series"`
+	// Stat picks the per-task scalar: "first", "last" (default),
+	// "min", or "max" of the series' y values.
+	Stat string `json:"stat,omitempty"`
+	// Axis is the swept axis to walk: "n", "k", "frac", "churn", or
+	// "seed". It must actually be swept by the spec.
+	Axis string `json:"axis"`
+	// Above and Below are the crossing bounds; exactly one must be set.
+	Above *float64 `json:"above,omitempty"`
+	Below *float64 `json:"below,omitempty"`
+}
+
+// validate checks the threshold against the spec's swept axes.
+func (th Threshold) validate(s *Sweep) error {
+	if th.Series == "" {
+		return fmt.Errorf("threshold: no series named")
+	}
+	switch th.Stat {
+	case "", "first", "last", "min", "max":
+	default:
+		return fmt.Errorf("threshold: unknown stat %q (want first, last, min, or max)", th.Stat)
+	}
+	if (th.Above == nil) == (th.Below == nil) {
+		return fmt.Errorf("threshold: exactly one of above/below must be set")
+	}
+	swept := map[string]bool{
+		"n": len(s.Ns) > 0, "k": len(s.Ks) > 0, "frac": len(s.Fracs) > 0,
+		"churn": len(s.Churn) > 0, "seed": len(s.Seeds) > 0,
+	}
+	isSwept, known := swept[th.Axis]
+	if !known {
+		return fmt.Errorf("threshold: unknown axis %q (want n, k, frac, churn, or seed)", th.Axis)
+	}
+	if !isSwept {
+		return fmt.Errorf("threshold: axis %q is not swept by this spec", th.Axis)
+	}
+	return nil
+}
+
+// stat extracts the configured statistic from one series.
+func (th Threshold) stat(s Series) float64 {
+	first, last, min, max := seriesStats(s)
+	switch th.Stat {
+	case "first":
+		return first
+	case "min":
+		return min
+	case "max":
+		return max
+	default:
+		return last
+	}
+}
+
+// crossed reports whether a mean value satisfies the bound.
+func (th Threshold) crossed(mean float64) bool {
+	if th.Above != nil {
+		return mean > *th.Above
+	}
+	return mean < *th.Below
+}
+
+// describe renders the rule for the aggregate table.
+func (th Threshold) describe() string {
+	stat := th.Stat
+	if stat == "" {
+		stat = "last"
+	}
+	bound := ""
+	if th.Above != nil {
+		bound = fmt.Sprintf("> %g", *th.Above)
+	} else {
+		bound = fmt.Sprintf("< %g", *th.Below)
+	}
+	return fmt.Sprintf("first %s with mean %s.%s %s", th.Axis, th.Series, stat, bound)
 }
 
 // ParseSweep decodes and validates a JSON sweep spec. Unknown fields
@@ -58,6 +160,23 @@ func ParseSweep(data []byte) (*Sweep, error) {
 	}
 	if s.Trials < 0 {
 		return nil, fmt.Errorf("parse sweep: negative trials %d", s.Trials)
+	}
+	seen := make(map[string]struct{}, len(s.Churn))
+	for i, spec := range s.Churn {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("parse sweep: churn[%d]: %w", i, err)
+		}
+		// Distinct specs must produce distinct labels: the label is the
+		// task's (and substream's) identity on this axis.
+		if _, dup := seen[spec.Label()]; dup {
+			return nil, fmt.Errorf("parse sweep: duplicate churn spec %q", spec.Label())
+		}
+		seen[spec.Label()] = struct{}{}
+	}
+	for i, th := range s.Thresholds {
+		if err := th.validate(&s); err != nil {
+			return nil, fmt.Errorf("parse sweep: thresholds[%d]: %w", i, err)
+		}
 	}
 	if s.Name == "" {
 		s.Name = strings.Join(s.Experiments, "+")
@@ -79,9 +198,9 @@ func LoadSweep(path string) (*Sweep, error) {
 }
 
 // Tasks expands the sweep into its full task grid, in deterministic
-// order (experiments × ns × ks × fracs × seeds × trials). Every
-// experiment ID is checked against the registry up front so a bad spec
-// fails before any work starts.
+// order (experiments × ns × ks × fracs × churn × seeds × trials).
+// Every experiment ID is checked against the registry up front so a
+// bad spec fails before any work starts.
 func (s *Sweep) Tasks() ([]Task, error) {
 	for _, id := range s.Experiments {
 		if _, ok := Lookup(id); !ok {
@@ -91,6 +210,7 @@ func (s *Sweep) Tasks() ([]Task, error) {
 	ns, nSet := axisInts(s.Ns)
 	ks, kSet := axisInts(s.Ks)
 	fracs, fracSet := axisFloats(s.Fracs)
+	churns, churnSet := axisChurn(s.Churn)
 	seeds, seedSet := axisSeeds(s.Seeds)
 	trials := s.Trials
 	if trials < 1 {
@@ -102,33 +222,41 @@ func (s *Sweep) Tasks() ([]Task, error) {
 		for _, n := range ns {
 			for _, k := range ks {
 				for _, frac := range fracs {
-					for _, seed := range seeds {
-						for trial := 0; trial < trials; trial++ {
-							var label strings.Builder
-							label.WriteString(id)
-							if nSet {
-								fmt.Fprintf(&label, "/n=%d", n)
+					for ci := range churns {
+						for _, seed := range seeds {
+							for trial := 0; trial < trials; trial++ {
+								var label strings.Builder
+								label.WriteString(id)
+								if nSet {
+									fmt.Fprintf(&label, "/n=%d", n)
+								}
+								if kSet {
+									fmt.Fprintf(&label, "/k=%d", k)
+								}
+								if fracSet {
+									fmt.Fprintf(&label, "/frac=%g", frac)
+								}
+								var cspec *churn.Spec
+								if churnSet {
+									cspec = &churns[ci]
+									fmt.Fprintf(&label, "/churn=%s", cspec.Label())
+								}
+								if seedSet {
+									fmt.Fprintf(&label, "/seed=%d", seed)
+								}
+								if s.Trials > 1 {
+									fmt.Fprintf(&label, "/trial=%d", trial)
+								}
+								tasks = append(tasks, Task{
+									Label:      label.String(),
+									Experiment: id,
+									Params: Params{
+										Quick: s.Quick, Seed: seed,
+										N: n, K: k, Frac: frac,
+										Churn: cspec,
+									},
+								})
 							}
-							if kSet {
-								fmt.Fprintf(&label, "/k=%d", k)
-							}
-							if fracSet {
-								fmt.Fprintf(&label, "/frac=%g", frac)
-							}
-							if seedSet {
-								fmt.Fprintf(&label, "/seed=%d", seed)
-							}
-							if s.Trials > 1 {
-								fmt.Fprintf(&label, "/trial=%d", trial)
-							}
-							tasks = append(tasks, Task{
-								Label:      label.String(),
-								Experiment: id,
-								Params: Params{
-									Quick: s.Quick, Seed: seed,
-									N: n, K: k, Frac: frac,
-								},
-							})
 						}
 					}
 				}
@@ -160,24 +288,43 @@ func axisSeeds(xs []uint64) ([]uint64, bool) {
 	return xs, true
 }
 
+// axisChurn maps an absent churn axis to a single "keep preset" slot
+// (represented as a nil *Spec downstream).
+func axisChurn(xs []churn.Spec) ([]churn.Spec, bool) {
+	if len(xs) == 0 {
+		return make([]churn.Spec, 1), false
+	}
+	return xs, true
+}
+
 // Aggregate folds a sweep's task results into one table-shaped Result:
 // a row per produced series (first/last/min/max of y) and a row per
 // table-shaped sub-result, so a whole grid reads as a single table and
 // exports through the usual Render/CSV/JSON paths. Failed tasks appear
 // as error rows rather than vanishing.
+//
+// On top of the per-task rows, the aggregate carries cross-task
+// statistics: when the spec replicates grid points (Trials > 1), every
+// (grid point, result, series) gets a "(mean±sd)" row with the mean
+// and sample standard deviation of the series' last value over the
+// trials; and every Threshold in the spec contributes one "(threshold)"
+// row per combination of the non-scanned axes, reporting the first
+// scanned-axis value whose trial-mean crosses the bound. A grid
+// therefore answers its question — "mean recovery at each λ, and
+// where does it first break?" — without post-processing.
 func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 	res := &Result{
 		ID:    "sweep-" + s.Name,
 		Title: fmt.Sprintf("Scenario sweep %s: %s over %d tasks", s.Name, strings.Join(s.Experiments, ","), len(trs)),
 		Header: []string{"task", "result", "series", "points",
-			"y.first", "y.last", "y.min", "y.max"},
+			"y.first", "y.last", "y.min", "y.max", "last.mean", "last.stddev"},
 	}
 	failed := 0
 	for _, tr := range trs {
 		if tr.Err != nil {
 			failed++
 			res.Rows = append(res.Rows, []string{
-				tr.Task.Label, "error: " + tr.Err.Error(), "-", "-", "-", "-", "-", "-",
+				tr.Task.Label, "error: " + tr.Err.Error(), "-", "-", "-", "-", "-", "-", "-", "-",
 			})
 			continue
 		}
@@ -189,22 +336,215 @@ func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 					fmt.Sprintf("%d", len(series.Points)),
 					fmt.Sprintf("%g", first), fmt.Sprintf("%g", last),
 					fmt.Sprintf("%g", min), fmt.Sprintf("%g", max),
+					"-", "-",
 				})
 			}
 			if len(r.Rows) > 0 {
 				res.Rows = append(res.Rows, []string{
 					tr.Task.Label, r.ID, "(table)",
-					fmt.Sprintf("%d", len(r.Rows)), "-", "-", "-", "-",
+					fmt.Sprintf("%d", len(r.Rows)), "-", "-", "-", "-", "-", "-",
 				})
 			}
 		}
 	}
-	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v seeds=%v trials=%d",
-		len(s.Experiments), s.Ns, s.Ks, s.Fracs, s.Seeds, max(1, s.Trials))
+	s.appendTrialStats(res, trs)
+	for _, th := range s.Thresholds {
+		s.appendThreshold(res, trs, th)
+	}
+	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v churn=%v seeds=%v trials=%d",
+		len(s.Experiments), s.Ns, s.Ks, s.Fracs, churnLabels(s.Churn), s.Seeds, max(1, s.Trials))
 	if failed > 0 {
 		res.AddNote("%d/%d tasks failed", failed, len(trs))
 	}
 	return res
+}
+
+// churnLabels renders the churn axis for the grid note.
+func churnLabels(specs []churn.Spec) []string {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		out[i] = spec.Label()
+	}
+	return out
+}
+
+// stripComponents removes the named label components ("trial", ...)
+// from a task label ("fig6/n=800/seed=1/trial=2").
+func stripComponents(label string, keys ...string) string {
+	parts := strings.Split(label, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		drop := false
+		for _, k := range keys {
+			if strings.HasPrefix(p, k+"=") {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, "/")
+}
+
+// labelComponent extracts the value of one label component, or "".
+func labelComponent(label, key string) string {
+	for _, p := range strings.Split(label, "/") {
+		if v, ok := strings.CutPrefix(p, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// appendTrialStats emits one mean±stddev row per (grid point, result,
+// series) over the point's trial replicas. With Trials <= 1 there is
+// nothing to average and no rows are added.
+func (s *Sweep) appendTrialStats(res *Result, trs []TaskResult) {
+	if s.Trials <= 1 {
+		return
+	}
+	type key struct{ point, result, series string }
+	lasts := map[key][]float64{}
+	var order []key
+	for _, tr := range trs {
+		if tr.Err != nil {
+			continue
+		}
+		point := stripComponents(tr.Task.Label, "trial")
+		for _, r := range tr.Results {
+			for _, series := range r.Series {
+				k := key{point, r.ID, series.Name}
+				if _, seen := lasts[k]; !seen {
+					order = append(order, k)
+				}
+				_, last, _, _ := seriesStats(series)
+				lasts[k] = append(lasts[k], last)
+			}
+		}
+	}
+	for _, k := range order {
+		mean, sd := meanStddev(lasts[k])
+		res.Rows = append(res.Rows, []string{
+			k.point, k.result, k.series + " (mean±sd)",
+			fmt.Sprintf("%d", len(lasts[k])),
+			"-", "-", "-", "-",
+			fmt.Sprintf("%g", mean), fmt.Sprintf("%g", sd),
+		})
+	}
+}
+
+// appendThreshold emits the threshold's extracted rows: for each
+// combination of the non-scanned axes (in first-appearance order), the
+// scanned axis is walked in spec order and the first value whose
+// trial-mean statistic crosses the bound is reported in the y.first
+// column, with the crossing mean in last.mean.
+func (s *Sweep) appendThreshold(res *Result, trs []TaskResult, th Threshold) {
+	axisVals := s.axisValueLabels(th.Axis)
+	type cell struct {
+		sum float64
+		n   int
+	}
+	groups := map[string]map[string]*cell{} // group -> axis value -> mean acc
+	var order []string
+	for _, tr := range trs {
+		if tr.Err != nil {
+			continue
+		}
+		axisVal := labelComponent(tr.Task.Label, th.Axis)
+		if axisVal == "" {
+			continue
+		}
+		group := stripComponents(tr.Task.Label, th.Axis, "trial")
+		if _, seen := groups[group]; !seen {
+			groups[group] = map[string]*cell{}
+			order = append(order, group)
+		}
+		for _, r := range tr.Results {
+			if th.Result != "" && r.ID != th.Result {
+				continue
+			}
+			for _, series := range r.Series {
+				if series.Name != th.Series {
+					continue
+				}
+				c := groups[group][axisVal]
+				if c == nil {
+					c = &cell{}
+					groups[group][axisVal] = c
+				}
+				c.sum += th.stat(series)
+				c.n++
+			}
+		}
+	}
+	for _, group := range order {
+		crossing, crossingMean := "(not crossed)", "-"
+		scanned := 0
+		for _, v := range axisVals {
+			c := groups[group][v]
+			if c == nil || c.n == 0 {
+				continue
+			}
+			scanned++
+			mean := c.sum / float64(c.n)
+			if crossing == "(not crossed)" && th.crossed(mean) {
+				crossing = v
+				crossingMean = fmt.Sprintf("%g", mean)
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			group, "(threshold)", th.describe(),
+			fmt.Sprintf("%d", scanned),
+			crossing, "-", "-", "-", crossingMean, "-",
+		})
+	}
+}
+
+// axisValueLabels renders a swept axis's values exactly as task labels
+// embed them, in spec order.
+func (s *Sweep) axisValueLabels(axis string) []string {
+	var out []string
+	switch axis {
+	case "n":
+		for _, n := range s.Ns {
+			out = append(out, fmt.Sprintf("%d", n))
+		}
+	case "k":
+		for _, k := range s.Ks {
+			out = append(out, fmt.Sprintf("%d", k))
+		}
+	case "frac":
+		for _, f := range s.Fracs {
+			out = append(out, fmt.Sprintf("%g", f))
+		}
+	case "churn":
+		out = churnLabels(s.Churn)
+	case "seed":
+		for _, seed := range s.Seeds {
+			out = append(out, fmt.Sprintf("%d", seed))
+		}
+	}
+	return out
+}
+
+// meanStddev returns the mean and sample standard deviation.
+func meanStddev(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(xs)-1))
 }
 
 func seriesStats(s Series) (first, last, min, max float64) {

@@ -14,11 +14,13 @@
 //     share a period and subscription instant onto one wheel event,
 //     output-identically to individual Every timers.
 //   - RNG: a seeded PCG random stream with the helpers the experiments
-//     need (permutations, weighted coins, byte strings). All randomness in
-//     a run must flow through one RNG so that a single seed reproduces an
+//     need (permutations, weighted coins, exponential inter-arrival
+//     draws for churn processes, byte strings). All randomness in a run
+//     must flow through one RNG so that a single seed reproduces an
 //     entire figure. SubstreamSeed derives named child seeds from a root
 //     seed and a label; the experiment runner gives every task its own
-//     substream this way, which is what makes parallel experiment output
+//     substream this way (and the churn engine gives every attached
+//     process one), which is what makes parallel experiment output
 //     independent of worker count and scheduling order.
 //
 // The virtual epoch is 2015-01-14 UTC, the day the OnionBots paper was

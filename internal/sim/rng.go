@@ -87,6 +87,11 @@ func (g *RNG) Bool(p float64) bool {
 	return g.r.Float64() < p
 }
 
+// ExpFloat64 returns an exponentially distributed float64 with rate 1
+// (mean 1). Scale by 1/λ for other rates; the churn engine derives
+// Poisson inter-arrival times this way.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
 // Perm returns a uniform permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 

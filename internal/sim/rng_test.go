@@ -80,6 +80,25 @@ func TestSubstreamSeedSeparatesLabelsAndRoots(t *testing.T) {
 	}
 }
 
+func TestRNGExpFloat64MeanAndDeterminism(t *testing.T) {
+	a, b := NewRNG(77), NewRNG(77)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		av, bv := a.ExpFloat64(), b.ExpFloat64()
+		if av != bv {
+			t.Fatalf("ExpFloat64 streams diverged at %d", i)
+		}
+		if av < 0 {
+			t.Fatalf("negative exponential draw %g", av)
+		}
+		sum += av
+	}
+	if mean := sum / n; mean < 0.95 || mean > 1.05 {
+		t.Fatalf("ExpFloat64 mean %.3f, want ~1", mean)
+	}
+}
+
 func TestRNGIntnRange(t *testing.T) {
 	err := quick.Check(func(seed uint64, nRaw uint16) bool {
 		n := int(nRaw%1000) + 1
