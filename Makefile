@@ -8,9 +8,9 @@ SHELL       := /bin/bash
 GO        ?= go
 BENCHTIME ?= 200x
 # The microbenchmark set archived per PR: scheduler (wheel vs heap),
-# batched ticks, descriptor stores (flat vs sharded), and the data-plane
-# fast paths from PR 1.
-BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial
+# batched ticks, descriptor stores (flat vs sharded), the data-plane
+# fast paths from PR 1, and PR 5's pooled-vs-unpooled infection pair.
+BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial|InfectFrom
 
 .PHONY: all build test bench determinism sweep-smoke linkcheck
 
@@ -23,10 +23,10 @@ test:
 	$(GO) test ./...
 
 # bench runs the microbenchmark set with -benchmem and archives it as
-# BENCH_pr3.json (stderr keeps the human-readable stream).
+# BENCH_pr5.json (stderr keeps the human-readable stream).
 bench:
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem ./... \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr5.json
 
 # determinism asserts the scheduler/runner contract: -exp all output is
 # byte-identical at any -parallel value.
@@ -45,6 +45,11 @@ sweep-smoke:
 	/tmp/onionsim-ci -sweep examples/sweep/churn-grid.json -parallel 1 -json > /tmp/onionsim-churn-p1.json
 	/tmp/onionsim-ci -sweep examples/sweep/churn-grid.json -parallel 4 -json > /tmp/onionsim-churn-p4.json
 	cmp /tmp/onionsim-churn-p1.json /tmp/onionsim-churn-p4.json
+	# Same gate for the churn × SOAP composition: a live mitigation
+	# campaign against a moving population must stay byte-deterministic.
+	/tmp/onionsim-ci -sweep examples/sweep/churn-soap-grid.json -parallel 1 -json > /tmp/onionsim-churnsoap-p1.json
+	/tmp/onionsim-ci -sweep examples/sweep/churn-soap-grid.json -parallel 4 -json > /tmp/onionsim-churnsoap-p4.json
+	cmp /tmp/onionsim-churnsoap-p1.json /tmp/onionsim-churnsoap-p4.json
 
 # linkcheck fails on dangling docs/*.md references anywhere in the tree
 # (markdown or Go docs), so the handbook cannot silently rot.

@@ -30,4 +30,13 @@
 // into a caller-provided buffer. The package-level functions remain as
 // thin one-shot wrappers; hot paths (bots, the botmaster, SOAP clones,
 // SuperOnion hosts) hold SealKey sessions for their long-lived keys.
+//
+// # Identity pooling
+//
+// DeriveBotMaterial pre-computes everything crypto-expensive about one
+// bot's birth — K_B, the per-period hidden-service identity with its
+// intro payload signed, the sealed rally report, the expanded sealing
+// sessions — consuming the bot's DRBG in exactly the order the live
+// birth path does, so core.IdentityPool can batch the work ahead of
+// churn joins without changing a single output byte.
 package botcrypto

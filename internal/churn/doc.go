@@ -20,12 +20,18 @@
 //   - Takedown: a correlated mass removal at one scheduled instant —
 //     a fraction of one region, or a random member's k-hop overlay
 //     neighborhood.
+//   - Replay: a recorded event trace (EncodeTrace/ParseTrace, the
+//     engine's own JSON format) played back as the membership
+//     schedule, so mitigations can be evaluated against how a real
+//     population actually moved.
 //
 // Two target adapters ship here: OverlayTarget drives a ddsr.Maintainer
 // (the graph-level DDSR overlay or the no-repair Normal baseline, with
 // joins under the policy via ddsr.Joiner), and BotNetTarget drives a
 // protocol-level core.BotNet (joins are real infections, leaves are
-// takedowns).
+// takedowns). Protocol-level joins draw pre-derived key material from
+// the botnet's identity pool (core.IdentityPool), so BotNetTarget
+// sustains 10^4-bot populations.
 //
 // # Determinism
 //
@@ -40,8 +46,9 @@
 // # Specs
 //
 // Spec is the declarative JSON form ({"process": "poisson", "leave":
-// 8}) used by experiment.Params.Churn and the sweep schema's "churn"
-// axis; Spec.Label renders it into task labels so distinct specs land
-// on distinct substreams. See docs/EXPERIMENTS.md for the end-to-end
+// 8}, or {"process": "replay", "trace_file": "..."}) used by
+// experiment.Params.Churn and the sweep schema's "churn" axis;
+// Spec.Label renders it into task labels so distinct specs land on
+// distinct substreams. See docs/EXPERIMENTS.md for the end-to-end
 // walkthrough of posing a churn question as a sweep.
 package churn

@@ -1,0 +1,77 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/core"
+	"onionbots/internal/sim"
+)
+
+// TestProtocolChurnTenThousandBots is the protocol-scale smoke test the
+// identity pool exists for: grow a 10^4-bot botnet on a real simulated
+// Tor substrate (every infection hosts a hidden service, rallies the
+// C&C, and peers), then drive live churn — Poisson joins/leaves plus a
+// correlated regional takedown — through the engine. Before the pool,
+// keygen alone priced this population out of reach for a smoke test.
+//
+// Gated behind -short (CI's `go test ./...` runs it; `go test -short`
+// skips it): it is a scale gate, not a unit test.
+func TestProtocolChurnTenThousandBots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^4-bot protocol churn; skipped in -short")
+	}
+	const n = 10000
+	start := time.Now()
+	bn, err := core.NewBotNet(42, 120, core.BotConfig{
+		DMin: 2, DMax: 6,
+		PingInterval: 30 * time.Minute,
+		NoNInterval:  2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Master.HotlistSize = 5
+	bn.SettleTime = 200 * time.Millisecond
+	bn.WarmIdentities(n) // amortize keygen ahead of the join burst
+	if err := bn.Grow(n, nil); err != nil {
+		t.Fatal(err)
+	}
+	grew := time.Since(start)
+	if got := bn.AliveCount(); got != n {
+		t.Fatalf("grew %d bots, want %d", got, n)
+	}
+
+	target := NewBotNetTarget(bn, nil, 8)
+	eng := NewEngine(bn.Sched, sim.SubstreamSeed(42, "scale/churn"), target)
+	if err := eng.Attach(&Poisson{JoinRate: 300, LeaveRate: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Attach(&Takedown{After: time.Hour, Frac: 0.5, Region: -1}); err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(2 * time.Hour)
+	eng.Stop()
+
+	joined, left, takendown := eng.Counts()
+	if joined < 300 || left < 300 {
+		t.Fatalf("churn barely ran: %d joined, %d left", joined, left)
+	}
+	if takendown < n/32 {
+		t.Fatalf("regional takedown removed only %d of a ~%d-bot region", takendown, n/8)
+	}
+	alive := bn.AliveCount()
+	if alive < n/2 || alive > n+joined {
+		t.Fatalf("population implausible after churn: %d alive", alive)
+	}
+	if s := bn.HotlistStaleness(); s <= 0 || s >= 1 {
+		t.Fatalf("staleness %g implausible after heavy churn", s)
+	}
+	st := bn.IdentityPoolStats()
+	if st.Served < n+joined {
+		t.Fatalf("pool served %d infections, want >= %d", st.Served, n+joined)
+	}
+	t.Logf("10^4-bot churn: grow %v, total %v; %d joined %d left %d takendown, %d alive, staleness %.3f, pool %+v",
+		grew.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
+		joined, left, takendown, alive, bn.HotlistStaleness(), st)
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"path/filepath"
 	"strings"
 	"time"
 )
@@ -19,9 +21,10 @@ import (
 //	{"process": "diurnal", "join": 2, "leave": 2, "amplitude": 0.8, "period_h": 24}
 //	{"process": "takedown", "frac": 0.5, "regions": 4, "at_h": 6}
 //	{"process": "takedown", "hops": 2, "at_h": 6}
+//	{"process": "replay", "trace_file": "examples/traces/takedown-wave.json"}
 type Spec struct {
-	// Process selects the process type: "poisson", "diurnal", or
-	// "takedown".
+	// Process selects the process type: "poisson", "diurnal",
+	// "takedown", or "replay".
 	Process string `json:"process"`
 	// Join and Leave are mean event rates in events per virtual hour
 	// (poisson, diurnal).
@@ -42,6 +45,11 @@ type Spec struct {
 	AtH float64 `json:"at_h,omitempty"`
 	// Hops switches the takedown to k-hop neighborhood mode.
 	Hops int `json:"hops,omitempty"`
+	// TraceFile names a recorded event trace (the engine's own JSON
+	// trace format, see EncodeTrace) that a "replay" process plays back
+	// as the membership schedule — the lever for evaluating mitigations
+	// against how a real population actually moved.
+	TraceFile string `json:"trace_file,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON spec. Unknown fields are
@@ -99,10 +107,23 @@ func (s Spec) build() (Process, error) {
 			}
 		}
 		return t, nil
+	case "replay":
+		if s.TraceFile == "" {
+			return nil, fmt.Errorf("churn: replay: no trace_file")
+		}
+		events, err := LoadTrace(s.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("churn: replay: %w", err)
+		}
+		r := &Replay{Events: events}
+		if err := r.validate(nil); err != nil {
+			return nil, err
+		}
+		return r, nil
 	case "":
 		return nil, fmt.Errorf("churn: spec has no process")
 	default:
-		return nil, fmt.Errorf("churn: unknown process %q (want poisson, diurnal, or takedown)", s.Process)
+		return nil, fmt.Errorf("churn: unknown process %q (want poisson, diurnal, takedown, or replay)", s.Process)
 	}
 }
 
@@ -128,5 +149,27 @@ func (s Spec) Label() string {
 	part("frac", s.Frac)
 	part("at", s.AtH)
 	part("hops", float64(s.Hops))
+	if s.TraceFile != "" {
+		// The label embeds the trace's base name (sans extension),
+		// sanitized so it can never carry a "/" or "," into task labels
+		// or CSV cells, plus a short hash of the full path — two
+		// distinct trace files that happen to share a basename
+		// (traces/v1/wave.json vs traces/v2/wave.json) must not
+		// collide into one label, which would merge their RNG
+		// substreams and aggregation rows.
+		base := filepath.Base(s.TraceFile)
+		base = strings.TrimSuffix(base, filepath.Ext(base))
+		clean := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+				r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+				return r
+			}
+			return '-'
+		}, base)
+		h := fnv.New32a()
+		h.Write([]byte(s.TraceFile))
+		fmt.Fprintf(&b, ";t=%s.%08x", clean, h.Sum32())
+	}
 	return b.String()
 }

@@ -150,6 +150,9 @@ type Bot struct {
 	hs        *tor.HiddenService
 	hostedFor uint64 // rotation period the current identity was derived for
 	sealBuf   [botcrypto.SealedSize]byte
+	// pendingSealedKB is a pool-pre-derived rally report ({K_B}_PK_CC),
+	// consumed by the first reportToCC; later re-rallies seal live.
+	pendingSealedKB []byte
 
 	peers   map[string]*peerInfo
 	pending map[string]*tor.Conn // dialed, awaiting PEER_ACK
@@ -240,6 +243,50 @@ func NewBotOnProxy(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig, maste
 	if err := b.hostCurrentIdentity(); err != nil {
 		return nil, err
 	}
+	b.startTimers()
+	return b, nil
+}
+
+// newBotWithMaterial builds a bot from pool-pre-derived key material
+// (see core.IdentityPool): the DRBG arrives positioned past the birth
+// reads, K_B and the identity are already derived, the sealing sessions
+// already expanded, and the rally report already sealed — so only the
+// hosting handshake and timers remain. The result is byte-equivalent to
+// NewBot with the same seed.
+func newBotWithMaterial(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig,
+	masterSignPub ed25519.PublicKey, masterEncPub *ecdh.PublicKey, ccOnion string,
+	mat *botcrypto.BotMaterial) (*Bot, error) {
+	b := &Bot{
+		cfg:             cfg.withDefaults(),
+		net:             net,
+		proxy:           proxy,
+		rng:             net.RNG(),
+		drbg:            mat.DRBG,
+		masterSignPub:   masterSignPub,
+		masterEncPub:    masterEncPub,
+		ccOnion:         ccOnion,
+		kb:              mat.KB,
+		netKey:          mat.NetKey,
+		netSeal:         mat.NetSeal,
+		kbSeal:          mat.KBSeal,
+		pendingSealedKB: mat.SealedKB,
+		peers:           make(map[string]*peerInfo),
+		pending:         make(map[string]*tor.Conn),
+		seen:            make(map[[16]byte]struct{}),
+		proofs:          make(map[string]proofEntry),
+		attempts:        make(map[string]int),
+		stage:           StageInfection,
+		alive:           true,
+	}
+	b.guard = botcrypto.NewReplayGuard(b.cfg.ReplayWindow)
+	b.groups = botcrypto.NewGroupKeyring()
+	hs, err := b.proxy.Host(mat.Identity, b.onInboundConn)
+	if err != nil {
+		return nil, fmt.Errorf("core: host identity: %w", err)
+	}
+	b.identity = mat.Identity
+	b.hs = hs
+	b.hostedFor = mat.Period
 	b.startTimers()
 	return b, nil
 }
@@ -384,9 +431,15 @@ func (b *Bot) reportToCC() error {
 	if b.ccOnion == "" {
 		return nil // experiment without a C&C
 	}
-	sealedKB, err := botcrypto.SealToPublic(b.masterEncPub, b.kb, b.drbg)
-	if err != nil {
-		return err
+	sealedKB := b.pendingSealedKB
+	if sealedKB != nil {
+		b.pendingSealedKB = nil // the pool pre-sealed the first report
+	} else {
+		var err error
+		sealedKB, err = botcrypto.SealToPublic(b.masterEncPub, b.kb, b.drbg)
+		if err != nil {
+			return err
+		}
 	}
 	conn, err := b.proxy.Dial(b.ccOnion)
 	if err != nil {

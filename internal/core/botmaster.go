@@ -26,6 +26,8 @@ type BotRecord struct {
 	// derivation is deterministic per (K_B, period).
 	curOnion  string
 	curPeriod uint64
+
+	id string // lazily cached ID (hash of K_B)
 }
 
 // sealKey returns the cached sealing session for the bot's K_B.
@@ -36,10 +38,14 @@ func (r *BotRecord) sealKey() *botcrypto.SealKey {
 	return r.seal
 }
 
-// ID is a stable identifier for the record (hash of K_B).
+// ID is a stable identifier for the record (hash of K_B), computed
+// once — rally replies compare IDs per candidate draw.
 func (r *BotRecord) ID() string {
-	sum := sha256.Sum256(r.KB)
-	return hex.EncodeToString(sum[:8])
+	if r.id == "" {
+		sum := sha256.Sum256(r.KB)
+		r.id = hex.EncodeToString(sum[:8])
+	}
+	return r.id
 }
 
 // Botmaster is the C&C operator: it holds the signing and encryption
@@ -63,6 +69,17 @@ type Botmaster struct {
 	queues   map[string][]*Command // pull-mode command queues by bot id
 
 	registry map[string]*BotRecord // keyed by BotRecord.ID()
+	// recordList holds the same records in registration order. The
+	// registry never forgets, so the list only appends — an
+	// O(1)-indexable candidate pool for rally replies that would
+	// otherwise sort and shuffle the whole registry per report.
+	recordList []*BotRecord
+	// rallyOpens maps sealed-rally-report digests to the K_B inside,
+	// primed by the identity pool for reports it pre-sealed (sealing and
+	// opening are inverses, so the memo is exact). A hit skips the
+	// X25519 exchange; unknown or forged blobs miss and take the real
+	// path. Entries are consumed on hit.
+	rallyOpens map[[sha256.Size]byte][]byte
 
 	// HotlistSize, when positive, makes the C&C answer each rally
 	// report with that many current addresses of other registered bots.
@@ -86,16 +103,17 @@ func NewBotmaster(net *tor.Network, seed []byte) (*Botmaster, error) {
 		return nil, fmt.Errorf("core: master enc keys: %w", err)
 	}
 	m := &Botmaster{
-		net:      net,
-		proxy:    tor.NewProxy(net),
-		drbg:     drbg,
-		signPub:  signPub,
-		signPriv: signPriv,
-		enc:      enc,
-		netKey:   drbg.Bytes(32),
-		groups:   botcrypto.NewGroupKeyring(),
-		queues:   make(map[string][]*Command),
-		registry: make(map[string]*BotRecord),
+		net:        net,
+		proxy:      tor.NewProxy(net),
+		drbg:       drbg,
+		signPub:    signPub,
+		signPriv:   signPriv,
+		enc:        enc,
+		netKey:     drbg.Bytes(32),
+		groups:     botcrypto.NewGroupKeyring(),
+		queues:     make(map[string][]*Command),
+		registry:   make(map[string]*BotRecord),
+		rallyOpens: make(map[[sha256.Size]byte][]byte),
 	}
 	m.netSeal = botcrypto.NewSealKey(m.netKey)
 	var idSeed [32]byte
@@ -129,10 +147,7 @@ func (m *Botmaster) Onion() string { return m.identity.Onion() }
 
 // Records lists registered bots, sorted by rally order then ID.
 func (m *Botmaster) Records() []*BotRecord {
-	out := make([]*BotRecord, 0, len(m.registry))
-	for _, r := range m.registry {
-		out = append(out, r)
-	}
+	out := append([]*BotRecord(nil), m.recordList...)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].RegisteredAt.Equal(out[j].RegisteredAt) {
 			return out[i].RegisteredAt.Before(out[j].RegisteredAt)
@@ -171,37 +186,84 @@ func (m *Botmaster) onMessage(conn *tor.Conn, raw []byte) {
 	if err != nil {
 		return
 	}
-	kb, err := botcrypto.OpenWithPrivate(m.enc.Priv, rep.SealedKB)
+	kb, err := m.openRallyReport(rep.SealedKB)
 	if err != nil {
 		return // forged or corrupted rally report
 	}
 	rec := &BotRecord{KB: kb, FirstOnion: rep.Onion, RegisteredAt: m.net.Now()}
 	if _, dup := m.registry[rec.ID()]; !dup {
 		m.registry[rec.ID()] = rec
+		m.recordList = append(m.recordList, rec)
 	}
 	m.replyHotlist(conn, rec)
 }
 
+// openRallyReport recovers K_B from a rally report, consulting the
+// pool-primed memo before paying the X25519 exchange.
+func (m *Botmaster) openRallyReport(sealed []byte) ([]byte, error) {
+	if len(m.rallyOpens) > 0 {
+		key := sha256.Sum256(sealed)
+		if kb, ok := m.rallyOpens[key]; ok {
+			delete(m.rallyOpens, key)
+			return kb, nil
+		}
+	}
+	return botcrypto.OpenWithPrivate(m.enc.Priv, sealed)
+}
+
+// PrimeRallyOpen records the plaintext of a rally report that was
+// sealed in this process (by the identity pool), so its registration
+// will skip the X25519 exchange. The memo is exact — SealToPublic and
+// OpenWithPrivate are inverses — and one-shot per blob.
+func (m *Botmaster) PrimeRallyOpen(sealed, kb []byte) {
+	m.rallyOpens[sha256.Sum256(sealed)] = append([]byte(nil), kb...)
+}
+
 // replyHotlist answers a rally with current addresses of other
-// registered bots (see HotlistSize).
+// registered bots (see HotlistSize). The candidate draw is O(HotlistSize)
+// expected — distinct index draws with duplicate rejection over the
+// append-only record list — instead of the former sort-and-shuffle of
+// the entire registry, which made every rally reply linear in the
+// population and dominated protocol-scale churn joins.
 func (m *Botmaster) replyHotlist(conn *tor.Conn, reporter *BotRecord) {
 	if m.HotlistSize <= 0 {
 		return
 	}
-	recs := m.Records()
-	pool := make([]string, 0, len(recs))
-	for _, r := range recs {
-		if r.ID() == reporter.ID() {
-			continue
-		}
-		pool = append(pool, m.CurrentOnionOf(r))
+	rid := reporter.ID()
+	avail := len(m.recordList)
+	if _, registered := m.registry[rid]; registered {
+		avail--
 	}
-	m.net.RNG().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-	if len(pool) > m.HotlistSize {
-		pool = pool[:m.HotlistSize]
-	}
-	if len(pool) == 0 {
+	if avail <= 0 {
 		return
+	}
+	var pool []string
+	if m.HotlistSize >= avail {
+		// Small registry: every other bot's current address, in
+		// registration order.
+		pool = make([]string, 0, avail)
+		for _, r := range m.recordList {
+			if r.ID() == rid {
+				continue
+			}
+			pool = append(pool, m.CurrentOnionOf(r))
+		}
+	} else {
+		rng := m.net.RNG()
+		pool = make([]string, 0, m.HotlistSize)
+		seen := make(map[int]struct{}, m.HotlistSize+1)
+		for len(pool) < m.HotlistSize {
+			i := rng.Intn(len(m.recordList))
+			if _, dup := seen[i]; dup {
+				continue
+			}
+			seen[i] = struct{}{}
+			r := m.recordList[i]
+			if r.ID() == rid {
+				continue
+			}
+			pool = append(pool, m.CurrentOnionOf(r))
+		}
 	}
 	up := &NoNUpdate{Onion: "", Degree: 0, Neighbors: pool}
 	var env Envelope

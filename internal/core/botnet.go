@@ -98,6 +98,10 @@ type BotNet struct {
 	// infection order off bn.bots.
 	alive    []*Bot
 	alivePos map[*Bot]int
+	// pool pre-derives bot key material in batches (on by default; see
+	// SetIdentityPool), making infections O(handshake) instead of
+	// O(keygen) without changing a single output byte.
+	pool *IdentityPool
 	// SettleTime is how long Grow runs the clock after each infection
 	// so peering handshakes complete. Default 2s of virtual time.
 	SettleTime time.Duration
@@ -125,6 +129,7 @@ func NewBotNet(seed uint64, numRelays int, cfg BotConfig) (*BotNet, error) {
 		seed:       seed,
 		SettleTime: 2 * time.Second,
 		alivePos:   make(map[*Bot]int),
+		pool:       newIdentityPool(defaultPoolBatch),
 	}, nil
 }
 
@@ -189,12 +194,28 @@ func (bn *BotNet) RandomAliveBot(rng *sim.RNG) *Bot {
 
 // InfectOne creates a bot and rallies it with the given bootstrap
 // candidates. The caller (or Grow) must pump the clock for the peering
-// handshakes to finish.
+// handshakes to finish. With the identity pool enabled (the default)
+// the bot's key material comes pre-derived from the warmup batch;
+// either way the bot is a pure function of (botnet seed, infection
+// index).
 func (bn *BotNet) InfectOne(bootstrap []string) (*Bot, error) {
 	bn.nextBot++
-	seed := []byte(fmt.Sprintf("bot-%d-%d", bn.seed, bn.nextBot))
-	b, err := NewBot(bn.Net, bn.cfg, bn.Master.SignPub(), bn.Master.EncPub().Pub,
-		bn.Master.NetKey(), bn.Master.Onion(), seed)
+	var b *Bot
+	var err error
+	if bn.pool != nil {
+		if mat := bn.takeMaterial(bn.nextBot); mat != nil {
+			b, err = newBotWithMaterial(tor.NewProxy(bn.Net), bn.Net, bn.cfg,
+				bn.Master.SignPub(), bn.Master.enc.Pub, bn.Master.Onion(), mat)
+			if b != nil {
+				b.ownProxy = true
+			}
+		}
+	}
+	if b == nil && err == nil {
+		seed := []byte(fmt.Sprintf("bot-%d-%d", bn.seed, bn.nextBot))
+		b, err = NewBot(bn.Net, bn.cfg, bn.Master.SignPub(), bn.Master.EncPub().Pub,
+			bn.Master.NetKey(), bn.Master.Onion(), seed)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -217,10 +238,12 @@ func (bn *BotNet) InfectFrom(strategy BootstrapStrategy, rng *sim.RNG) (*Bot, er
 	if rng == nil {
 		rng = bn.RNG
 	}
-	var infector *Bot
-	if alive := bn.AliveBots(); len(alive) > 0 {
-		infector = sim.Choice(rng, alive)
-	}
+	// O(1) pick off the alive index — the former AliveBots() call
+	// copied the full roster per churn join. The index's internal order
+	// differs from infection order once takedowns have happened, so the
+	// infector drawn for a given rng state changed when this landed
+	// (outputs re-pinned).
+	infector := bn.RandomAliveBot(rng)
 	return bn.InfectOne(strategy.Candidates(bn, infector))
 }
 
@@ -247,15 +270,16 @@ func (bn *BotNet) Takedown(b *Bot) { b.Takedown() }
 // bots by their current derived address, so the measure survives
 // address rotation. An empty registry reports 0.
 func (bn *BotNet) HotlistStaleness() float64 {
-	recs := bn.Master.Records()
+	recs := bn.Master.recordList
 	if len(recs) == 0 {
 		return 0
 	}
-	alive := make(map[string]struct{}, len(bn.bots))
-	for _, b := range bn.bots {
-		if b.Alive() {
-			alive[b.Onion()] = struct{}{}
-		}
+	// Derive the alive-onion set from the swap-remove alive index: the
+	// former full-roster scan (dead bots included) made every staleness
+	// sample O(all bots ever infected).
+	alive := make(map[string]struct{}, len(bn.alive))
+	for _, b := range bn.alive {
+		alive[b.Onion()] = struct{}{}
 	}
 	dead := 0
 	for _, r := range recs {

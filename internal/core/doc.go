@@ -12,4 +12,10 @@
 // mitigation (internal/soap) and its hardening counter-measures
 // (internal/pow, internal/superonion) have a faithful target to be
 // evaluated against.
+//
+// Infections draw their key material from an IdentityPool (on by
+// default): batches of Ed25519/X25519 derivations run ahead of the
+// join events, each entry a pure function of (botnet seed, infection
+// index), so protocol-level churn joins cost O(handshake) while pooled
+// and unpooled runs stay byte-identical per seed.
 package core

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"onionbots/internal/botcrypto"
+)
+
+// defaultPoolBatch is the warmup batch size of a BotNet's identity
+// pool. Any batch size produces byte-identical runs (each entry is a
+// pure function of the bot seed and index); the batch only sets how
+// much keygen is amortized per warmup.
+const defaultPoolBatch = 64
+
+// IdentityPool pre-derives bot key material in batches so a churn join
+// is O(handshake) instead of O(keygen). Entry i of the pool is exactly
+// what infection i would derive live — same K_B, same identity, same
+// DRBG read order (see botcrypto.BotMaterial) — so pooled and unpooled
+// runs are byte-identical for the same seed; the pool only moves the
+// Ed25519/X25519 work out of the join event and into a warmup batch.
+//
+// Beyond the bot-side material, warmup also fronts the two signature
+// workloads a join would trigger elsewhere in the simulation: the
+// ESTABLISH_INTRO binding check its introduction points run
+// (tor.Network.PreverifyIntro seeds the network's verify memo), and the
+// X25519 exchange the botmaster pays to open the rally report
+// (Botmaster.PrimeRallyOpen).
+type IdentityPool struct {
+	batch   int
+	entries map[int]*botcrypto.BotMaterial
+	stats   IdentityPoolStats
+}
+
+// IdentityPoolStats counts pool activity.
+type IdentityPoolStats struct {
+	// Derived is how many entries warmup batches pre-derived.
+	Derived int
+	// Served is how many infections drew their material from the pool.
+	Served int
+	// Refreshed counts entries whose identity had to be re-derived at
+	// draw time because the rotation period rolled past their warmup.
+	Refreshed int
+}
+
+func newIdentityPool(batch int) *IdentityPool {
+	return &IdentityPool{
+		batch:   batch,
+		entries: make(map[int]*botcrypto.BotMaterial, batch),
+	}
+}
+
+// SetIdentityPool resizes the botnet's identity pool warmup batch, or
+// disables pooling entirely with batch <= 0 (every infection then pays
+// full keygen inline — the unpooled baseline of the A/B benchmarks).
+// Material already pre-derived is discarded; because pooled and
+// unpooled derivations are byte-equivalent, switching modes mid-run
+// does not change any outcome.
+func (bn *BotNet) SetIdentityPool(batch int) {
+	if batch <= 0 {
+		bn.pool = nil
+		return
+	}
+	bn.pool = newIdentityPool(batch)
+}
+
+// IdentityPoolStats reports pool activity (zero when pooling is off).
+func (bn *BotNet) IdentityPoolStats() IdentityPoolStats {
+	if bn.pool == nil {
+		return IdentityPoolStats{}
+	}
+	return bn.pool.stats
+}
+
+// WarmIdentities pre-derives material for the next n infections right
+// now (a no-op when pooling is off). Long-running campaigns call it
+// during idle stretches so that a later join burst — a churn wave, a
+// Grow — finds every identity already derived.
+func (bn *BotNet) WarmIdentities(n int) {
+	if bn.pool == nil {
+		return
+	}
+	p := bn.pool
+	ip := botcrypto.PeriodIndex(bn.Net.Now())
+	signPub := bn.Master.SignPub()
+	encPub := bn.Master.enc.Pub
+	netKey := bn.Master.netKey
+	for i := bn.nextBot + 1; i <= bn.nextBot+n; i++ {
+		if _, ok := p.entries[i]; ok {
+			continue
+		}
+		m, err := botcrypto.DeriveBotMaterial(signPub, encPub, netKey,
+			[]byte(fmt.Sprintf("bot-%d-%d", bn.seed, i)), ip)
+		if err != nil {
+			return
+		}
+		bn.Net.PreverifyIntro(m.Identity)
+		if m.SealedKB != nil {
+			bn.Master.PrimeRallyOpen(m.SealedKB, m.KB)
+		}
+		p.entries[i] = m
+		p.stats.Derived++
+	}
+}
+
+// takeMaterial returns the pre-derived material for bot index idx,
+// warming the next batch when the pool has run dry. Returns nil when a
+// derivation fails, which sends the caller down the live path.
+func (bn *BotNet) takeMaterial(idx int) *botcrypto.BotMaterial {
+	p := bn.pool
+	ip := botcrypto.PeriodIndex(bn.Net.Now())
+	mat, ok := p.entries[idx]
+	if !ok {
+		signPub := bn.Master.SignPub()
+		encPub := bn.Master.enc.Pub
+		netKey := bn.Master.netKey
+		for i := idx; i < idx+p.batch; i++ {
+			m, err := botcrypto.DeriveBotMaterial(signPub, encPub, netKey,
+				[]byte(fmt.Sprintf("bot-%d-%d", bn.seed, i)), ip)
+			if err != nil {
+				return nil
+			}
+			bn.Net.PreverifyIntro(m.Identity)
+			if m.SealedKB != nil {
+				bn.Master.PrimeRallyOpen(m.SealedKB, m.KB)
+			}
+			p.entries[i] = m
+			p.stats.Derived++
+		}
+		mat = p.entries[idx]
+	}
+	delete(p.entries, idx)
+	if mat.Period != ip {
+		// The rotation period rolled over since warmup: re-derive the
+		// identity (K_B, the DRBG position, and the rally seal are
+		// period-independent and survive).
+		mat.Refresh(bn.Master.SignPub(), ip)
+		bn.Net.PreverifyIntro(mat.Identity)
+		p.stats.Refreshed++
+	}
+	p.stats.Served++
+	return mat
+}

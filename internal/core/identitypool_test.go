@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"onionbots/internal/botcrypto"
+	"onionbots/internal/sim"
+)
+
+// churnScriptFingerprint drives one deterministic churn script —
+// interleaved takedowns, joins from a private substream, staleness
+// samples — and renders the complete observable state of the run:
+// every bot's address, liveness and peer list, the master's registry,
+// the staleness series, and the network RNG position.
+func churnScriptFingerprint(t *testing.T, seed uint64, configure func(*BotNet)) string {
+	t.Helper()
+	bn, err := NewBotNet(seed, 40, BotConfig{
+		DMin: 2, DMax: 5,
+		PingInterval: 5 * time.Minute, NoNInterval: 15 * time.Minute,
+		Rotation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if configure != nil {
+		configure(bn)
+	}
+	bn.Master.HotlistSize = 4
+	if err := bn.Grow(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewSubstream(seed, "pool-equivalence")
+	var sb strings.Builder
+	for round := 0; round < 8; round++ {
+		if round%2 == 0 {
+			if b := bn.RandomAliveBot(rng); b != nil {
+				bn.Takedown(b)
+			}
+		}
+		if _, err := bn.InfectFrom(nil, rng); err != nil {
+			t.Fatal(err)
+		}
+		bn.Run(10 * time.Minute)
+		fmt.Fprintf(&sb, "round=%d staleness=%.9f alive=%d registered=%d\n",
+			round, bn.HotlistStaleness(), bn.AliveCount(), bn.Master.NumRegistered())
+	}
+	bn.Run(time.Hour)
+	for i, b := range bn.Bots() {
+		fmt.Fprintf(&sb, "bot=%d onion=%s alive=%v peers=%v\n", i, b.Onion(), b.Alive(), b.PeerOnions())
+	}
+	for _, r := range bn.Master.Records() {
+		fmt.Fprintf(&sb, "rec=%s onion=%s\n", r.ID(), bn.Master.CurrentOnionOf(r))
+	}
+	fmt.Fprintf(&sb, "netRNG=%d scriptRNG=%d\n", bn.RNG.Uint64(), rng.Uint64())
+	return sb.String()
+}
+
+// TestPooledRunByteIdenticalToUnpooled is the exact-equivalence gate of
+// the identity pool: for the same seed, a pooled run and an unpooled
+// run must produce byte-identical traces — the pool moves keygen in
+// time, it never changes an outcome. Batch size must not matter either.
+func TestPooledRunByteIdenticalToUnpooled(t *testing.T) {
+	unpooled := churnScriptFingerprint(t, 99, func(bn *BotNet) { bn.SetIdentityPool(0) })
+	pooledDefault := churnScriptFingerprint(t, 99, nil)
+	pooledOdd := churnScriptFingerprint(t, 99, func(bn *BotNet) { bn.SetIdentityPool(7) })
+	pooledWarmed := churnScriptFingerprint(t, 99, func(bn *BotNet) {
+		bn.SetIdentityPool(3)
+		bn.WarmIdentities(25)
+	})
+	if unpooled != pooledDefault {
+		t.Fatalf("pooled run diverges from unpooled:\n--- unpooled ---\n%s--- pooled ---\n%s", unpooled, pooledDefault)
+	}
+	if unpooled != pooledOdd {
+		t.Fatal("batch size changed the run")
+	}
+	if unpooled != pooledWarmed {
+		t.Fatal("explicit warmup changed the run")
+	}
+	if !strings.Contains(unpooled, "staleness") {
+		t.Fatal("fingerprint missing staleness samples")
+	}
+}
+
+func TestIdentityPoolStatsAndDrawdown(t *testing.T) {
+	bn, err := NewBotNet(3, 30, BotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.SetIdentityPool(4)
+	if err := bn.Grow(6, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := bn.IdentityPoolStats()
+	if st.Served != 6 {
+		t.Fatalf("pool served %d infections, want 6", st.Served)
+	}
+	if st.Derived != 8 { // two warmup batches of 4
+		t.Fatalf("pool derived %d entries, want 8 (2 batches of 4)", st.Derived)
+	}
+	if st.Refreshed != 0 {
+		t.Fatalf("unexpected refreshes: %d", st.Refreshed)
+	}
+}
+
+// TestPoolRefreshAfterPeriodRollover pins the period-drift path: an
+// entry warmed in one rotation period and drawn in the next must be
+// re-derived for the current period, yielding exactly the identity a
+// live derivation would have produced.
+func TestPoolRefreshAfterPeriodRollover(t *testing.T) {
+	bn, err := NewBotNet(5, 30, BotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.SetIdentityPool(8)
+	bn.WarmIdentities(8)
+	bn.Run(26 * time.Hour) // cross a rotation-period boundary
+	b, err := bn.InfectOne(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := botcrypto.PeriodIndex(bn.Net.Now())
+	want := botcrypto.DeriveIdentity(bn.Master.SignPub(), b.KB(), ip).Onion()
+	if b.Onion() != want {
+		t.Fatalf("pooled bot hosts %s after rollover, want the period-%d identity %s", b.Onion(), ip, want)
+	}
+	if st := bn.IdentityPoolStats(); st.Refreshed == 0 {
+		t.Fatal("rollover draw did not refresh the entry")
+	}
+}
+
+// TestPoolDrawIsCheap asserts the pool draw itself (a warmed
+// takeMaterial hit) stays allocation-trivial: the join path must not
+// re-grow material that warmup already built.
+func TestPoolDrawIsCheap(t *testing.T) {
+	bn, err := NewBotNet(7, 30, BotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.SetIdentityPool(4)
+	bn.WarmIdentities(256)
+	allocs := testing.AllocsPerRun(100, func() {
+		bn.nextBot++
+		if mat := bn.takeMaterial(bn.nextBot); mat == nil {
+			t.Fatal("warmed pool returned no material")
+		}
+	})
+	if allocs > 1 { // at most the map-delete bookkeeping
+		t.Fatalf("pool draw allocates %.1f objects/op, want <= 1", allocs)
+	}
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"onionbots/internal/churn"
+	"onionbots/internal/soap"
+)
+
+func TestChurnSoapShape(t *testing.T) {
+	cfg := DefaultChurnSoapConfig(true)
+	cfg.Seed = 11
+	res, err := RunChurnSoap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contained := res.SeriesByName("contained")
+	alive := res.SeriesByName("alive")
+	discovered := res.SeriesByName("discovered")
+	finalC := res.SeriesByName("final-contained")
+	minC := res.SeriesByName("min-contained")
+	if contained == nil || alive == nil || discovered == nil || finalC == nil || minC == nil {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	for i, p := range contained.Points {
+		if p.Y < 0 || p.Y > 1 {
+			t.Fatalf("contained fraction %g outside [0, 1]", p.Y)
+		}
+		if i > 0 && discovered.Points[i].Y < discovered.Points[i-1].Y {
+			t.Fatal("attacker intel shrank; discovery is monotone")
+		}
+	}
+	if contained.Points[0].Y != 0 {
+		t.Errorf("campaign starts pre-contact with contained = %g, want 0", contained.Points[0].Y)
+	}
+	grip := false
+	for _, p := range contained.Points {
+		if p.Y > 0.5 {
+			grip = true
+		}
+	}
+	if !grip {
+		t.Error("a 64-clone campaign never got real grip on an 8-bot population")
+	}
+	if last := alive.Points[len(alive.Points)-1].Y; last <= 0 {
+		t.Errorf("population died under balanced churn: %g alive", last)
+	}
+	if len(finalC.Points) != 1 || len(minC.Points) != 1 {
+		t.Fatalf("summary series must be single-point: %+v, %+v", finalC.Points, minC.Points)
+	}
+	if minC.Points[0].Y > finalC.Points[0].Y+1e-9 && finalC.Points[0].Y > 0 {
+		// min-after-onset can equal but not exceed the final value when
+		// the final sample is the minimum; it must never exceed a
+		// nonzero final by construction.
+		t.Fatalf("min-contained %g exceeds final-contained %g", minC.Points[0].Y, finalC.Points[0].Y)
+	}
+}
+
+// TestChurnSoapChurnMatters is the expected-shape assertion: heavy
+// churn must not leave the attacker with a *tighter* grip than a
+// near-static population — fresh infections re-open the net.
+func TestChurnSoapChurnMatters(t *testing.T) {
+	minContained := func(join, leave float64) float64 {
+		cfg := DefaultChurnSoapConfig(true)
+		cfg.Seed = 11
+		cfg.Spec = churn.Spec{Process: "poisson", Join: join, Leave: leave}
+		res, err := RunChurnSoap(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.SeriesByName("min-contained")
+		return s.Points[0].Y
+	}
+	calm := minContained(0.25, 0.25)
+	stormy := minContained(8, 8)
+	t.Logf("min contained after onset: calm=%.3f stormy=%.3f", calm, stormy)
+	if stormy > calm+1e-9 {
+		t.Fatalf("heavy churn tightened containment (calm %.3f, stormy %.3f)", calm, stormy)
+	}
+}
+
+func TestSweepSoapAxisExpansion(t *testing.T) {
+	s := &Sweep{
+		Name:        "cs",
+		Experiments: []string{"churn-soap"},
+		Quick:       true,
+		Churn:       []churn.Spec{{Process: "poisson", Join: 2, Leave: 2}},
+		Soap:        []soap.Spec{{Clones: 16}, {Clones: 64, SolvePoW: true}},
+		Seeds:       []uint64{1},
+	}
+	tasks, err := s.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("expanded to %d tasks, want 1 churn × 2 soap × 1 seed = 2", len(tasks))
+	}
+	if tasks[0].Label != "churn-soap/churn=poisson;j=2;l=2/soap=soap;c=16/seed=1" {
+		t.Fatalf("first label = %q", tasks[0].Label)
+	}
+	if tasks[1].Label != "churn-soap/churn=poisson;j=2;l=2/soap=soap;c=64;pow/seed=1" {
+		t.Fatalf("second label = %q", tasks[1].Label)
+	}
+	if tasks[0].Params.Soap == nil || tasks[0].Params.Soap.Clones != 16 {
+		t.Fatalf("soap spec not threaded into params: %+v", tasks[0].Params)
+	}
+	if tasks[1].Params.Soap == nil || !tasks[1].Params.Soap.SolvePoW {
+		t.Fatalf("soap spec not threaded into params: %+v", tasks[1].Params)
+	}
+}
+
+func TestParseSweepValidatesSoapAxis(t *testing.T) {
+	cases := []struct{ name, spec, wantErr string }{
+		{"bad soap knob",
+			`{"experiments":["churn-soap"],"soap":[{"clones":-1}]}`, "negative clone"},
+		{"duplicate soap specs",
+			`{"experiments":["churn-soap"],"soap":[{"clones":16},{"clones":16}]}`, "duplicate soap spec"},
+		{"soap unknown field",
+			`{"experiments":["churn-soap"],"soap":[{"budget":16}]}`, "unknown field"},
+		{"threshold needs swept soap axis",
+			`{"experiments":["churn-soap"],"thresholds":[{"series":"final-contained","axis":"soap","below":1}]}`,
+			"not swept"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSweep([]byte(tc.spec)); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestChurnSoapGridByteIdenticalAcrossParallelism is the determinism
+// gate for the new composition: a churn × soap grid's full JSON
+// document must not depend on the worker count.
+func TestChurnSoapGridByteIdenticalAcrossParallelism(t *testing.T) {
+	spec := `{
+		"name": "churn-soap-diff",
+		"experiments": ["churn-soap"],
+		"quick": true,
+		"churn": [{"process": "poisson", "join": 2, "leave": 2}],
+		"soap": [{"clones": 16}, {"clones": 64}],
+		"seeds": [1],
+		"thresholds": [{"series": "final-contained", "axis": "soap", "above": 0.9}]
+	}`
+	s, err := ParseSweep([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := s.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := func(parallel int) []byte {
+		trs, err := (&Runner{Parallel: parallel}).Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := SweepJSON(s, trs, s.Aggregate(trs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	p1, p4 := doc(1), doc(4)
+	if !bytes.Equal(p1, p4) {
+		t.Fatal("churn-soap sweep JSON differs between -parallel 1 and 4")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"onionbots/internal/churn"
+	"onionbots/internal/soap"
 )
 
 // Params is the generic parameter set an experiment task receives. The
@@ -30,9 +31,13 @@ type Params struct {
 	// that have one (fig4). 0 keeps the preset.
 	Frac float64 `json:"frac,omitempty"`
 	// Churn overrides the dynamic-membership scenario for experiments
-	// that run one (churn-repair, churn-hotlist). nil keeps the preset;
-	// experiments without a churn phase ignore it.
+	// that run one (churn-repair, churn-hotlist, churn-soap). nil keeps
+	// the preset; experiments without a churn phase ignore it.
 	Churn *churn.Spec `json:"churn,omitempty"`
+	// Soap overrides the mitigation campaign for experiments that run
+	// one (churn-soap). nil keeps the preset; experiments without a
+	// SOAP phase ignore it.
+	Soap *soap.Spec `json:"soap,omitempty"`
 }
 
 // Definition is one registered experiment: a stable ID, a title for

@@ -140,8 +140,8 @@ func TestRunnerProgressReportsEveryTask(t *testing.T) {
 func TestRegistryCompleteness(t *testing.T) {
 	// Every experiment the CLI and docs advertise must be registered
 	// with a runnable definition.
-	want := []string{"ablation", "churn-hotlist", "churn-repair", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "hsdir", "pow", "probing", "table1"}
+	want := []string{"ablation", "churn-hotlist", "churn-repair", "churn-soap",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "hsdir", "pow", "probing", "table1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v, want %v", ids, want)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"onionbots/internal/churn"
+	"onionbots/internal/soap"
 )
 
 // Sweep is a scenario-sweep specification: one or more registered
@@ -44,6 +45,10 @@ type Sweep struct {
 	// spec, exactly like the static axes — the lever behind questions
 	// such as "how does DDSR repair degrade under Poisson leave at λ?".
 	Churn []churn.Spec `json:"churn,omitempty"`
+	// Soap sweeps mitigation-campaign configurations the same way —
+	// crossed with Churn it answers "does a clone budget that contains
+	// a static population still contain a moving one?".
+	Soap []soap.Spec `json:"soap,omitempty"`
 	// Trials replicates every grid point this many times (default 1).
 	// Replicas share Params but get distinct labels, hence distinct RNG
 	// substreams — the cheap way to average away seed noise.
@@ -72,8 +77,8 @@ type Threshold struct {
 	// Stat picks the per-task scalar: "first", "last" (default),
 	// "min", or "max" of the series' y values.
 	Stat string `json:"stat,omitempty"`
-	// Axis is the swept axis to walk: "n", "k", "frac", "churn", or
-	// "seed". It must actually be swept by the spec.
+	// Axis is the swept axis to walk: "n", "k", "frac", "churn",
+	// "soap", or "seed". It must actually be swept by the spec.
 	Axis string `json:"axis"`
 	// Above and Below are the crossing bounds; exactly one must be set.
 	Above *float64 `json:"above,omitempty"`
@@ -95,11 +100,12 @@ func (th Threshold) validate(s *Sweep) error {
 	}
 	swept := map[string]bool{
 		"n": len(s.Ns) > 0, "k": len(s.Ks) > 0, "frac": len(s.Fracs) > 0,
-		"churn": len(s.Churn) > 0, "seed": len(s.Seeds) > 0,
+		"churn": len(s.Churn) > 0, "soap": len(s.Soap) > 0,
+		"seed": len(s.Seeds) > 0,
 	}
 	isSwept, known := swept[th.Axis]
 	if !known {
-		return fmt.Errorf("threshold: unknown axis %q (want n, k, frac, churn, or seed)", th.Axis)
+		return fmt.Errorf("threshold: unknown axis %q (want n, k, frac, churn, soap, or seed)", th.Axis)
 	}
 	if !isSwept {
 		return fmt.Errorf("threshold: axis %q is not swept by this spec", th.Axis)
@@ -173,6 +179,16 @@ func ParseSweep(data []byte) (*Sweep, error) {
 		}
 		seen[spec.Label()] = struct{}{}
 	}
+	seenSoap := make(map[string]struct{}, len(s.Soap))
+	for i, spec := range s.Soap {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("parse sweep: soap[%d]: %w", i, err)
+		}
+		if _, dup := seenSoap[spec.Label()]; dup {
+			return nil, fmt.Errorf("parse sweep: duplicate soap spec %q", spec.Label())
+		}
+		seenSoap[spec.Label()] = struct{}{}
+	}
 	for i, th := range s.Thresholds {
 		if err := th.validate(&s); err != nil {
 			return nil, fmt.Errorf("parse sweep: thresholds[%d]: %w", i, err)
@@ -198,9 +214,9 @@ func LoadSweep(path string) (*Sweep, error) {
 }
 
 // Tasks expands the sweep into its full task grid, in deterministic
-// order (experiments × ns × ks × fracs × churn × seeds × trials).
-// Every experiment ID is checked against the registry up front so a
-// bad spec fails before any work starts.
+// order (experiments × ns × ks × fracs × churn × soap × seeds ×
+// trials). Every experiment ID is checked against the registry up
+// front so a bad spec fails before any work starts.
 func (s *Sweep) Tasks() ([]Task, error) {
 	for _, id := range s.Experiments {
 		if _, ok := Lookup(id); !ok {
@@ -211,6 +227,7 @@ func (s *Sweep) Tasks() ([]Task, error) {
 	ks, kSet := axisInts(s.Ks)
 	fracs, fracSet := axisFloats(s.Fracs)
 	churns, churnSet := axisChurn(s.Churn)
+	soaps, soapSet := axisSoap(s.Soap)
 	seeds, seedSet := axisSeeds(s.Seeds)
 	trials := s.Trials
 	if trials < 1 {
@@ -223,39 +240,47 @@ func (s *Sweep) Tasks() ([]Task, error) {
 			for _, k := range ks {
 				for _, frac := range fracs {
 					for ci := range churns {
-						for _, seed := range seeds {
-							for trial := 0; trial < trials; trial++ {
-								var label strings.Builder
-								label.WriteString(id)
-								if nSet {
-									fmt.Fprintf(&label, "/n=%d", n)
+						for si := range soaps {
+							for _, seed := range seeds {
+								for trial := 0; trial < trials; trial++ {
+									var label strings.Builder
+									label.WriteString(id)
+									if nSet {
+										fmt.Fprintf(&label, "/n=%d", n)
+									}
+									if kSet {
+										fmt.Fprintf(&label, "/k=%d", k)
+									}
+									if fracSet {
+										fmt.Fprintf(&label, "/frac=%g", frac)
+									}
+									var cspec *churn.Spec
+									if churnSet {
+										cspec = &churns[ci]
+										fmt.Fprintf(&label, "/churn=%s", cspec.Label())
+									}
+									var sspec *soap.Spec
+									if soapSet {
+										sspec = &soaps[si]
+										fmt.Fprintf(&label, "/soap=%s", sspec.Label())
+									}
+									if seedSet {
+										fmt.Fprintf(&label, "/seed=%d", seed)
+									}
+									if s.Trials > 1 {
+										fmt.Fprintf(&label, "/trial=%d", trial)
+									}
+									tasks = append(tasks, Task{
+										Label:      label.String(),
+										Experiment: id,
+										Params: Params{
+											Quick: s.Quick, Seed: seed,
+											N: n, K: k, Frac: frac,
+											Churn: cspec,
+											Soap:  sspec,
+										},
+									})
 								}
-								if kSet {
-									fmt.Fprintf(&label, "/k=%d", k)
-								}
-								if fracSet {
-									fmt.Fprintf(&label, "/frac=%g", frac)
-								}
-								var cspec *churn.Spec
-								if churnSet {
-									cspec = &churns[ci]
-									fmt.Fprintf(&label, "/churn=%s", cspec.Label())
-								}
-								if seedSet {
-									fmt.Fprintf(&label, "/seed=%d", seed)
-								}
-								if s.Trials > 1 {
-									fmt.Fprintf(&label, "/trial=%d", trial)
-								}
-								tasks = append(tasks, Task{
-									Label:      label.String(),
-									Experiment: id,
-									Params: Params{
-										Quick: s.Quick, Seed: seed,
-										N: n, K: k, Frac: frac,
-										Churn: cspec,
-									},
-								})
 							}
 						}
 					}
@@ -293,6 +318,14 @@ func axisSeeds(xs []uint64) ([]uint64, bool) {
 func axisChurn(xs []churn.Spec) ([]churn.Spec, bool) {
 	if len(xs) == 0 {
 		return make([]churn.Spec, 1), false
+	}
+	return xs, true
+}
+
+// axisSoap is axisChurn for the mitigation-campaign axis.
+func axisSoap(xs []soap.Spec) ([]soap.Spec, bool) {
+	if len(xs) == 0 {
+		return make([]soap.Spec, 1), false
 	}
 	return xs, true
 }
@@ -351,8 +384,8 @@ func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 	for _, th := range s.Thresholds {
 		s.appendThreshold(res, trs, th)
 	}
-	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v churn=%v seeds=%v trials=%d",
-		len(s.Experiments), s.Ns, s.Ks, s.Fracs, churnLabels(s.Churn), s.Seeds, max(1, s.Trials))
+	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v churn=%v soap=%v seeds=%v trials=%d",
+		len(s.Experiments), s.Ns, s.Ks, s.Fracs, churnLabels(s.Churn), soapLabels(s.Soap), s.Seeds, max(1, s.Trials))
 	if failed > 0 {
 		res.AddNote("%d/%d tasks failed", failed, len(trs))
 	}
@@ -361,6 +394,15 @@ func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 
 // churnLabels renders the churn axis for the grid note.
 func churnLabels(specs []churn.Spec) []string {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		out[i] = spec.Label()
+	}
+	return out
+}
+
+// soapLabels renders the soap axis for the grid note.
+func soapLabels(specs []soap.Spec) []string {
 	out := make([]string, len(specs))
 	for i, spec := range specs {
 		out[i] = spec.Label()
@@ -521,6 +563,8 @@ func (s *Sweep) axisValueLabels(axis string) []string {
 		}
 	case "churn":
 		out = churnLabels(s.Churn)
+	case "soap":
+		out = soapLabels(s.Soap)
 	case "seed":
 		for _, seed := range s.Seeds {
 			out = append(out, fmt.Sprintf("%d", seed))

@@ -1,6 +1,7 @@
 package pow
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -162,5 +163,77 @@ func TestRateLimiterScalesWithPeerCount(t *testing.T) {
 func BenchmarkSolve12Bits(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Solve([]byte{byte(i), byte(i >> 8)}, 12)
+	}
+}
+
+// TestAdmissionChallengeTableBounded is the clone-flood regression: a
+// SOAP-style attacker minting a fresh onion per request must not grow
+// the unsolved-challenge table without bound — exactly the adversary
+// the gate prices out used to leak one map entry per clone forever.
+func TestAdmissionChallengeTableBounded(t *testing.T) {
+	ad := NewAdmission(8, 2, 24, time.Hour)
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 5000; i++ {
+		onion := fmt.Sprintf("clone-%04d.onion", i)
+		if ok, ch, _ := ad.Vet(onion, 0, 0, now); ok || ch == nil {
+			t.Fatal("proofless first contact must be challenged, not admitted")
+		}
+		now = now.Add(time.Second)
+	}
+	if got := ad.PendingChallenges(); got > ad.MaxPending {
+		t.Fatalf("flood grew the challenge table to %d entries, cap is %d", got, ad.MaxPending)
+	}
+	if got := ad.PendingChallenges(); got == 0 {
+		t.Fatal("cap eviction emptied the table entirely")
+	}
+}
+
+// TestAdmissionExpiresUnsolvedChallenges pins the time-based path: a
+// burst of never-returning requesters is swept out one Window later.
+func TestAdmissionExpiresUnsolvedChallenges(t *testing.T) {
+	ad := NewAdmission(8, 2, 24, time.Hour)
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		ad.Vet(fmt.Sprintf("ghost-%d.onion", i), 0, 0, now)
+	}
+	if got := ad.PendingChallenges(); got != 100 {
+		t.Fatalf("expected 100 pending challenges, got %d", got)
+	}
+	// A single request far past the window triggers the sweep.
+	later := now.Add(2 * time.Hour)
+	ad.Vet("fresh.onion", 0, 0, later)
+	if got := ad.PendingChallenges(); got != 1 {
+		t.Fatalf("stale challenges survived the sweep: %d pending, want 1 (the fresh requester)", got)
+	}
+}
+
+// TestAdmissionHonestFlowSurvivesExpiry pins that the honest
+// challenge-solve-retry flow still works, including after an eviction
+// forced a re-challenge.
+func TestAdmissionHonestFlowSurvivesExpiry(t *testing.T) {
+	ad := NewAdmission(8, 2, 24, time.Hour)
+	ad.MaxPending = 4
+	now := time.Date(2015, 1, 14, 12, 0, 0, 0, time.UTC)
+	ok, ch, bits := ad.Vet("honest.onion", 0, 0, now)
+	if ok {
+		t.Fatal("admitted without proof")
+	}
+	// A burst of strangers evicts the honest bot's pending challenge.
+	for i := 0; i < 10; i++ {
+		ad.Vet(fmt.Sprintf("stranger-%d.onion", i), 0, 0, now.Add(time.Second))
+	}
+	// Its solved proof no longer matches a pending challenge; it gets a
+	// fresh one and succeeds on the retry.
+	nonce, _ := Solve(ch, bits)
+	ok, ch2, bits2 := ad.Vet("honest.onion", nonce, bits, now.Add(time.Minute))
+	if ok {
+		t.Fatal("stale proof accepted after eviction")
+	}
+	if ch2 == nil {
+		t.Fatal("no re-challenge after eviction")
+	}
+	nonce2, _ := Solve(ch2, bits2)
+	if ok, _, _ := ad.Vet("honest.onion", nonce2, bits2, now.Add(2*time.Minute)); !ok {
+		t.Fatal("fresh proof rejected")
 	}
 }

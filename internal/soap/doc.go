@@ -18,6 +18,9 @@
 // relay nothing: the botnet is partitioned and neutralized.
 //
 // The package also provides the evaluation helpers the Figure 7
-// experiment uses: benign-overlay extraction, containment fraction, and
-// campaign statistics.
+// experiment uses — benign-overlay extraction, containment fraction,
+// campaign statistics — and Spec, the declarative JSON knob group
+// ({"clones": 64, "solve_pow": true}) that experiment.Params.Soap and
+// the sweep schema's "soap" axis carry, so campaign configurations
+// sweep like any other parameter.
 package soap

@@ -83,7 +83,38 @@ func fingerprintFromDescID(id DescriptorID) Fingerprint {
 // excluding the given fingerprints. It returns fewer than count if the
 // consensus is too small.
 func (c *Consensus) PickRelays(rng *sim.RNG, count int, exclude map[Fingerprint]struct{}) []Fingerprint {
-	pool := make([]Fingerprint, 0, len(c.Relays))
+	n := len(c.Relays)
+	if count <= 0 || n == 0 {
+		return nil
+	}
+	// Small draws — entry guards, circuit middles, introduction points —
+	// rejection-sample distinct indices in O(count) expected time. The
+	// former copy-and-shuffle of the whole relay list made every circuit
+	// build linear in the consensus, which dominated protocol-scale
+	// joins. The 4× headroom keeps the expected attempt count low even
+	// when the (always small) exclude set eats a few draws.
+	if count*4 <= n {
+		out := make([]Fingerprint, 0, count)
+		seen := make(map[int]struct{}, count+len(exclude))
+		for attempts := 0; len(out) < count && attempts < 8*n; attempts++ {
+			i := rng.Intn(n)
+			if _, dup := seen[i]; dup {
+				continue
+			}
+			seen[i] = struct{}{}
+			fp := c.Relays[i].FP
+			if _, skip := exclude[fp]; skip {
+				continue
+			}
+			out = append(out, fp)
+		}
+		if len(out) == count {
+			return out
+		}
+		// Pathologically large exclude set: fall through and draw
+		// exhaustively.
+	}
+	pool := make([]Fingerprint, 0, n)
 	for _, ri := range c.Relays {
 		if _, skip := exclude[ri.FP]; skip {
 			continue

@@ -90,13 +90,29 @@ type Descriptor struct {
 	IntroPoints []Fingerprint
 	// TimePeriod records the period the descriptor was computed for.
 	TimePeriod uint64
-	// Replica is which replica this copy is (0-based).
+	// Replica is which replica this copy is (0-based). It is location
+	// metadata — which ring position the copy was uploaded to — not
+	// content, and is not covered by Sig: the replicas of a publication
+	// are one signed document stored at NumReplicas ring positions, as
+	// in Tor, so a service signs (and every verifier checks) each
+	// publication once rather than once per replica. A tampered Replica
+	// can at worst make a client's cache-coherence probe miss and
+	// refetch.
 	Replica int
 	// PublishedAt timestamps the upload; directories expire stale
 	// descriptors.
 	PublishedAt time.Time
 	// Sig is the service's signature over the canonical encoding.
 	Sig []byte
+
+	// verified caches a successful Verify (or an in-process signing)
+	// for verifiedSID, so the several directories a publication fans
+	// out to skip even the memo digest. Descriptors are immutable once
+	// stored (directories clone on ingest and serve shared pointers);
+	// the mark is cleared on clone, so a copy in untrusted hands must
+	// re-earn it.
+	verified    bool
+	verifiedSID ServiceID
 }
 
 // ErrBadDescriptor reports a descriptor whose signature or identity
@@ -110,7 +126,6 @@ func (d *Descriptor) signingBytes() []byte {
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], d.TimePeriod)
 	buf = append(buf, tmp[:]...)
-	buf = append(buf, byte(d.Replica))
 	binary.BigEndian.PutUint64(tmp[:], uint64(d.PublishedAt.Unix()))
 	buf = append(buf, tmp[:]...)
 	for _, ip := range d.IntroPoints {
@@ -130,10 +145,7 @@ func (d *Descriptor) Verify(want ServiceID) error {
 	if len(d.Pub) != ed25519.PublicKeySize {
 		return fmt.Errorf("%w: bad public key length %d", ErrBadDescriptor, len(d.Pub))
 	}
-	sum := sha1.Sum(d.Pub)
-	var id ServiceID
-	copy(id[:], sum[:10])
-	if id != want {
+	if id := ServiceIDOf(d.Pub); id != want {
 		return fmt.Errorf("%w: identity mismatch (got %s want %s)", ErrBadDescriptor, id, want)
 	}
 	if !ed25519.Verify(d.Pub, d.signingBytes(), d.Sig) {
@@ -164,11 +176,17 @@ func (d *Descriptor) equal(o *Descriptor) bool {
 }
 
 // clone returns a defensive copy (directories hand descriptors to
-// untrusted callers).
+// untrusted callers). The verified mark deliberately does NOT travel:
+// the holder of a clone may mutate its exported fields, and a spliced
+// descriptor must re-earn verification (the content-keyed network memo
+// makes that a digest, not a scalar multiplication, when the bytes are
+// genuinely unchanged).
 func (d *Descriptor) clone() *Descriptor {
 	out := *d
 	out.Pub = append(ed25519.PublicKey(nil), d.Pub...)
 	out.IntroPoints = append([]Fingerprint(nil), d.IntroPoints...)
 	out.Sig = append([]byte(nil), d.Sig...)
+	out.verified = false
+	out.verifiedSID = ServiceID{}
 	return &out
 }

@@ -20,6 +20,16 @@ func FingerprintOf(pub ed25519.PublicKey) Fingerprint {
 	return Fingerprint(sha1.Sum(pub))
 }
 
+// ServiceIDOf derives the 80-bit hidden-service identifier for a
+// public key — the single definition of the ID scheme; identity,
+// descriptor verification, and the signing memos all route through it.
+func ServiceIDOf(pub ed25519.PublicKey) ServiceID {
+	var id ServiceID
+	sum := sha1.Sum(pub)
+	copy(id[:], sum[:10])
+	return id
+}
+
 // Less orders fingerprints lexicographically (ring order).
 func (f Fingerprint) Less(other Fingerprint) bool {
 	return bytes.Compare(f[:], other[:]) < 0
@@ -55,7 +65,15 @@ func ParseOnion(addr string) (ServiceID, error) {
 	if !ok {
 		return id, fmt.Errorf("tor: %q is not a .onion address", addr)
 	}
-	raw, err := onionEncoding.DecodeString(strings.ToLower(host))
+	// Internally generated hostnames are already lowercase; only
+	// fold (and allocate) when a caller hands in mixed case.
+	for i := 0; i < len(host); i++ {
+		if host[i] >= 'A' && host[i] <= 'Z' {
+			host = strings.ToLower(host)
+			break
+		}
+	}
+	raw, err := onionEncoding.DecodeString(host)
 	if err != nil {
 		return id, fmt.Errorf("tor: bad onion hostname %q: %w", addr, err)
 	}
@@ -73,6 +91,11 @@ type Identity struct {
 	Pub  ed25519.PublicKey
 
 	onion string // lazily cached hostname (Pub is immutable in practice)
+	// introPayload lazily caches the constant ESTABLISH_INTRO body
+	// (pub || sig over the intro binding). Ed25519 is deterministic, so
+	// signing once per identity is exact; identity pools warm the cache
+	// ahead of time so hosting pays no signature at join.
+	introPayload []byte
 }
 
 // NewIdentity generates an identity from the given entropy source. A
@@ -95,12 +118,7 @@ func IdentityFromSeed(seed [32]byte) *Identity {
 }
 
 // ServiceID returns the 80-bit identifier derived from the public key.
-func (id *Identity) ServiceID() ServiceID {
-	var out ServiceID
-	sum := sha1.Sum(id.Pub)
-	copy(out[:], sum[:10])
-	return out
-}
+func (id *Identity) ServiceID() ServiceID { return ServiceIDOf(id.Pub) }
 
 // Onion returns the .onion hostname, computing it once.
 func (id *Identity) Onion() string {
@@ -112,3 +130,15 @@ func (id *Identity) Onion() string {
 
 // Fingerprint returns the full 20-byte SHA-1 digest of the public key.
 func (id *Identity) Fingerprint() Fingerprint { return FingerprintOf(id.Pub) }
+
+// IntroPayload returns the identity's constant ESTABLISH_INTRO cell body
+// (pub || sig over the intro binding), signing it on first use. Every
+// introduction point the identity ever recruits receives these exact
+// bytes, so one signature per identity suffices.
+func (id *Identity) IntroPayload() []byte {
+	if id.introPayload == nil {
+		sig := ed25519.Sign(id.Priv, introBinding(id.Pub))
+		id.introPayload = append(append(make([]byte, 0, len(id.Pub)+len(sig)), id.Pub...), sig...)
+	}
+	return id.introPayload
+}

@@ -1,6 +1,7 @@
 package tor
 
 import (
+	"bytes"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/ed25519"
@@ -89,6 +90,10 @@ type Network struct {
 	nextCirc  uint64
 	stats     NetworkStats
 	autoCons  bool
+	// relayEpoch counts relay-membership changes; proxies use it to
+	// skip re-validating their guard sets while the relay population is
+	// unchanged (the common case between takedown events).
+	relayEpoch uint64
 
 	// Ed25519 verification memos. Signature verification is a pure
 	// function of immutable bytes, so once any party has verified a
@@ -103,9 +108,6 @@ type Network struct {
 	// cellCipher is the shared AES schedule behind every hop's CTR
 	// stream; see stream.go for the keying model.
 	cellCipher cipher.Block
-
-	// ksPage is the shared keystream scratch page behind ctrStream.xorBody.
-	ksPage [CellSize]byte
 
 	// wireFree recycles cell scratch buffers through the synchronous
 	// data plane. Cells are processed depth-first on one goroutine, so a
@@ -148,15 +150,13 @@ func NewNetwork(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Network {
 	}
 }
 
-// verifyDescriptor is Descriptor.Verify memoized across the network. The
-// digest covers the dialed service id plus every signed byte, so a hit
-// proves this exact (service, descriptor) pair already passed the full
-// check somewhere in the run.
-func (n *Network) verifyDescriptor(sid ServiceID, d *Descriptor) error {
+// descMemoKey digests one (service, descriptor) pair for the verify
+// memo. The digest covers the dialed service id plus every signed byte;
+// the variable-size fields are length-framed so bytes cannot be moved
+// across the signingBytes/Sig boundary to collide with an
+// already-verified descriptor's digest.
+func descMemoKey(sid ServiceID, d *Descriptor) [sha256.Size]byte {
 	signed := d.signingBytes()
-	// Length-frame the variable-size fields: without it, bytes could be
-	// moved across the signingBytes/Sig boundary to collide with an
-	// already-verified descriptor's digest.
 	var frame [8]byte
 	binary.BigEndian.PutUint64(frame[:], uint64(len(signed)))
 	h := sha256.New()
@@ -166,14 +166,55 @@ func (n *Network) verifyDescriptor(sid ServiceID, d *Descriptor) error {
 	h.Write(d.Sig)
 	var key [sha256.Size]byte
 	h.Sum(key[:0])
+	return key
+}
+
+// verifyDescriptor is Descriptor.Verify memoized across the network. A
+// memo hit proves this exact (service, descriptor) pair already passed
+// the full check somewhere in the run — or was signed in-process by the
+// service itself (noteSignedDescriptor), which is the same statement.
+func (n *Network) verifyDescriptor(sid ServiceID, d *Descriptor) error {
+	if d.verified && d.verifiedSID == sid {
+		return nil // this exact object already passed for this service
+	}
+	key := descMemoKey(sid, d)
 	if _, ok := n.verifiedDescs[key]; ok {
+		d.verified, d.verifiedSID = true, sid
 		return nil
 	}
 	if err := d.Verify(sid); err != nil {
 		return err
 	}
 	n.verifiedDescs[key] = struct{}{}
+	d.verified, d.verifiedSID = true, sid
 	return nil
+}
+
+// noteSignedDescriptor records a descriptor the holder of priv has just
+// signed as verified, skipping the redundant scalar multiplications a
+// directory (and every later client) would spend re-checking bytes that
+// are valid by construction: Ed25519 signing is deterministic and
+// correct, so Verify(pub, msg, Sign(priv, msg)) always holds when priv's
+// embedded public half is pub. That embedding is checked here; Identity
+// keypairs are only ever minted by NewIdentity/IdentityFromSeed, whose
+// halves match by construction.
+func (n *Network) noteSignedDescriptor(priv ed25519.PrivateKey, d *Descriptor) {
+	pub, ok := priv.Public().(ed25519.PublicKey)
+	if !ok || !bytes.Equal(pub, d.Pub) {
+		return // not the service's own descriptor; let Verify decide
+	}
+	sid := ServiceIDOf(d.Pub)
+	n.verifiedDescs[descMemoKey(sid, d)] = struct{}{}
+	d.verified, d.verifiedSID = true, sid
+}
+
+// PreverifyIntro runs (and memoizes) the ESTABLISH_INTRO binding check
+// for an identity ahead of hosting. Identity pools call it during
+// warmup so the signature verification a join would trigger at its
+// introduction points has already happened off the hot path.
+func (n *Network) PreverifyIntro(id *Identity) bool {
+	payload := id.IntroPayload()
+	return n.verifyIntroBinding(id.Pub, payload[ed25519.PublicKeySize:])
 }
 
 // verifyIntroBinding memoizes the ESTABLISH_INTRO signature check: a
@@ -258,6 +299,7 @@ func (n *Network) newRelay(id *Identity, fp Fingerprint) *Relay {
 	n.relays.put(fp, r)
 	r.orderIdx = len(n.order)
 	n.order = append(n.order, r)
+	n.relayEpoch++
 	return r
 }
 
@@ -313,6 +355,7 @@ func (n *Network) RemoveRelay(fp Fingerprint) {
 	}
 	n.order[last] = nil
 	n.order = n.order[:last]
+	n.relayEpoch++
 }
 
 // destroyBackward walks toward the circuit origin deleting state and

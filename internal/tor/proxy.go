@@ -1,7 +1,6 @@
 package tor
 
 import (
-	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"time"
@@ -56,6 +55,10 @@ type OnionProxy struct {
 	circuits map[uint64]*originCirc
 	services map[ServiceID]*HiddenService
 	guards   []Fingerprint
+	// guardEpoch is the relay-membership epoch the guard set was last
+	// validated against; while it matches the network's, every guard is
+	// known alive and refreshGuards returns immediately.
+	guardEpoch uint64
 	// descCache holds descriptors this proxy has already fetched and
 	// signature-verified, keyed by service. See fetchDescriptor.
 	descCache map[ServiceID]*descCacheEntry
@@ -78,8 +81,14 @@ func (p *OnionProxy) Guards() []Fingerprint {
 }
 
 // refreshGuards drops dead guards and tops the set back up from the
-// consensus.
+// consensus. Liveness only changes when the relay population does, so
+// the scan is skipped entirely while the membership epoch is unchanged
+// and the set is full — every circuit build otherwise re-probes the
+// relay table per guard.
 func (p *OnionProxy) refreshGuards() {
+	if p.guardEpoch == p.net.relayEpoch && len(p.guards) >= numGuards {
+		return
+	}
 	alive := p.guards[:0]
 	for _, g := range p.guards {
 		if p.net.Relay(g) != nil {
@@ -87,6 +96,7 @@ func (p *OnionProxy) refreshGuards() {
 		}
 	}
 	p.guards = alive
+	p.guardEpoch = p.net.relayEpoch
 	if len(p.guards) >= numGuards {
 		return
 	}
@@ -444,8 +454,10 @@ func (p *OnionProxy) Host(identity *Identity, handler func(*Conn)) (*HiddenServi
 	if len(ips) == 0 {
 		return nil, ErrNotEnoughRelays
 	}
-	sig := ed25519.Sign(identity.Priv, introBinding(identity.Pub))
-	payload := append(append([]byte(nil), identity.Pub...), sig...)
+	// The ESTABLISH_INTRO body is cached on the identity (Ed25519 is
+	// deterministic), so a pool-warmed identity hosts without paying the
+	// signature here.
+	payload := identity.IntroPayload()
 	hs.introPayload = payload
 	for _, ip := range ips {
 		path, err := p.pickPath(ip)
@@ -510,22 +522,32 @@ func (hs *HiddenService) publishDescriptors() error {
 	}
 	sid := hs.identity.ServiceID()
 	stored := 0
+	// One signed document per publication: the replicas differ only in
+	// the ring position they are uploaded to (and the Replica location
+	// tag), so the service signs once and primes the network's verify
+	// memo — directories and clients then check bytes that are valid by
+	// construction without re-running the scalar multiplications.
+	doc := Descriptor{
+		Pub:         hs.identity.Pub,
+		IntroPoints: hs.IntroPoints(),
+		TimePeriod:  TimePeriod(now, sid),
+		PublishedAt: now,
+	}
+	doc.Sign(hs.identity.Priv)
+	hs.op.net.noteSignedDescriptor(hs.identity.Priv, &doc)
 	for r := 0; r < NumReplicas; r++ {
 		descID := ComputeDescriptorID(sid, hs.cookie, r, now)
-		d := &Descriptor{
-			Pub:         hs.identity.Pub,
-			IntroPoints: hs.IntroPoints(),
-			TimePeriod:  TimePeriod(now, sid),
-			Replica:     r,
-			PublishedAt: now,
-		}
-		d.Sign(hs.identity.Priv)
+		d := new(Descriptor)
+		*d = doc
+		d.Replica = r
 		for _, fp := range c.ResponsibleHSDirs(descID) {
 			relay := hs.op.net.Relay(fp)
 			if relay == nil {
 				continue
 			}
-			if err := relay.StoreDescriptor(descID, d); err == nil {
+			// The replica copy is ours and immutable from here on; the
+			// responsible directories share it without re-cloning.
+			if err := relay.storeDescriptorOwned(descID, d); err == nil {
 				stored++
 			}
 		}

@@ -94,18 +94,32 @@ func (r *Relay) isHSDir() bool {
 // descriptor signature and identity binding before storing, as real
 // HSDirs do.
 func (r *Relay) StoreDescriptor(id DescriptorID, d *Descriptor) error {
+	return r.storeDescriptor(id, d, false)
+}
+
+// storeDescriptorOwned is StoreDescriptor for a descriptor the caller
+// hands over and will never mutate (publishDescriptors' per-replica
+// copies): the defensive ingest clone is skipped, everything else —
+// HSDir gate, verification, stats — is identical.
+func (r *Relay) storeDescriptorOwned(id DescriptorID, d *Descriptor) error {
+	return r.storeDescriptor(id, d, true)
+}
+
+func (r *Relay) storeDescriptor(id DescriptorID, d *Descriptor, owned bool) error {
 	if !r.isHSDir() {
 		return fmt.Errorf("%w: %s", ErrNotHSDir, r.fp)
 	}
 	var sid ServiceID
 	if len(d.Pub) == ed25519.PublicKeySize {
-		derived := FingerprintOf(d.Pub)
-		copy(sid[:], derived[:10])
+		sid = ServiceIDOf(d.Pub)
 	}
 	if err := r.net.verifyDescriptor(sid, d); err != nil {
 		return err
 	}
-	r.store.Put(id, d.clone())
+	if !owned {
+		d = d.clone()
+	}
+	r.store.Put(id, d)
 	r.stats.DescriptorsStored++
 	return nil
 }

@@ -3,7 +3,6 @@ package tor
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/subtle"
 )
 
 // The simulator models Tor's per-hop relay crypto as a running
@@ -18,30 +17,30 @@ import (
 // streams is not load-bearing in the simulation (the completed-handshake
 // model installs identical state at both endpoints by construction).
 //
-// Most streams in a run belong to one-shot handshake circuits and only
-// ever see a single cell; they use an allocation-free block-at-a-time
-// path. A stream that sees a second cell is carrying traffic, so it
-// upgrades itself once to a stdlib CTR stream (one small allocation)
-// whose multi-block assembly pipelines the AES rounds.
+// A stream materializes its stdlib CTR state lazily, on the first cell
+// it actually carries: creating a stream (building a circuit) stays
+// allocation-free, and every cell — including the single cell a
+// one-shot handshake circuit ever sees — runs through the pipelined
+// multi-block AES assembly. An earlier revision kept a block-at-a-time
+// zero-allocation path for first cells; under join-heavy protocol
+// churn, where almost every cell is a first cell, the unpipelined AES
+// cost (~3×) dominated the one small allocation it saved.
 
 // ctrStream is a persistent AES-CTR keystream for one direction of one
 // circuit hop. The origin proxy and the relay hold synchronized copies;
 // every cell that traverses the hop advances both. The zero value is
 // unusable; make one with newCTRStream.
 type ctrStream struct {
-	net   *Network            // owner of the shared cell cipher
-	ctr   [aes.BlockSize]byte // next counter block
-	pad   [aes.BlockSize]byte // current keystream block
-	used  int                 // consumed bytes of pad
-	prime bool                // saw a first cell; upgrade on the next
-	fast  cipher.Stream       // non-nil once upgraded
+	net  *Network            // owner of the shared cell cipher
+	ctr  [aes.BlockSize]byte // the stream's IV (counter start)
+	fast cipher.Stream       // non-nil once the first cell arrived
 }
 
 // newCTRStream positions a stream at iv over the network's shared cell
 // cipher. The two synchronized copies of a hop direction are created by
 // calling this twice with the same iv.
 func newCTRStream(n *Network, iv *[aes.BlockSize]byte) ctrStream {
-	return ctrStream{net: n, ctr: *iv, used: aes.BlockSize}
+	return ctrStream{net: n, ctr: *iv}
 }
 
 // xorBody applies the keystream to the onion-encrypted portion of a wire
@@ -49,76 +48,7 @@ func newCTRStream(n *Network, iv *[aes.BlockSize]byte) ctrStream {
 func (c *ctrStream) xorBody(wire *[CellSize]byte) {
 	b := wire[8:]
 	if c.fast == nil {
-		if c.prime {
-			c.upgrade()
-		} else {
-			c.prime = true
-			c.xorSlow(b)
-			return
-		}
+		c.fast = cipher.NewCTR(c.net.cellCipher, c.ctr[:])
 	}
 	c.fast.XORKeyStream(b, b)
-}
-
-// xorSlow is the allocation-free block-at-a-time path used for the
-// stream's first cell.
-func (c *ctrStream) xorSlow(b []byte) {
-	// Drain whatever is left of the current keystream block first.
-	if n := min(len(b), aes.BlockSize-c.used); n > 0 {
-		subtle.XORBytes(b[:n], b[:n], c.pad[c.used:c.used+n])
-		c.used += n
-		b = b[n:]
-	}
-	if len(b) == 0 {
-		return
-	}
-	// The keystream page lives on the Network rather than the stack:
-	// Encrypt is an interface call, so a local array would escape to the
-	// heap on every cell. xorSlow is a leaf — nothing re-enters it
-	// mid-fill — and the scheduler is single-threaded, so one shared
-	// page suffices.
-	ks := c.net.ksPage[:]
-	blocks := (len(b) + aes.BlockSize - 1) / aes.BlockSize
-	for i := 0; i < blocks; i++ {
-		c.net.cellCipher.Encrypt(ks[i*aes.BlockSize:(i+1)*aes.BlockSize], c.ctr[:])
-		c.incCtr()
-	}
-	subtle.XORBytes(b, b, ks[:len(b)])
-	// Park the unconsumed tail of the final block for the next cell.
-	copy(c.pad[:], ks[(blocks-1)*aes.BlockSize:blocks*aes.BlockSize])
-	c.used = len(b) - (blocks-1)*aes.BlockSize
-}
-
-// upgrade swaps in a stdlib CTR stream positioned at exactly the current
-// keystream offset: its IV is the counter of the partially consumed
-// block (the counter one before c.ctr when mid-block), and the consumed
-// prefix is discarded by advancing the fresh stream over scratch.
-func (c *ctrStream) upgrade() {
-	iv := c.ctr
-	discard := 0
-	if c.used < aes.BlockSize {
-		// c.ctr already points past the partially consumed pad block.
-		for i := aes.BlockSize - 1; i >= 0; i-- {
-			iv[i]--
-			if iv[i] != 0xff {
-				break
-			}
-		}
-		discard = c.used
-	}
-	c.fast = cipher.NewCTR(c.net.cellCipher, iv[:])
-	if discard > 0 {
-		skip := c.net.ksPage[:discard] // scratch; avoids a stack escape
-		c.fast.XORKeyStream(skip, skip)
-	}
-}
-
-// incCtr advances the counter block (big-endian, wrapping).
-func (c *ctrStream) incCtr() {
-	for i := aes.BlockSize - 1; i >= 0; i-- {
-		c.ctr[i]++
-		if c.ctr[i] != 0 {
-			break
-		}
-	}
 }
