@@ -12,7 +12,7 @@ BENCHTIME ?= 200x
 # fast paths from PR 1, and PR 5's pooled-vs-unpooled infection pair.
 BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial|InfectFrom
 
-.PHONY: all build test bench determinism sweep-smoke linkcheck
+.PHONY: all build test race bench determinism sweep-smoke linkcheck
 
 all: build test
 
@@ -21,6 +21,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the short test set under the race detector. The simulator
+# itself is single-threaded by design; this guards the concurrent
+# surfaces — the experiment runner's worker pool, task timeouts, and
+# result aggregation.
+race:
+	$(GO) test -race -short ./...
 
 # bench runs the microbenchmark set with -benchmem and archives it as
 # BENCH_pr5.json (stderr keeps the human-readable stream).
@@ -50,6 +57,11 @@ sweep-smoke:
 	/tmp/onionsim-ci -sweep examples/sweep/churn-soap-grid.json -parallel 1 -json > /tmp/onionsim-churnsoap-p1.json
 	/tmp/onionsim-ci -sweep examples/sweep/churn-soap-grid.json -parallel 4 -json > /tmp/onionsim-churnsoap-p4.json
 	cmp /tmp/onionsim-churnsoap-p1.json /tmp/onionsim-churnsoap-p4.json
+	# And for the infrastructure fault plane: correlated HSDir outages,
+	# retry budgets, and repair republishes must not cost determinism.
+	/tmp/onionsim-ci -sweep examples/sweep/hsdir-outage-grid.json -parallel 1 -json > /tmp/onionsim-faults-p1.json
+	/tmp/onionsim-ci -sweep examples/sweep/hsdir-outage-grid.json -parallel 4 -json > /tmp/onionsim-faults-p4.json
+	cmp /tmp/onionsim-faults-p1.json /tmp/onionsim-faults-p4.json
 
 # linkcheck fails on dangling docs/*.md references anywhere in the tree
 # (markdown or Go docs), so the handbook cannot silently rot.

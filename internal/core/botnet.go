@@ -120,6 +120,9 @@ func NewBotNet(seed uint64, numRelays int, cfg BotConfig) (*BotNet, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Retry.Enabled() {
+		master.SetRetryPolicy(cfg.Retry)
+	}
 	return &BotNet{
 		Sched:      sched,
 		RNG:        rng,

@@ -18,4 +18,11 @@
 // join events, each entry a pure function of (botnet seed, infection
 // index), so protocol-level churn joins cost O(handshake) while pooled
 // and unpooled runs stay byte-identical per seed.
+//
+// Bots degrade gracefully when the infrastructure fails under them
+// (internal/faults): a rally that cannot reach the C&C still leaves
+// the bot alive and peered with its bootstrap neighbors, counts the
+// failure, and queues a re-rally on a capped exponential backoff so
+// the bot registers once the C&C heals; dials run under the
+// BotConfig.Retry policy (tor.RetryPolicy).
 package core

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/tor"
+)
+
+// killResponsibleDirs removes every directory responsible for the
+// master's descriptor (all replicas) without republishing the
+// consensus — the targeted seizure a graceful bot must survive.
+func killResponsibleDirs(t *testing.T, bn *BotNet) {
+	t.Helper()
+	sid, err := tor.ParseOnion(bn.Master.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bn.Net.Consensus()
+	now := bn.Net.Now()
+	killed := 0
+	for r := 0; r < tor.NumReplicas; r++ {
+		for _, fp := range c.ResponsibleHSDirs(tor.ComputeDescriptorID(sid, nil, r, now)) {
+			if bn.Net.Relay(fp) != nil {
+				bn.Net.RemoveRelay(fp)
+				killed++
+			}
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no responsible directory found to kill")
+	}
+}
+
+// A bot whose rally dial fails must degrade gracefully: infection
+// succeeds, bootstrap peering still happens, the failure is counted,
+// and a queued re-rally registers the bot once the C&C heals.
+func TestBotSurvivesFailedRallyAndReRallies(t *testing.T) {
+	// Larger substrate than the default helper: the kill removes up to
+	// six directories and path building must still have headroom.
+	bn, err := NewBotNet(42, 24, BotConfig{DMin: 1, DMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bn.InfectOne(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn.Run(5 * time.Second)
+	registeredBefore := bn.Master.NumRegistered()
+
+	killResponsibleDirs(t, bn)
+
+	// Infection through a dark C&C: no error, the bot lives, peers via
+	// bootstrap, and remembers the debt.
+	b, err := bn.InfectOne([]string{a.Onion()})
+	if err != nil {
+		t.Fatalf("infection aborted on rally failure: %v", err)
+	}
+	bn.Run(5 * time.Second)
+	if !b.Alive() {
+		t.Fatal("bot died with its rally")
+	}
+	if got := b.Stats().RallyFailures; got == 0 {
+		t.Fatal("failed rally not counted")
+	}
+	if got := b.PeerOnions(); len(got) != 1 || got[0] != a.Onion() {
+		t.Fatalf("bootstrap peering skipped after rally failure: peers %v", got)
+	}
+	if bn.Master.NumRegistered() != registeredBefore {
+		t.Fatal("dark C&C somehow registered the bot")
+	}
+
+	// Heal: the consensus drops the dead directories, the master's
+	// service republishes to survivors, and the queued re-rally (10m
+	// base, doubling) finds the C&C again.
+	bn.Run(3 * time.Hour)
+	if got := b.Stats().RallyRetries; got == 0 {
+		t.Fatal("re-rally never fired")
+	}
+	if bn.Master.NumRegistered() != registeredBefore+1 {
+		t.Fatalf("re-rally never registered the bot: %d registered, want %d",
+			bn.Master.NumRegistered(), registeredBefore+1)
+	}
+}
+
+// Re-rally gives up after its bounded budget instead of queueing
+// forever against a C&C that never comes back.
+func TestReRallyBudgetIsBounded(t *testing.T) {
+	bn, err := NewBotNet(43, 24, BotConfig{DMin: 1, DMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bn.InfectOne(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	killResponsibleDirs(t, bn)
+	// Keep the C&C dark forever: re-kill the directories after every
+	// consensus heal. Republish-to-survivors still revives the service
+	// unless the descriptor itself is removed, so take the master's
+	// proxy down entirely instead.
+	bn.Master.proxy.Shutdown()
+
+	b, err := bn.InfectOne([]string{a.Onion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget (8 attempts, 10m base doubling, 2h cap) spends itself
+	// well within two virtual days.
+	bn.Run(48 * time.Hour)
+	retries := b.Stats().RallyRetries
+	if retries == 0 {
+		t.Fatal("re-rally never fired")
+	}
+	if retries > maxReRallyAttempts {
+		t.Fatalf("%d re-rally attempts exceed the %d budget", retries, maxReRallyAttempts)
+	}
+	bn.Run(24 * time.Hour)
+	if got := b.Stats().RallyRetries; got != retries {
+		t.Fatalf("re-rally kept firing past its budget: %d -> %d", retries, got)
+	}
+}

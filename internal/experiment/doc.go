@@ -7,10 +7,10 @@
 //
 // Each experiment registers itself from init under a stable ID (fig3,
 // fig4, ..., table1, probing, hsdir, pow, ablation, churn-repair,
-// churn-hotlist, churn-soap) with a Definition: a title and a run
-// function taking the generic Params (quick preset, seed, and optional
-// N/K/Frac/Churn/Soap overrides, which each experiment maps onto its
-// own config knobs).
+// churn-hotlist, churn-soap, relay-outage, hsdir-outage) with a
+// Definition: a title and a run function taking the generic Params
+// (quick preset, seed, and optional N/K/Frac/Churn/Soap/Faults
+// overrides, which each experiment maps onto its own config knobs).
 // Lookup and IDs expose the catalogue; cmd/onionsim is a thin shell
 // over it, and docs/EXPERIMENTS.md is the prose handbook (a
 // completeness test keeps it in sync with the registry).
@@ -39,7 +39,10 @@
 // sizes, degrees, takedown fractions, churn scenarios (internal/churn
 // specs — Poisson join/leave, diurnal cycles, correlated takedowns,
 // trace replays), SOAP campaign configurations (internal/soap specs —
-// clone budgets, wave cadence, proof-of-work policy), seeds, and trial
+// clone budgets, wave cadence, proof-of-work policy), infrastructure
+// fault planes (internal/faults specs — relay crash/restart rates,
+// HSDir outage waves, intro-failure probability, client retry
+// budgets), seeds, and trial
 // replications. Tasks expands the grid into labelled
 // tasks for the Runner, and Aggregate folds the outcomes into one
 // table-shaped Result: first/last/min/max per produced series, mean ±

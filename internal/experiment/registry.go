@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"onionbots/internal/churn"
+	"onionbots/internal/faults"
 	"onionbots/internal/soap"
 )
 
@@ -38,6 +39,11 @@ type Params struct {
 	// one (churn-soap). nil keeps the preset; experiments without a
 	// SOAP phase ignore it.
 	Soap *soap.Spec `json:"soap,omitempty"`
+	// Faults overrides the infrastructure fault plane for experiments
+	// that run one (relay-outage, hsdir-outage): which fault processes
+	// to inject and which client retry budget to fight them with. nil
+	// keeps the preset; experiments without a fault phase ignore it.
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 // Definition is one registered experiment: a stable ID, a title for

@@ -60,6 +60,15 @@ type Runner struct {
 	// under a lock, with the number of finished tasks so far. It is for
 	// stderr reporting; it must not write to stdout.
 	Progress func(done, total int, tr TaskResult)
+	// TaskTimeout, when positive, bounds each task's wall-clock
+	// duration: a task still running after the deadline is reported as
+	// TaskResult.Err instead of hanging the whole run. Off by default —
+	// experiments have no cancellation points, so a timed-out task's
+	// goroutine keeps running to completion in the background and its
+	// result is discarded; the timeout is a sweep-survival valve, not a
+	// scheduler. Wall-clock bounds are inherently nondeterministic, so
+	// never enable this when byte-identical output matters.
+	TaskTimeout time.Duration
 }
 
 // Run executes every task and returns one TaskResult per task, in task
@@ -96,7 +105,7 @@ func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runTask(tasks[i])
+				results[i] = r.runBounded(tasks[i])
 				if r.Progress != nil {
 					mu.Lock()
 					done++
@@ -112,6 +121,26 @@ func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
 	close(idx)
 	wg.Wait()
 	return results, nil
+}
+
+// runBounded runs one task under the runner's wall-clock budget. With
+// no TaskTimeout it is runTask itself — same goroutine, no channel.
+func (r *Runner) runBounded(t Task) TaskResult {
+	if r.TaskTimeout <= 0 {
+		return runTask(t)
+	}
+	ch := make(chan TaskResult, 1)
+	go func() { ch <- runTask(t) }()
+	select {
+	case tr := <-ch:
+		return tr
+	case <-time.After(r.TaskTimeout):
+		tr := TaskResult{Task: t, EffectiveSeed: sim.SubstreamSeed(t.Params.Seed, t.Label)}
+		tr.Err = fmt.Errorf("task %s timed out after %s", t.Label, r.TaskTimeout)
+		tr.Error = tr.Err.Error()
+		tr.Elapsed = r.TaskTimeout
+		return tr
+	}
 }
 
 func runTask(t Task) (tr TaskResult) {

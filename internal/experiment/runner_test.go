@@ -141,7 +141,8 @@ func TestRegistryCompleteness(t *testing.T) {
 	// Every experiment the CLI and docs advertise must be registered
 	// with a runnable definition.
 	want := []string{"ablation", "churn-hotlist", "churn-repair", "churn-soap",
-		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "hsdir", "pow", "probing", "table1"}
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "hsdir", "hsdir-outage",
+		"pow", "probing", "relay-outage", "table1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v, want %v", ids, want)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"onionbots/internal/churn"
+	"onionbots/internal/faults"
 	"onionbots/internal/soap"
 )
 
@@ -49,6 +50,12 @@ type Sweep struct {
 	// crossed with Churn it answers "does a clone budget that contains
 	// a static population still contain a moving one?".
 	Soap []soap.Spec `json:"soap,omitempty"`
+	// Faults sweeps infrastructure fault planes (relay crashes, HSDir
+	// outage waves, intro failures) bundled with client retry budgets —
+	// one axis crossing failure intensity against resilience, which is
+	// how "does a retry budget buy back C&C reachability under a 30%
+	// directory outage?" becomes a grid question.
+	Faults []faults.Spec `json:"faults,omitempty"`
 	// Trials replicates every grid point this many times (default 1).
 	// Replicas share Params but get distinct labels, hence distinct RNG
 	// substreams — the cheap way to average away seed noise.
@@ -78,7 +85,8 @@ type Threshold struct {
 	// "min", or "max" of the series' y values.
 	Stat string `json:"stat,omitempty"`
 	// Axis is the swept axis to walk: "n", "k", "frac", "churn",
-	// "soap", or "seed". It must actually be swept by the spec.
+	// "soap", "faults", or "seed". It must actually be swept by the
+	// spec.
 	Axis string `json:"axis"`
 	// Above and Below are the crossing bounds; exactly one must be set.
 	Above *float64 `json:"above,omitempty"`
@@ -101,11 +109,12 @@ func (th Threshold) validate(s *Sweep) error {
 	swept := map[string]bool{
 		"n": len(s.Ns) > 0, "k": len(s.Ks) > 0, "frac": len(s.Fracs) > 0,
 		"churn": len(s.Churn) > 0, "soap": len(s.Soap) > 0,
-		"seed": len(s.Seeds) > 0,
+		"faults": len(s.Faults) > 0,
+		"seed":   len(s.Seeds) > 0,
 	}
 	isSwept, known := swept[th.Axis]
 	if !known {
-		return fmt.Errorf("threshold: unknown axis %q (want n, k, frac, churn, soap, or seed)", th.Axis)
+		return fmt.Errorf("threshold: unknown axis %q (want n, k, frac, churn, soap, faults, or seed)", th.Axis)
 	}
 	if !isSwept {
 		return fmt.Errorf("threshold: axis %q is not swept by this spec", th.Axis)
@@ -189,6 +198,16 @@ func ParseSweep(data []byte) (*Sweep, error) {
 		}
 		seenSoap[spec.Label()] = struct{}{}
 	}
+	seenFaults := make(map[string]struct{}, len(s.Faults))
+	for i, spec := range s.Faults {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("parse sweep: faults[%d]: %w", i, err)
+		}
+		if _, dup := seenFaults[spec.Label()]; dup {
+			return nil, fmt.Errorf("parse sweep: duplicate faults spec %q", spec.Label())
+		}
+		seenFaults[spec.Label()] = struct{}{}
+	}
 	for i, th := range s.Thresholds {
 		if err := th.validate(&s); err != nil {
 			return nil, fmt.Errorf("parse sweep: thresholds[%d]: %w", i, err)
@@ -214,9 +233,9 @@ func LoadSweep(path string) (*Sweep, error) {
 }
 
 // Tasks expands the sweep into its full task grid, in deterministic
-// order (experiments × ns × ks × fracs × churn × soap × seeds ×
-// trials). Every experiment ID is checked against the registry up
-// front so a bad spec fails before any work starts.
+// order (experiments × ns × ks × fracs × churn × soap × faults ×
+// seeds × trials). Every experiment ID is checked against the registry
+// up front so a bad spec fails before any work starts.
 func (s *Sweep) Tasks() ([]Task, error) {
 	for _, id := range s.Experiments {
 		if _, ok := Lookup(id); !ok {
@@ -228,6 +247,7 @@ func (s *Sweep) Tasks() ([]Task, error) {
 	fracs, fracSet := axisFloats(s.Fracs)
 	churns, churnSet := axisChurn(s.Churn)
 	soaps, soapSet := axisSoap(s.Soap)
+	faultSpecs, faultsSet := axisFaults(s.Faults)
 	seeds, seedSet := axisSeeds(s.Seeds)
 	trials := s.Trials
 	if trials < 1 {
@@ -241,45 +261,53 @@ func (s *Sweep) Tasks() ([]Task, error) {
 				for _, frac := range fracs {
 					for ci := range churns {
 						for si := range soaps {
-							for _, seed := range seeds {
-								for trial := 0; trial < trials; trial++ {
-									var label strings.Builder
-									label.WriteString(id)
-									if nSet {
-										fmt.Fprintf(&label, "/n=%d", n)
+							for fi := range faultSpecs {
+								for _, seed := range seeds {
+									for trial := 0; trial < trials; trial++ {
+										var label strings.Builder
+										label.WriteString(id)
+										if nSet {
+											fmt.Fprintf(&label, "/n=%d", n)
+										}
+										if kSet {
+											fmt.Fprintf(&label, "/k=%d", k)
+										}
+										if fracSet {
+											fmt.Fprintf(&label, "/frac=%g", frac)
+										}
+										var cspec *churn.Spec
+										if churnSet {
+											cspec = &churns[ci]
+											fmt.Fprintf(&label, "/churn=%s", cspec.Label())
+										}
+										var sspec *soap.Spec
+										if soapSet {
+											sspec = &soaps[si]
+											fmt.Fprintf(&label, "/soap=%s", sspec.Label())
+										}
+										var fspec *faults.Spec
+										if faultsSet {
+											fspec = &faultSpecs[fi]
+											fmt.Fprintf(&label, "/faults=%s", fspec.Label())
+										}
+										if seedSet {
+											fmt.Fprintf(&label, "/seed=%d", seed)
+										}
+										if s.Trials > 1 {
+											fmt.Fprintf(&label, "/trial=%d", trial)
+										}
+										tasks = append(tasks, Task{
+											Label:      label.String(),
+											Experiment: id,
+											Params: Params{
+												Quick: s.Quick, Seed: seed,
+												N: n, K: k, Frac: frac,
+												Churn:  cspec,
+												Soap:   sspec,
+												Faults: fspec,
+											},
+										})
 									}
-									if kSet {
-										fmt.Fprintf(&label, "/k=%d", k)
-									}
-									if fracSet {
-										fmt.Fprintf(&label, "/frac=%g", frac)
-									}
-									var cspec *churn.Spec
-									if churnSet {
-										cspec = &churns[ci]
-										fmt.Fprintf(&label, "/churn=%s", cspec.Label())
-									}
-									var sspec *soap.Spec
-									if soapSet {
-										sspec = &soaps[si]
-										fmt.Fprintf(&label, "/soap=%s", sspec.Label())
-									}
-									if seedSet {
-										fmt.Fprintf(&label, "/seed=%d", seed)
-									}
-									if s.Trials > 1 {
-										fmt.Fprintf(&label, "/trial=%d", trial)
-									}
-									tasks = append(tasks, Task{
-										Label:      label.String(),
-										Experiment: id,
-										Params: Params{
-											Quick: s.Quick, Seed: seed,
-											N: n, K: k, Frac: frac,
-											Churn: cspec,
-											Soap:  sspec,
-										},
-									})
 								}
 							}
 						}
@@ -326,6 +354,14 @@ func axisChurn(xs []churn.Spec) ([]churn.Spec, bool) {
 func axisSoap(xs []soap.Spec) ([]soap.Spec, bool) {
 	if len(xs) == 0 {
 		return make([]soap.Spec, 1), false
+	}
+	return xs, true
+}
+
+// axisFaults is axisChurn for the infrastructure-fault axis.
+func axisFaults(xs []faults.Spec) ([]faults.Spec, bool) {
+	if len(xs) == 0 {
+		return make([]faults.Spec, 1), false
 	}
 	return xs, true
 }
@@ -384,8 +420,8 @@ func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 	for _, th := range s.Thresholds {
 		s.appendThreshold(res, trs, th)
 	}
-	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v churn=%v soap=%v seeds=%v trials=%d",
-		len(s.Experiments), s.Ns, s.Ks, s.Fracs, churnLabels(s.Churn), soapLabels(s.Soap), s.Seeds, max(1, s.Trials))
+	res.AddNote("grid: %d experiments × ns=%v ks=%v fracs=%v churn=%v soap=%v faults=%v seeds=%v trials=%d",
+		len(s.Experiments), s.Ns, s.Ks, s.Fracs, churnLabels(s.Churn), soapLabels(s.Soap), faultsLabels(s.Faults), s.Seeds, max(1, s.Trials))
 	if failed > 0 {
 		res.AddNote("%d/%d tasks failed", failed, len(trs))
 	}
@@ -403,6 +439,15 @@ func churnLabels(specs []churn.Spec) []string {
 
 // soapLabels renders the soap axis for the grid note.
 func soapLabels(specs []soap.Spec) []string {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		out[i] = spec.Label()
+	}
+	return out
+}
+
+// faultsLabels renders the faults axis for the grid note.
+func faultsLabels(specs []faults.Spec) []string {
 	out := make([]string, len(specs))
 	for i, spec := range specs {
 		out[i] = spec.Label()
@@ -565,6 +610,8 @@ func (s *Sweep) axisValueLabels(axis string) []string {
 		out = churnLabels(s.Churn)
 	case "soap":
 		out = soapLabels(s.Soap)
+	case "faults":
+		out = faultsLabels(s.Faults)
 	case "seed":
 		for _, seed := range s.Seeds {
 			out = append(out, fmt.Sprintf("%d", seed))

@@ -1,0 +1,19 @@
+// Package faults is the deterministic infrastructure fault plane: it
+// injects relay crashes, correlated HSDir outage waves, and per-dial
+// introduction failures into a simulated Tor network, the way
+// internal/churn injects membership events into a bot population.
+//
+// The paper's resilience story (and the mitigation literature around
+// it — infrastructure-level takedowns rather than bot-roster attrition)
+// needs the substrate itself to misbehave: circuits must die mid-run,
+// descriptors must vanish with their directories, dials must fail for
+// reasons no bot caused. An Engine drives one tor.Network; each
+// attached Process draws every random decision from a private
+// sim.NewSubstream(seed, "faults/"+name), so fault schedules are byte
+// identical across runs and at any sweep parallelism, and compose
+// freely with churn processes on the same scheduler.
+//
+// Spec is the JSON form experiments and sweep axes carry; it bundles
+// the fault knobs with the client retry budget (tor.RetryPolicy) so one
+// axis can cross failure intensity against resilience.
+package faults

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"onionbots/internal/sim"
+	"onionbots/internal/tor"
+)
+
+// Kind classifies a fault trace event.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	// KindCrash is one relay removed by a crash process.
+	KindCrash Kind = iota + 1
+	// KindRestart is one crashed relay returning with a fresh identity.
+	KindRestart
+	// KindOutage is a correlated wave removing several relays at once.
+	KindOutage
+	// KindIntroFault is one INTRODUCE1 cell eaten by an intro fault.
+	KindIntroFault
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindOutage:
+		return "outage"
+	case KindIntroFault:
+		return "intro-fault"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the fault trace: what happened, when (virtual
+// time since sim.Epoch), under which process, how many relays it
+// affected, and the live relay population right after.
+type Event struct {
+	At      time.Duration
+	Process string
+	Kind    Kind
+	Count   int
+	// Relays is the live relay count immediately after the event.
+	Relays int
+}
+
+// Engine attaches fault processes to a simulated Tor network: it
+// derives every attached process's RNG substream and records the event
+// trace. One engine drives one network; processes compose by attaching
+// several to the same engine — and the engine composes freely with a
+// churn.Engine running on the same scheduler, which is how experiments
+// cross infrastructure faults with membership churn.
+//
+// Determinism contract (the churn.Engine contract verbatim): the engine
+// never draws randomness itself. Each process is seeded with
+// sim.NewSubstream(seed, "faults/"+name) at Attach time, so the fault
+// trace is a pure function of (seed, attached process set, network
+// state) — independent of sweep worker count, exactly like experiment
+// task substreams.
+type Engine struct {
+	sched   *sim.Scheduler
+	seed    uint64
+	net     *tor.Network
+	trace   []Event
+	stopped bool
+	names   map[string]struct{}
+	// onStop runs once at Stop time; processes that install standing
+	// hooks on the network (IntroFailure) register their uninstall here.
+	onStop []func()
+}
+
+// NewEngine creates an engine injecting faults into net on sched. seed
+// is the substream root for every attached process; experiments pass
+// sim.SubstreamSeed(taskSeed, "<experiment>/faults") or similar.
+func NewEngine(sched *sim.Scheduler, seed uint64, net *tor.Network) *Engine {
+	return &Engine{
+		sched: sched,
+		seed:  seed,
+		net:   net,
+		names: map[string]struct{}{},
+	}
+}
+
+// Network returns the network under fault injection.
+func (e *Engine) Network() *tor.Network { return e.net }
+
+// Attach starts a process: it validates the process against the
+// network, derives the process's RNG substream from the engine seed and
+// the process name, and schedules its first event. Attaching two
+// processes with the same name is rejected — they would share a
+// substream, breaking independence.
+func (e *Engine) Attach(p Process) error {
+	name := p.Name()
+	if name == "" {
+		return fmt.Errorf("faults: process has no name")
+	}
+	if _, dup := e.names[name]; dup {
+		return fmt.Errorf("faults: duplicate process name %q (set Label to disambiguate)", name)
+	}
+	if err := p.validate(e.net); err != nil {
+		return err
+	}
+	e.names[name] = struct{}{}
+	p.attach(e, sim.NewSubstream(e.seed, "faults/"+name))
+	return nil
+}
+
+// Stop halts every attached process: events already on the scheduler
+// still fire but become no-ops, and standing hooks (intro faults) are
+// uninstalled. Use it to freeze the network for post-run measurement.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, fn := range e.onStop {
+		fn()
+	}
+	e.onStop = nil
+}
+
+// Trace returns a copy of the recorded event trace, in firing order.
+func (e *Engine) Trace() []Event { return append([]Event(nil), e.trace...) }
+
+// Counts tallies the trace: relays crashed, relays restarted, relays
+// removed by outage waves, and intro faults injected.
+func (e *Engine) Counts() (crashed, restarted, outaged, introFaults int) {
+	for _, ev := range e.trace {
+		switch ev.Kind {
+		case KindCrash:
+			crashed += ev.Count
+		case KindRestart:
+			restarted += ev.Count
+		case KindOutage:
+			outaged += ev.Count
+		case KindIntroFault:
+			introFaults += ev.Count
+		}
+	}
+	return crashed, restarted, outaged, introFaults
+}
+
+// record appends one trace event stamped with the current virtual time
+// and relay population.
+func (e *Engine) record(process string, kind Kind, count int) {
+	e.trace = append(e.trace, Event{
+		At:      e.sched.Elapsed(),
+		Process: process,
+		Kind:    kind,
+		Count:   count,
+		Relays:  e.net.NumRelays(),
+	})
+}

@@ -1,0 +1,282 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"onionbots/internal/sim"
+	"onionbots/internal/tor"
+)
+
+// newTestNetwork bootstraps a network whose bootstrapped relays all
+// hold the HSDir flag, plus young extra relays that do not — the
+// RelayCrash victim pool.
+func newTestNetwork(t *testing.T, seed uint64, hsdirs, extras int) (*sim.Scheduler, *tor.Network) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	n := tor.NewNetwork(sched, sim.NewRNG(seed), tor.Config{})
+	if err := n.Bootstrap(hsdirs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < extras; i++ {
+		if _, err := n.AddRelay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if extras > 0 {
+		n.PublishConsensus()
+	}
+	return sched, n
+}
+
+func TestSpecParseValidateLabel(t *testing.T) {
+	good := []struct{ in, label string }{
+		{`{"crash_rate": 6, "restart_h": 1}`, "faults;crash=6;restart=1"},
+		{`{"outage_frac": 0.3, "outage_at_h": 2, "outage_targeted": true}`, "faults;outage=0.3;at=2;tgt"},
+		{`{"intro_fail_p": 0.2, "retry_attempts": 3, "retry_backoff_s": 300}`, "faults;introp=0.2;retry=3;bo=300"},
+		{`{"retry_attempts": 1}`, "faults;retry=1"},
+	}
+	for _, c := range good {
+		s, err := ParseSpec([]byte(c.in))
+		if err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if got := s.Label(); got != c.label {
+			t.Errorf("%s: label %q, want %q", c.in, got, c.label)
+		}
+		if strings.ContainsAny(s.Label(), "/,") {
+			t.Errorf("%s: label %q contains label-splitting characters", c.in, s.Label())
+		}
+	}
+	bad := []string{
+		`{}`,
+		`{"crash_rate": -1}`,
+		`{"crash_rate": 1e9}`,
+		`{"restart_h": 1}`,
+		`{"outage_frac": 1.5}`,
+		`{"outage_at_h": 2}`,
+		`{"outage_targeted": true}`,
+		`{"intro_fail_p": 2}`,
+		`{"retry_attempts": -1}`,
+		`{"retry_backoff_s": 30}`,
+		`{"retry_backoff_s": 30, "retry_attempts": 1}`,
+		`{"outage": 0.5}`, // unknown field
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: accepted invalid spec", in)
+		}
+	}
+}
+
+func TestRelayCrashDeterminismAndRestart(t *testing.T) {
+	run := func() ([]Event, int) {
+		sched, n := newTestNetwork(t, 11, 10, 12)
+		e := NewEngine(sched, 99, n)
+		if err := e.Attach(&RelayCrash{Rate: 8, MeanRestart: 30 * time.Minute}); err != nil {
+			t.Fatal(err)
+		}
+		sched.RunFor(12 * time.Hour)
+		e.Stop()
+		return e.Trace(), n.NumRelays()
+	}
+	t1, relays1 := run()
+	t2, relays2 := run()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("crash trace not deterministic:\n%v\n---\n%v", t1, t2)
+	}
+	if relays1 != relays2 {
+		t.Fatalf("final relay counts differ: %d vs %d", relays1, relays2)
+	}
+	crashed, restarted, _, _ := func() (int, int, int, int) {
+		sched, n := newTestNetwork(t, 11, 10, 12)
+		e := NewEngine(sched, 99, n)
+		if err := e.Attach(&RelayCrash{Rate: 8, MeanRestart: 30 * time.Minute}); err != nil {
+			t.Fatal(err)
+		}
+		sched.RunFor(12 * time.Hour)
+		e.Stop()
+		return e.Counts()
+	}()
+	if crashed == 0 {
+		t.Fatal("crash process at rate 8 never crashed a relay in 12h")
+	}
+	if restarted == 0 {
+		t.Fatal("restarts enabled but no relay ever returned")
+	}
+	if restarted > crashed {
+		t.Fatalf("%d restarts exceed %d crashes", restarted, crashed)
+	}
+}
+
+func TestRelayCrashSparesHSDirs(t *testing.T) {
+	sched, n := newTestNetwork(t, 5, 8, 10)
+	hsdirs := n.Consensus().HSDirs()
+	e := NewEngine(sched, 7, n)
+	if err := e.Attach(&RelayCrash{Rate: 20}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(24 * time.Hour)
+	e.Stop()
+	crashed, _, _, _ := e.Counts()
+	if crashed == 0 {
+		t.Fatal("no crashes at rate 20 over 24h")
+	}
+	for _, fp := range hsdirs {
+		if n.Relay(fp) == nil {
+			t.Fatalf("crash process killed HSDir %x", fp[:4])
+		}
+	}
+}
+
+func TestHSDirOutageWave(t *testing.T) {
+	sched, n := newTestNetwork(t, 21, 20, 0)
+	ring := n.Consensus().HSDirs() // pre-wave snapshot: lists the victims
+	before := len(ring)
+	e := NewEngine(sched, 13, n)
+	if err := e.Attach(&HSDirOutage{After: 2 * time.Hour, Frac: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(time.Hour)
+	if _, _, outaged, _ := e.Counts(); outaged != 0 {
+		t.Fatal("wave fired before its instant")
+	}
+	sched.RunFor(90 * time.Minute)
+	e.Stop()
+	_, _, outaged, _ := e.Counts()
+	want := int(0.3*float64(before) + 0.5)
+	if outaged != want {
+		t.Fatalf("outage removed %d of %d dirs, want %d", outaged, before, want)
+	}
+	// The victims are a contiguous ring arc: walking the pre-wave ring
+	// must cross exactly one dead run (wrap-around counts as one).
+	deadRuns, prevDead := 0, n.Relay(ring[len(ring)-1]) == nil
+	for _, fp := range ring {
+		dead := n.Relay(fp) == nil
+		if dead && !prevDead {
+			deadRuns++
+		}
+		prevDead = dead
+	}
+	if deadRuns != 1 {
+		t.Fatalf("outage removed %d disjoint arcs, want 1 contiguous", deadRuns)
+	}
+}
+
+func TestHSDirOutageTargetsService(t *testing.T) {
+	sched, n := newTestNetwork(t, 31, 20, 0)
+	// Host a service, then target its responsible directories.
+	id := tor.IdentityFromSeed([32]byte{31})
+	proxy := tor.NewProxy(n)
+	hs, err := proxy.Host(id, func(*tor.Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(sched, 17, n)
+	if err := e.Attach(&HSDirOutage{After: time.Hour, Frac: 0.3, Service: hs.Onion()}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(time.Hour + time.Minute)
+	e.Stop()
+	// Every responsible directory of every replica must be dead.
+	c := n.Consensus()
+	sid := id.ServiceID()
+	now := n.Now()
+	for r := 0; r < tor.NumReplicas; r++ {
+		for _, fp := range c.ResponsibleHSDirs(tor.ComputeDescriptorID(sid, nil, r, now)) {
+			if n.Relay(fp) != nil {
+				t.Fatalf("replica %d responsible dir %x survived a targeted wave", r, fp[:4])
+			}
+		}
+	}
+}
+
+func TestIntroFailureInjectsAndUninstalls(t *testing.T) {
+	sched, n := newTestNetwork(t, 41, 12, 0)
+	id := tor.IdentityFromSeed([32]byte{41})
+	server := tor.NewProxy(n)
+	hs, err := server.Host(id, func(*tor.Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(sched, 23, n)
+	if err := e.Attach(&IntroFailure{P: 1}); err != nil {
+		t.Fatal(err)
+	}
+	client := tor.NewProxy(n)
+	if _, err := client.Dial(hs.Onion()); err == nil {
+		t.Fatal("dial succeeded under a certain intro fault")
+	}
+	if _, _, _, introFaults := e.Counts(); introFaults == 0 {
+		t.Fatal("intro fault fired but trace recorded nothing")
+	}
+	// Stop uninstalls the hook: dials work again.
+	e.Stop()
+	if _, err := tor.NewProxy(n).Dial(hs.Onion()); err != nil {
+		t.Fatalf("dial still failing after Stop: %v", err)
+	}
+}
+
+func TestEngineRejectsDuplicateNames(t *testing.T) {
+	sched, n := newTestNetwork(t, 51, 6, 0)
+	e := NewEngine(sched, 1, n)
+	if err := e.Attach(&RelayCrash{Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(&RelayCrash{Rate: 2}); err == nil {
+		t.Fatal("duplicate process name accepted")
+	}
+	if err := e.Attach(&RelayCrash{Rate: 2, Label: "relay-crash-2"}); err != nil {
+		t.Fatalf("labeled duplicate rejected: %v", err)
+	}
+}
+
+func TestEngineStopFreezesProcesses(t *testing.T) {
+	sched, n := newTestNetwork(t, 61, 8, 10)
+	e := NewEngine(sched, 3, n)
+	if err := e.Attach(&RelayCrash{Rate: 50}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(2 * time.Hour)
+	e.Stop()
+	frozen := len(e.Trace())
+	sched.RunFor(12 * time.Hour)
+	if got := len(e.Trace()); got != frozen {
+		t.Fatalf("trace grew after Stop: %d -> %d", frozen, got)
+	}
+}
+
+func TestSpecAttachComposition(t *testing.T) {
+	sched, n := newTestNetwork(t, 71, 12, 10)
+	spec := Spec{CrashRate: 10, RestartH: 0.5, IntroFailP: 0.1, RetryAttempts: 2}
+	e := NewEngine(sched, 5, n)
+	if err := spec.Attach(e, AttachOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(12 * time.Hour)
+	e.Stop()
+	crashed, _, _, _ := e.Counts()
+	if crashed == 0 {
+		t.Fatal("composed spec never crashed a relay")
+	}
+	// A targeted spec needs a target at attach time.
+	bad := Spec{OutageFrac: 0.2, OutageTargeted: true}
+	if err := bad.Attach(NewEngine(sched, 6, n), AttachOptions{}); err == nil {
+		t.Fatal("targeted spec attached without a target service")
+	}
+	// A retry-only spec attaches nothing but is a valid baseline.
+	baseline := Spec{RetryAttempts: 4}
+	e2 := NewEngine(sched, 7, n)
+	if err := baseline.Attach(e2, AttachOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Trace()) != 0 {
+		t.Fatal("retry-only spec produced fault events")
+	}
+	if rp := baseline.RetryPolicy(); !rp.Enabled() || rp.MaxAttempts != 4 {
+		t.Fatalf("retry policy not realized: %+v", rp)
+	}
+}

@@ -1,0 +1,283 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"onionbots/internal/sim"
+	"onionbots/internal/tor"
+)
+
+// Process is one fault process: a source of infrastructure failures
+// that the engine schedules on the simulation's timer wheel.
+type Process interface {
+	// Name identifies the process: it tags trace events and names the
+	// process's RNG substream, so it must be unique per engine.
+	Name() string
+	// validate checks the process parameters before anything is
+	// scheduled.
+	validate(net *tor.Network) error
+	// attach schedules the process's first event. rng is the process's
+	// private substream; all of the process's randomness (arrival
+	// times, victim selection, restart identities) must come from it.
+	attach(e *Engine, rng *sim.RNG)
+}
+
+// MaxRate bounds the crash rate (events per virtual hour) a process
+// accepts, mirroring churn.MaxRate: a typo in a sweep spec should fail
+// validation, not degenerate the run into same-instant event grinding.
+const MaxRate = 1e6
+
+// RelayCrash is a memoryless crash process over non-HSDir relays:
+// crashes arrive at Rate (events per virtual hour) with exponential
+// inter-arrival times, each killing one uniformly random live relay
+// that does not hold the HSDir flag in the current consensus (directory
+// loss is HSDirOutage's axis). Every circuit through the victim dies,
+// which is what actually stresses the overlay. With MeanRestart set,
+// each crashed relay is replaced after an exponentially distributed
+// delay by a fresh relay whose identity derives from this process's
+// substream — the replacement starts at zero uptime, so it stays out of
+// the HSDir ring for Config.HSDirUptime, as a real rebooted relay would.
+type RelayCrash struct {
+	// Rate is the mean crash rate in events per virtual hour. Required
+	// positive.
+	Rate float64
+	// MeanRestart is the mean crash-to-restart delay; zero means crashed
+	// relays never return.
+	MeanRestart time.Duration
+	// Label overrides the process name ("relay-crash" by default).
+	Label string
+}
+
+// Name implements Process.
+func (p *RelayCrash) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "relay-crash"
+}
+
+func (p *RelayCrash) validate(*tor.Network) error {
+	if p.Rate <= 0 {
+		return fmt.Errorf("faults: %s: rate %g not positive", p.Name(), p.Rate)
+	}
+	if p.Rate > MaxRate {
+		return fmt.Errorf("faults: %s: rate %g exceeds the %g cap", p.Name(), p.Rate, float64(MaxRate))
+	}
+	if p.MeanRestart < 0 {
+		return fmt.Errorf("faults: %s: negative restart delay", p.Name())
+	}
+	return nil
+}
+
+func (p *RelayCrash) attach(e *Engine, rng *sim.RNG) {
+	name := p.Name()
+	// Crashing below this floor would leave too few relays to build any
+	// path (guard + middles + terminal); the process skips events there
+	// rather than wedging the whole network.
+	floor := e.net.Config().PathLen + 3
+	var step func()
+	schedule := func() {
+		d := time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Hour))
+		e.sched.After(d, step)
+	}
+	step = func() {
+		if e.stopped {
+			return
+		}
+		defer schedule()
+		if e.net.NumRelays() <= floor {
+			return
+		}
+		victim := pickNonHSDir(e.net, rng)
+		if victim == (tor.Fingerprint{}) {
+			return
+		}
+		e.net.RemoveRelay(victim)
+		e.record(name, KindCrash, 1)
+		if p.MeanRestart <= 0 {
+			return
+		}
+		// Draw the restart delay and replacement identity now, at crash
+		// time, so the substream is consumed in strict crash order.
+		delay := time.Duration(rng.ExpFloat64() * float64(p.MeanRestart))
+		var seed [32]byte
+		rng.Fill(seed[:])
+		e.sched.After(delay, func() {
+			if e.stopped {
+				return
+			}
+			if _, err := e.net.AddRelayWithSeed(seed); err == nil {
+				e.record(name, KindRestart, 1)
+			}
+		})
+	}
+	schedule()
+}
+
+// pickNonHSDir selects a uniformly random live relay without the HSDir
+// flag from the current consensus (the stale directory view a real
+// adversary or failure domain would act on). It returns the zero
+// fingerprint when no candidate is found within the attempt bound.
+func pickNonHSDir(net *tor.Network, rng *sim.RNG) tor.Fingerprint {
+	c := net.Consensus()
+	if c == nil || len(c.Relays) == 0 {
+		return tor.Fingerprint{}
+	}
+	for attempts := 0; attempts < 8*len(c.Relays); attempts++ {
+		ri := c.Relays[rng.Intn(len(c.Relays))]
+		if ri.HSDir {
+			continue
+		}
+		if net.Relay(ri.FP) == nil {
+			continue // died since publication
+		}
+		return ri.FP
+	}
+	return tor.Fingerprint{}
+}
+
+// HSDirOutage removes a contiguous segment of the HSDir ring at one
+// scheduled instant — the correlated loss a datacenter failure, AS
+// outage, or coordinated seizure produces, and the worst case for
+// descriptor availability because responsible-directory sets are
+// consecutive ring arcs. With Service set, the wave is centered on that
+// service's responsible directories (every replica) before extending
+// along the ring: the mitigation-literature scenario of defenders
+// seizing exactly the directories hosting a C&C descriptor.
+type HSDirOutage struct {
+	// After is how long after Attach the wave fires.
+	After time.Duration
+	// Frac is the fraction of the current HSDir ring removed, in (0, 1].
+	Frac float64
+	// Service, when non-empty, is an onion address whose responsible
+	// directories the wave removes first (all replicas), before the
+	// contiguous extension. The targeted arcs count toward Frac but are
+	// never truncated by it.
+	Service string
+	// Label overrides the process name ("hsdir-outage" by default).
+	Label string
+}
+
+// Name implements Process.
+func (o *HSDirOutage) Name() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	return "hsdir-outage"
+}
+
+func (o *HSDirOutage) validate(*tor.Network) error {
+	if o.After < 0 {
+		return fmt.Errorf("faults: %s: negative delay", o.Name())
+	}
+	if o.Frac <= 0 || o.Frac > 1 {
+		return fmt.Errorf("faults: %s: fraction %g outside (0, 1]", o.Name(), o.Frac)
+	}
+	if o.Service != "" {
+		if _, err := tor.ParseOnion(o.Service); err != nil {
+			return fmt.Errorf("faults: %s: bad service: %w", o.Name(), err)
+		}
+	}
+	return nil
+}
+
+func (o *HSDirOutage) attach(e *Engine, rng *sim.RNG) {
+	name := o.Name()
+	e.sched.After(o.After, func() {
+		if e.stopped {
+			return
+		}
+		c := e.net.Consensus()
+		if c == nil {
+			return
+		}
+		ring := c.HSDirs()
+		if len(ring) == 0 {
+			return
+		}
+		count := int(o.Frac*float64(len(ring)) + 0.5)
+		if count < 1 {
+			count = 1
+		}
+		if count > len(ring) {
+			count = len(ring)
+		}
+		victims := make(map[tor.Fingerprint]struct{}, count)
+		order := make([]tor.Fingerprint, 0, count)
+		add := func(fp tor.Fingerprint) {
+			if _, dup := victims[fp]; !dup {
+				victims[fp] = struct{}{}
+				order = append(order, fp)
+			}
+		}
+		if o.Service != "" {
+			if sid, err := tor.ParseOnion(o.Service); err == nil {
+				now := e.net.Now()
+				for r := 0; r < tor.NumReplicas; r++ {
+					for _, fp := range c.ResponsibleHSDirs(tor.ComputeDescriptorID(sid, nil, r, now)) {
+						add(fp)
+					}
+				}
+			}
+		}
+		// Extend with a contiguous arc from a random ring position. The
+		// single Intn draw happens whether or not the targeted arcs
+		// already satisfied Frac, so targeting never shifts the stream.
+		start := rng.Intn(len(ring))
+		for i := 0; len(order) < count && i < len(ring); i++ {
+			add(ring[(start+i)%len(ring)])
+		}
+		removed := 0
+		for _, fp := range order {
+			if e.net.Relay(fp) == nil {
+				continue // already dead (another process got it first)
+			}
+			e.net.RemoveRelay(fp)
+			removed++
+		}
+		if removed > 0 {
+			e.record(name, KindOutage, removed)
+		}
+	})
+}
+
+// IntroFailure makes each client introduction attempt fail with
+// probability P: the INTRODUCE1 cell is eaten in flight, the dial
+// stalls and fails exactly as if the intro point silently dropped it.
+// Unlike the crash processes it removes nothing — it models flaky
+// intro-point paths, and is the fault the dial retry policy pays off
+// against fastest. The per-dial decision draws from this process's
+// substream via Network.SetIntroFault, so arming it never perturbs the
+// network's main random stream.
+type IntroFailure struct {
+	// P is the per-dial failure probability, required in (0, 1].
+	P float64
+	// Label overrides the process name ("intro-failure" by default).
+	Label string
+}
+
+// Name implements Process.
+func (f *IntroFailure) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "intro-failure"
+}
+
+func (f *IntroFailure) validate(*tor.Network) error {
+	if f.P <= 0 || f.P > 1 {
+		return fmt.Errorf("faults: %s: probability %g outside (0, 1]", f.Name(), f.P)
+	}
+	return nil
+}
+
+func (f *IntroFailure) attach(e *Engine, rng *sim.RNG) {
+	name := f.Name()
+	e.net.SetIntroFault(f.P, rng, func() {
+		e.record(name, KindIntroFault, 1)
+	})
+	e.onStop = append(e.onStop, func() {
+		e.net.SetIntroFault(0, nil, nil)
+	})
+}

@@ -42,6 +42,13 @@ func (c *Consensus) NumRelays() int { return len(c.Relays) }
 // NumHSDirs reports how many relays currently hold the HSDir flag.
 func (c *Consensus) NumHSDirs() int { return len(c.hsdirs) }
 
+// HSDirs returns the HSDir ring: every flagged fingerprint in ring
+// (fingerprint-sorted) order. Fault processes walk it to model
+// correlated outages over contiguous ring segments.
+func (c *Consensus) HSDirs() []Fingerprint {
+	return append([]Fingerprint(nil), c.hsdirs...)
+}
+
 // IsHSDir reports whether fp holds the HSDir flag. The hsdirs slice is
 // already fingerprint-sorted for ring lookups, so membership is a
 // binary search — no per-consensus set to build or rehash.

@@ -47,6 +47,21 @@
 // All of this is observationally equivalent to the slow path: fixed
 // seeds produce byte-identical experiment outputs.
 //
+// # Client resilience
+//
+// The client side answers the infrastructure fault plane
+// (internal/faults): Proxy.DialAsync retries failed dials under a
+// RetryPolicy — bounded attempts, exponential backoff on the
+// simulated clock — and after every failure invalidates the cached
+// descriptor, marks the guard set dirty, and rotates replica
+// preference so the retry is a fresh attempt. A zero policy makes
+// DialAsync behave exactly like the synchronous Dial. Path building,
+// intro-point selection, and intro repair all skip-and-resample
+// relays a stale consensus still lists but that are no longer alive,
+// and hosted services detect when their responsible directory set
+// moves within a descriptor period and republish to the survivors
+// (NetworkStats counts failures, retries, recoveries, and repairs).
+//
 // Substitution note (see docs/ARCHITECTURE.md): hidden-service
 // identities are
 // Ed25519 keys rather than the RSA-1024 keys of 2015-era Tor. The

@@ -69,6 +69,23 @@ type NetworkStats struct {
 	CircuitsBuilt  int
 	CellsSwitched  int
 	ConsensusCount int
+
+	// Fault-plane counters: how often the protocol stack failed,
+	// re-attempted, and recovered. All stay zero on fault-free runs.
+	//
+	// DialFailures counts dial attempts that returned an error (every
+	// attempt, including ones a retry later redeemed). DialRetries
+	// counts re-attempts scheduled by DialAsync under a retry policy;
+	// DialRecoveries counts dials that succeeded after at least one
+	// retry. IntroFaultsInjected counts INTRODUCE1 cells eaten by an
+	// injected intro fault, and PublishRepairs counts descriptor
+	// republishes forced by the responsible-HSDir set moving under a
+	// hidden service (directory loss healing).
+	DialFailures        int
+	DialRetries         int
+	DialRecoveries      int
+	IntroFaultsInjected int
+	PublishRepairs      int
 }
 
 // ErrNoConsensus reports an operation that requires a published
@@ -114,6 +131,15 @@ type Network struct {
 	// buffer is always returned after its call tree unwinds; the
 	// freelist's high-water mark is the deepest cell nesting of the run.
 	wireFree []*[CellSize]byte
+
+	// Intro-fault injection (internal/faults.IntroFailure): when armed,
+	// each INTRODUCE1 a client sends is eaten with probability
+	// introFaultP, decided by a draw from introFaultRNG — the fault
+	// process's private substream, so arming the fault never perturbs
+	// the network's main random stream.
+	introFaultP    float64
+	introFaultRNG  *sim.RNG
+	introFaultNote func()
 }
 
 // getWire takes a cell buffer off the freelist (or allocates one).
@@ -260,8 +286,45 @@ func (n *Network) Consensus() *Consensus { return n.consensus }
 func (n *Network) AddRelay() (*Relay, error) {
 	var seed [32]byte
 	copy(seed[:], n.rng.Bytes(32))
-	id := IdentityFromSeed(seed)
-	return n.addRelayWithIdentity(id)
+	return n.AddRelayWithSeed(seed)
+}
+
+// AddRelayWithSeed joins a relay whose identity derives from the given
+// seed. Fault processes restarting crashed relays use it with seeds
+// drawn from their own substream, so a restart never consumes the
+// network's shared random stream (which would shift every later path
+// choice and break cross-run byte equality).
+func (n *Network) AddRelayWithSeed(seed [32]byte) (*Relay, error) {
+	return n.addRelayWithIdentity(IdentityFromSeed(seed))
+}
+
+// SetIntroFault arms (or with p <= 0 disarms) per-dial introduction
+// failure: each INTRODUCE1 is eaten with probability p, decided by a
+// draw from rng. note, when non-nil, runs once per injected fault so
+// the fault plane can trace injections. The draw always comes from rng,
+// never the network stream — see introFaultRNG.
+func (n *Network) SetIntroFault(p float64, rng *sim.RNG, note func()) {
+	if p <= 0 || rng == nil {
+		n.introFaultP, n.introFaultRNG, n.introFaultNote = 0, nil, nil
+		return
+	}
+	n.introFaultP, n.introFaultRNG, n.introFaultNote = p, rng, note
+}
+
+// introFaultHit decides whether the armed intro fault eats this dial's
+// INTRODUCE1. Always false when no fault is armed.
+func (n *Network) introFaultHit() bool {
+	if n.introFaultRNG == nil {
+		return false
+	}
+	if n.introFaultRNG.Float64() >= n.introFaultP {
+		return false
+	}
+	n.stats.IntroFaultsInjected++
+	if n.introFaultNote != nil {
+		n.introFaultNote()
+	}
+	return true
 }
 
 // InjectRelayAtFingerprint joins a relay whose fingerprint is exactly
@@ -459,17 +522,20 @@ func (n *Network) pickPath(terminal Fingerprint) ([]*Relay, error) {
 		exclude[terminal] = struct{}{}
 		hops--
 	}
-	fps := c.PickRelays(n.rng, hops, exclude)
-	if len(fps) < hops {
-		return nil, fmt.Errorf("%w: need %d, consensus offers %d", ErrNotEnoughRelays, hops, len(fps))
-	}
+	// Skip-and-resample dead consensus entries, as in OnionProxy.pickPath:
+	// the consensus may list relays that died since publication.
 	path := make([]*Relay, 0, n.cfg.PathLen)
-	for _, fp := range fps {
-		r := n.relays.get(fp)
-		if r == nil {
-			return nil, fmt.Errorf("tor: consensus lists dead relay %s", fp)
+	for len(path) < hops {
+		fps := c.PickRelays(n.rng, hops-len(path), exclude)
+		if len(fps) < hops-len(path) {
+			return nil, fmt.Errorf("%w: need %d, consensus offers %d", ErrNotEnoughRelays, hops, len(path)+len(fps))
 		}
-		path = append(path, r)
+		for _, fp := range fps {
+			exclude[fp] = struct{}{}
+			if r := n.relays.get(fp); r != nil {
+				path = append(path, r)
+			}
+		}
 	}
 	if terminalRelay != nil {
 		path = append(path, terminalRelay)

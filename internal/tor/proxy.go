@@ -62,6 +62,19 @@ type OnionProxy struct {
 	// descCache holds descriptors this proxy has already fetched and
 	// signature-verified, keyed by service. See fetchDescriptor.
 	descCache map[ServiceID]*descCacheEntry
+
+	// Retry is the proxy's dial retry policy, honored by DialAsync. The
+	// zero value (no retries) keeps the proxy byte-identical to one
+	// predating the fault plane.
+	Retry RetryPolicy
+	// guardsDirty forces the next refreshGuards to re-validate the set
+	// even when the relay-membership epoch is unchanged; dial failures
+	// set it so a broken-but-live-looking guard choice is revisited.
+	guardsDirty bool
+	// replicaOffset rotates which descriptor replica fetchDescriptor
+	// tries first; afterDialFailure bumps it so a retry prefers the
+	// other replica's directory set.
+	replicaOffset int
 }
 
 // descCacheEntry is one verified descriptor retained by a proxy.
@@ -86,9 +99,10 @@ func (p *OnionProxy) Guards() []Fingerprint {
 // and the set is full — every circuit build otherwise re-probes the
 // relay table per guard.
 func (p *OnionProxy) refreshGuards() {
-	if p.guardEpoch == p.net.relayEpoch && len(p.guards) >= numGuards {
+	if !p.guardsDirty && p.guardEpoch == p.net.relayEpoch && len(p.guards) >= numGuards {
 		return
 	}
+	p.guardsDirty = false
 	alive := p.guards[:0]
 	for _, g := range p.guards {
 		if p.net.Relay(g) != nil {
@@ -148,19 +162,27 @@ func (p *OnionProxy) pickPath(terminal Fingerprint) ([]*Relay, error) {
 		exclude[terminal] = struct{}{}
 		hops--
 	}
-	middles := c.PickRelays(p.net.rng, hops, exclude)
-	if len(middles) < hops {
-		return nil, fmt.Errorf("%w: need %d middles, consensus offers %d", ErrNotEnoughRelays, hops, len(middles))
+	// The consensus is a stale snapshot: a relay listed there may have
+	// died since publication (mid-period crash). Dead picks are excluded
+	// and resampled rather than failing the whole path — a client would
+	// simply try another relay. With no dead relays the single PickRelays
+	// round draws exactly what the pre-resample code drew.
+	middles := make([]*Relay, 0, hops)
+	for len(middles) < hops {
+		picked := c.PickRelays(p.net.rng, hops-len(middles), exclude)
+		if len(picked) < hops-len(middles) {
+			return nil, fmt.Errorf("%w: need %d middles, consensus offers %d", ErrNotEnoughRelays, hops, len(middles)+len(picked))
+		}
+		for _, fp := range picked {
+			exclude[fp] = struct{}{}
+			if r := p.net.Relay(fp); r != nil {
+				middles = append(middles, r)
+			}
+		}
 	}
 	path := make([]*Relay, 0, p.net.cfg.PathLen)
 	path = append(path, p.net.Relay(guard))
-	for _, fp := range middles {
-		r := p.net.Relay(fp)
-		if r == nil {
-			return nil, fmt.Errorf("tor: consensus lists dead relay %s", fp)
-		}
-		path = append(path, r)
-	}
+	path = append(path, middles...)
 	if terminalRelay != nil {
 		path = append(path, terminalRelay)
 	}
@@ -430,6 +452,12 @@ type HiddenService struct {
 	stopped     bool
 	lastPublish time.Time
 	lastPeriod  uint64
+	// lastDirs is the concatenated responsible-HSDir set (all replicas,
+	// ring order) at the last publish; maybeRepublish re-publishes when
+	// the current consensus resolves to a different set, which is how a
+	// service heals from directory loss (HSDir outage waves) without any
+	// extra randomness.
+	lastDirs []Fingerprint
 	// introPayload is the constant ESTABLISH_INTRO cell body
 	// (pub || sig over the intro binding), signed once at Host time;
 	// Ed25519 is deterministic so re-signing per repair tick produced
@@ -450,7 +478,24 @@ func (p *OnionProxy) Host(identity *Identity, handler func(*Conn)) (*HiddenServi
 	}
 	hs := &HiddenService{op: p, identity: identity, handler: handler}
 
-	ips := c.PickRelays(p.net.rng, p.net.cfg.IntroPoints, nil)
+	// Intro points come from the consensus, which may list relays that
+	// died since publication; resample past the corpses instead of
+	// establishing a circuit to one (or hard-failing the host call).
+	var ips []Fingerprint
+	ipExclude := map[Fingerprint]struct{}{}
+	for len(ips) < p.net.cfg.IntroPoints {
+		need := p.net.cfg.IntroPoints - len(ips)
+		picked := c.PickRelays(p.net.rng, need, ipExclude)
+		for _, fp := range picked {
+			ipExclude[fp] = struct{}{}
+			if p.net.Relay(fp) != nil {
+				ips = append(ips, fp)
+			}
+		}
+		if len(picked) < need {
+			break // consensus exhausted; host with what we have
+		}
+	}
 	if len(ips) == 0 {
 		return nil, ErrNotEnoughRelays
 	}
@@ -557,17 +602,61 @@ func (hs *HiddenService) publishDescriptors() error {
 	}
 	hs.lastPublish = now
 	hs.lastPeriod = TimePeriod(now, sid)
+	hs.lastDirs = hs.responsibleDirs(c, now)
 	return nil
 }
 
+// responsibleDirs resolves the service's full responsible-HSDir set
+// (every replica, ring order) against a consensus. A pure function of
+// (consensus, service, time) — no randomness — so comparing snapshots
+// across consensuses is determinism-safe.
+func (hs *HiddenService) responsibleDirs(c *Consensus, now time.Time) []Fingerprint {
+	sid := hs.identity.ServiceID()
+	out := make([]Fingerprint, 0, NumReplicas*HSDirsPerReplica)
+	for r := 0; r < NumReplicas; r++ {
+		descID := ComputeDescriptorID(sid, hs.cookie, r, now)
+		out = append(out, c.ResponsibleHSDirs(descID)...)
+	}
+	return out
+}
+
+func equalFingerprints(a, b []Fingerprint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // maybeRepublish repairs introduction circuits lost to relay churn and
-// refreshes descriptors when the time-period rolled or the previous
-// upload is approaching its TTL.
+// refreshes descriptors when the time-period rolled, the previous
+// upload is approaching its TTL, or the responsible-HSDir set moved
+// under the descriptor — directories died (or joined) and the copies
+// uploaded last time are no longer where clients will look. The last
+// case is what lets a hidden service survive an HSDir outage wave: the
+// next consensus drops the dead directories, the ring positions
+// re-resolve to surviving relays, and the service re-uploads there.
 func (hs *HiddenService) maybeRepublish() {
 	now := hs.op.net.Now()
 	sid := hs.identity.ServiceID()
 	introChanged := hs.repairIntroCircuits()
-	if introChanged || TimePeriod(now, sid) != hs.lastPeriod ||
+	// A responsible-set change within the publication's own time period
+	// means directories died or joined under the descriptor — the repair
+	// case. Across period boundaries the set moves by design (the
+	// descriptor ID rotates) and the period condition below already
+	// republishes, so that is not counted as a repair.
+	dirsMoved := false
+	if c := hs.op.net.Consensus(); c != nil && hs.lastDirs != nil && TimePeriod(now, sid) == hs.lastPeriod {
+		dirsMoved = !equalFingerprints(hs.responsibleDirs(c, now), hs.lastDirs)
+	}
+	if dirsMoved {
+		hs.op.net.stats.PublishRepairs++
+	}
+	if introChanged || dirsMoved || TimePeriod(now, sid) != hs.lastPeriod ||
 		now.Sub(hs.lastPublish) > hs.op.net.cfg.DescriptorTTL/2 {
 		// Best effort, as in Tor: a failed republish retries next tick.
 		_ = hs.publishDescriptors()
@@ -593,11 +682,21 @@ func (hs *HiddenService) repairIntroCircuits() bool {
 		if c == nil {
 			continue
 		}
-		picked := c.PickRelays(hs.op.net.rng, 1, exclude)
-		if len(picked) == 0 {
+		var ip Fingerprint
+		for {
+			picked := c.PickRelays(hs.op.net.rng, 1, exclude)
+			if len(picked) == 0 {
+				break
+			}
+			exclude[picked[0]] = struct{}{}
+			if hs.op.net.Relay(picked[0]) != nil {
+				ip = picked[0]
+				break
+			}
+		}
+		if ip == (Fingerprint{}) {
 			continue
 		}
-		ip := picked[0]
 		path, err := hs.op.pickPath(ip)
 		if err != nil {
 			continue
@@ -609,7 +708,6 @@ func (hs *HiddenService) repairIntroCircuits() bool {
 		}
 		hs.introPoints[i] = ip
 		hs.introCircs[i] = oc.id
-		exclude[ip] = struct{}{}
 	}
 	return changed
 }
@@ -643,7 +741,17 @@ func (hs *HiddenService) onIntroduce2(p []byte) {
 
 // Dial connects to a hidden service by onion address, running the full
 // descriptor-fetch / rendezvous / introduction protocol of Figure 1.
+// Every failed dial is counted in NetworkStats.DialFailures; DialAsync
+// layers the retry policy on top.
 func (p *OnionProxy) Dial(onion string) (*Conn, error) {
+	conn, err := p.dialOnce(onion)
+	if err != nil {
+		p.net.stats.DialFailures++
+	}
+	return conn, err
+}
+
+func (p *OnionProxy) dialOnce(onion string) (*Conn, error) {
 	sid, err := ParseOnion(onion)
 	if err != nil {
 		return nil, err
@@ -683,7 +791,11 @@ func (p *OnionProxy) Dial(onion string) (*Conn, error) {
 	payload = append(payload, sid[:]...)
 	payload = append(payload, rpFP[:]...)
 	payload = append(payload, cookie...)
-	if err := p.send(introCirc, CmdIntroduce1, 0, payload); err != nil {
+	if p.net.introFaultHit() {
+		// The fault plane ate the INTRODUCE1 cell: the intro circuit
+		// stalls exactly as if the intro point had silently dropped it.
+		introCirc.failed = true
+	} else if err := p.send(introCirc, CmdIntroduce1, 0, payload); err != nil {
 		p.teardown(rendCirc)
 		return nil, err
 	}
@@ -720,7 +832,11 @@ func (p *OnionProxy) fetchDescriptor(c *Consensus, sid ServiceID) (*Descriptor, 
 		}
 		delete(p.descCache, sid)
 	}
-	for r := 0; r < NumReplicas; r++ {
+	for i := 0; i < NumReplicas; i++ {
+		// replicaOffset rotates the fetch order after dial failures so a
+		// retry consults the other replica's directories first; it stays 0
+		// (replica order 0, 1, ...) until a failure bumps it.
+		r := (i + p.replicaOffset) % NumReplicas
 		descID := ComputeDescriptorID(sid, nil, r, now)
 		for _, fp := range c.ResponsibleHSDirs(descID) {
 			relay := p.net.Relay(fp)

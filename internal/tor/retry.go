@@ -1,0 +1,116 @@
+package tor
+
+import (
+	"time"
+)
+
+// DefaultBaseBackoff is the first retry delay when a policy enables
+// retries without naming one.
+const DefaultBaseBackoff = 30 * time.Second
+
+// RetryPolicy bounds how a proxy re-attempts failed dials. Delays run
+// on the simulation clock, never the wall clock, so retrying proxies
+// stay deterministic at any sweep parallelism. The zero value disables
+// retries entirely — a proxy without a policy behaves byte-for-byte
+// like one predating the fault plane.
+type RetryPolicy struct {
+	// MaxAttempts is the total dial budget including the first attempt;
+	// values <= 1 mean a single attempt (retries off).
+	MaxAttempts int
+	// BaseBackoff is the virtual-time delay before the second attempt;
+	// each later attempt doubles it. Zero means DefaultBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero means 16 × BaseBackoff.
+	MaxBackoff time.Duration
+}
+
+// Enabled reports whether the policy grants any retries at all.
+func (rp RetryPolicy) Enabled() bool { return rp.MaxAttempts > 1 }
+
+// backoff returns the delay inserted before the given attempt
+// (attempt >= 2): BaseBackoff doubled per failure, capped at
+// MaxBackoff.
+func (rp RetryPolicy) backoff(attempt int) time.Duration {
+	base := rp.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	max := rp.MaxBackoff
+	if max <= 0 {
+		max = 16 * base
+	}
+	d := base
+	for i := 2; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Span is the total virtual time the policy can spend waiting between
+// attempts — the horizon after which a DialAsync is guaranteed to have
+// delivered its outcome. Experiments use it to size their drain tail.
+func (rp RetryPolicy) Span() time.Duration {
+	var total time.Duration
+	for a := 2; a <= rp.MaxAttempts; a++ {
+		total += rp.backoff(a)
+	}
+	return total
+}
+
+// DialAsync dials a hidden service under the proxy's retry policy,
+// delivering the outcome to done exactly once. With retries disabled
+// (the zero policy) it is a plain synchronous Dial — done runs before
+// DialAsync returns. With retries enabled, each failure invalidates the
+// proxy's verified-descriptor cache entry and guard set, rotates the
+// replica preference for the next descriptor fetch, and schedules the
+// next attempt after an exponential backoff on the simulation clock.
+func (p *OnionProxy) DialAsync(onion string, done func(*Conn, error)) {
+	conn, err := p.Dial(onion)
+	if err == nil {
+		done(conn, nil)
+		return
+	}
+	if !p.Retry.Enabled() {
+		done(nil, err)
+		return
+	}
+	p.afterDialFailure(onion)
+	p.scheduleRetry(onion, 2, err, done)
+}
+
+// scheduleRetry arms the backoff timer for the given attempt number,
+// re-dialing when it fires and recursing until the budget is spent.
+func (p *OnionProxy) scheduleRetry(onion string, attempt int, lastErr error, done func(*Conn, error)) {
+	if attempt > p.Retry.MaxAttempts {
+		done(nil, lastErr)
+		return
+	}
+	p.net.sched.After(p.Retry.backoff(attempt), func() {
+		p.net.stats.DialRetries++
+		conn, err := p.Dial(onion)
+		if err == nil {
+			p.net.stats.DialRecoveries++
+			done(conn, nil)
+			return
+		}
+		p.afterDialFailure(onion)
+		p.scheduleRetry(onion, attempt+1, err, done)
+	})
+}
+
+// afterDialFailure invalidates per-service state a failed dial may have
+// relied on, so the next attempt starts from the directories instead of
+// replaying the same doomed plan: the verified-descriptor cache entry
+// is dropped, the guard set is re-validated against the live relay
+// table even if the membership epoch is unchanged, and the descriptor
+// fetch order rotates to prefer a different replica.
+func (p *OnionProxy) afterDialFailure(onion string) {
+	if sid, err := ParseOnion(onion); err == nil {
+		p.forgetDescriptor(sid)
+	}
+	p.guardsDirty = true
+	p.replicaOffset++
+}

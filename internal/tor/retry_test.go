@@ -1,0 +1,262 @@
+package tor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Minute}
+	want := []time.Duration{time.Minute, 2 * time.Minute, 4 * time.Minute, 8 * time.Minute}
+	for i, w := range want {
+		if got := rp.backoff(i + 2); got != w {
+			t.Errorf("backoff(attempt %d) = %s, want %s", i+2, got, w)
+		}
+	}
+	if got := rp.Span(); got != 15*time.Minute {
+		t.Errorf("Span() = %s, want 15m", got)
+	}
+	// Default base and cap.
+	def := RetryPolicy{MaxAttempts: 2}
+	if got := def.backoff(2); got != DefaultBaseBackoff {
+		t.Errorf("zero-base backoff = %s, want %s", got, DefaultBaseBackoff)
+	}
+	capped := RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Minute, MaxBackoff: 3 * time.Minute}
+	if got := capped.backoff(9); got != 3*time.Minute {
+		t.Errorf("capped backoff = %s, want 3m", got)
+	}
+	if (RetryPolicy{}).Enabled() || (RetryPolicy{MaxAttempts: 1}).Enabled() {
+		t.Error("single-attempt policies must report disabled")
+	}
+}
+
+// DialAsync with the zero policy is a synchronous Dial: outcome before
+// return, no scheduler involvement, no retry counters.
+func TestDialAsyncZeroPolicyIsSynchronous(t *testing.T) {
+	n := newTestNetwork(t, 201, 12)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 1), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	delivered := false
+	client.DialAsync(hs.Onion(), func(conn *Conn, err error) {
+		delivered = true
+		if err != nil {
+			t.Fatalf("dial failed: %v", err)
+		}
+	})
+	if !delivered {
+		t.Fatal("zero-policy DialAsync did not deliver synchronously")
+	}
+	if st := n.Stats(); st.DialRetries != 0 || st.DialRecoveries != 0 {
+		t.Fatalf("zero-policy dial consumed retry counters: %+v", st)
+	}
+}
+
+// A dial against a service that never existed burns the full budget on
+// the sim clock, then gives up with the last error.
+func TestDialAsyncGivesUpAfterBudget(t *testing.T) {
+	n := newTestNetwork(t, 202, 12)
+	client := NewProxy(n)
+	client.Retry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Minute}
+	ghost := testIdentity(t, 9).Onion()
+
+	var finalErr error
+	done := false
+	client.DialAsync(ghost, func(conn *Conn, err error) {
+		done = true
+		finalErr = err
+	})
+	if done {
+		t.Fatal("failing dial with retries resolved synchronously")
+	}
+	// Attempts at +1m and +3m (1m + 2m backoffs); not done before.
+	n.Scheduler().RunFor(2 * time.Minute)
+	if done {
+		t.Fatal("gave up before the budget was spent")
+	}
+	n.Scheduler().RunFor(2 * time.Minute)
+	if !done {
+		t.Fatal("budget spent but outcome never delivered")
+	}
+	if finalErr == nil {
+		t.Fatal("dial to nonexistent service succeeded")
+	}
+	if st := n.Stats(); st.DialRetries != 2 {
+		t.Fatalf("DialRetries = %d, want 2", st.DialRetries)
+	}
+	if st := n.Stats(); st.DialFailures != 3 {
+		t.Fatalf("DialFailures = %d, want 3 (every attempt failed)", st.DialFailures)
+	}
+}
+
+// A service that appears between attempts is found by a retry, and the
+// recovery is counted.
+func TestDialAsyncRecoversWhenServiceAppears(t *testing.T) {
+	n := newTestNetwork(t, 203, 12)
+	id := testIdentity(t, 2)
+	client := NewProxy(n)
+	client.Retry = RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Minute}
+
+	var got *Conn
+	var gotErr error
+	delivered := false
+	client.DialAsync(id.Onion(), func(conn *Conn, err error) {
+		delivered, got, gotErr = true, conn, err
+	})
+	if delivered {
+		t.Fatal("dial resolved before the service existed")
+	}
+	// Host the service before the first retry fires.
+	server := NewProxy(n)
+	if _, err := server.Host(id, func(*Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	n.Scheduler().RunFor(2 * time.Minute)
+	if !delivered {
+		t.Fatal("retry never fired")
+	}
+	if gotErr != nil || got == nil {
+		t.Fatalf("retry failed to recover: %v", gotErr)
+	}
+	if st := n.Stats(); st.DialRecoveries != 1 {
+		t.Fatalf("DialRecoveries = %d, want 1", st.DialRecoveries)
+	}
+}
+
+// afterDialFailure must invalidate per-service client state: the
+// verified-descriptor cache entry, the guard set, and the replica
+// preference.
+func TestDialFailureInvalidatesClientState(t *testing.T) {
+	n := newTestNetwork(t, 204, 12)
+	server := NewProxy(n)
+	id := testIdentity(t, 3)
+	hs, err := server.Host(id, func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewProxy(n)
+	if _, err := client.Dial(hs.Onion()); err != nil {
+		t.Fatal(err)
+	}
+	sid := id.ServiceID()
+	if _, cached := client.descCache[sid]; !cached {
+		t.Fatal("successful dial did not warm the descriptor cache")
+	}
+	offsetBefore := client.replicaOffset
+	client.afterDialFailure(hs.Onion())
+	if _, cached := client.descCache[sid]; cached {
+		t.Fatal("failure did not evict the descriptor cache entry")
+	}
+	if !client.guardsDirty {
+		t.Fatal("failure did not mark the guard set dirty")
+	}
+	if client.replicaOffset != offsetBefore+1 {
+		t.Fatal("failure did not rotate the replica preference")
+	}
+	// The dirty flag forces revalidation on the next path build even
+	// within one membership epoch.
+	client.refreshGuards()
+	if client.guardsDirty {
+		t.Fatal("refreshGuards left the dirty flag set")
+	}
+}
+
+// Regression: a consensus listing a dead relay must not abort path
+// construction — the picker skips the corpse and resamples.
+func TestPickPathSkipsDeadConsensusEntries(t *testing.T) {
+	n := newTestNetwork(t, 205, 12)
+	server := NewProxy(n)
+	hs, err := server.Host(testIdentity(t, 4), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill relays without republishing the consensus (the stale
+	// consensus still lists them), sparing everything whose death would
+	// legitimately break the dial — guards, intro points, responsible
+	// directories. What remains tests only the middle-relay picker.
+	spare := map[Fingerprint]struct{}{}
+	for _, fp := range server.Guards() {
+		spare[fp] = struct{}{}
+	}
+	for _, fp := range hs.IntroPoints() {
+		spare[fp] = struct{}{}
+	}
+	sid := hs.identity.ServiceID()
+	c := n.Consensus()
+	for r := 0; r < NumReplicas; r++ {
+		for _, fp := range c.ResponsibleHSDirs(ComputeDescriptorID(sid, nil, r, n.Now())) {
+			spare[fp] = struct{}{}
+		}
+	}
+	killed := 0
+	for _, ri := range c.Relays {
+		if killed >= 3 {
+			break
+		}
+		if _, ok := spare[ri.FP]; ok {
+			continue
+		}
+		n.RemoveRelay(ri.FP)
+		killed++
+	}
+	if killed == 0 {
+		t.Fatal("no killable relay found")
+	}
+	// Dials must still work: every path build resamples past the
+	// corpses the stale consensus still lists. (Only a couple of dials:
+	// each kill also tore down circuits through the victim, and intro
+	// repair — a different mechanism — runs on its own cadence.)
+	client := NewProxy(n)
+	for i := 0; i < 2; i++ {
+		conn, err := client.Dial(hs.Onion())
+		if err != nil {
+			t.Fatalf("dial %d under stale consensus: %v", i, err)
+		}
+		conn.Close()
+	}
+}
+
+// When the responsible directories die, the service republishes to the
+// survivors as soon as the consensus reflects the loss — and counts the
+// repair.
+func TestRepublishAfterResponsibleDirsDie(t *testing.T) {
+	n := newTestNetwork(t, 206, 16)
+	server := NewProxy(n)
+	id := testIdentity(t, 5)
+	hs, err := server.Host(id, func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill every responsible directory of every replica.
+	sid := id.ServiceID()
+	now := n.Now()
+	c := n.Consensus()
+	guard := server.Guards()[0]
+	for r := 0; r < NumReplicas; r++ {
+		for _, fp := range c.ResponsibleHSDirs(ComputeDescriptorID(sid, nil, r, now)) {
+			if fp == guard {
+				continue
+			}
+			n.RemoveRelay(fp)
+		}
+	}
+	// A fresh client cannot fetch the descriptor while the directory
+	// set is dark and the consensus is stale.
+	if _, err := NewProxy(n).Dial(hs.Onion()); err == nil {
+		t.Fatal("dial succeeded with all responsible dirs dead")
+	}
+	// Let the consensus schedule and the republish tick run: the
+	// responsible set re-resolves onto survivors and the service heals.
+	n.Scheduler().RunFor(2*n.Config().ConsensusInterval + time.Minute)
+	if st := n.Stats(); st.PublishRepairs == 0 {
+		t.Fatal("directory loss never counted as a publish repair")
+	}
+	conn, err := NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		t.Fatalf("dial after republish window: %v", err)
+	}
+	conn.Close()
+}
