@@ -12,7 +12,7 @@ BENCHTIME ?= 200x
 # fast paths from PR 1, and PR 5's pooled-vs-unpooled infection pair.
 BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial|InfectFrom
 
-.PHONY: all build test race bench determinism sweep-smoke linkcheck
+.PHONY: all build test race bench determinism sweep-smoke scenario-smoke linkcheck
 
 all: build test
 
@@ -62,6 +62,16 @@ sweep-smoke:
 	/tmp/onionsim-ci -sweep examples/sweep/hsdir-outage-grid.json -parallel 1 -json > /tmp/onionsim-faults-p1.json
 	/tmp/onionsim-ci -sweep examples/sweep/hsdir-outage-grid.json -parallel 4 -json > /tmp/onionsim-faults-p4.json
 	cmp /tmp/onionsim-faults-p1.json /tmp/onionsim-faults-p4.json
+
+# scenario-smoke runs the whole named-question library in quick mode —
+# every expectation must PASS (non-zero exit otherwise) — and
+# byte-compares the full output at -parallel 1 vs 4. Replay scenarios
+# resolve trace files relative to the repo root, so run from here.
+scenario-smoke:
+	$(GO) build -o /tmp/onionsim-ci ./cmd/onionsim
+	/tmp/onionsim-ci -scenario all -quick -parallel 1 > /tmp/onionsim-scenario-p1.txt
+	/tmp/onionsim-ci -scenario all -quick -parallel 4 > /tmp/onionsim-scenario-p4.txt
+	cmp /tmp/onionsim-scenario-p1.txt /tmp/onionsim-scenario-p4.txt
 
 # linkcheck fails on dangling docs/*.md references anywhere in the tree
 # (markdown or Go docs), so the handbook cannot silently rot.

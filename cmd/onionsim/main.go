@@ -12,12 +12,18 @@
 //	onionsim -sweep examples/sweep/fig6-grid.json -parallel 8 -json
 //	onionsim -sweep examples/sweep/hsdir-outage-grid.json -parallel 8
 //	onionsim -sweep examples/sweep/fig5-fig6-quick.json -cpuprofile cpu.pprof -memprofile mem.pprof
+//	onionsim -scenario all -quick
+//	onionsim -scenario churn-repair-lambda -quick -json
 //
 // -exp takes a registered experiment ID, a comma-separated list, or
-// "all"; -list prints the registry; -churn hands every -exp task an
-// inline churn spec (see internal/churn and docs/EXPERIMENTS.md), and
-// -faults does the same with an infrastructure fault-plane spec (see
-// internal/faults). Experiments fan out across a
+// "all"; -list prints the registry (experiments and scenarios); -churn
+// hands every -exp task an inline churn spec (see internal/churn and
+// docs/EXPERIMENTS.md), and -faults does the same with an
+// infrastructure fault-plane spec (see internal/faults). -scenario runs
+// named questions from the internal/scenario library — each a sweep
+// plus a machine-checked expectation block — and exits non-zero if any
+// expectation fails, which is what `make scenario-smoke` gates CI on.
+// Experiments fan out across a
 // worker pool (-parallel, default one worker per CPU); output is
 // byte-identical at any parallelism because every task runs on its own
 // RNG substream derived from (seed, task label). The one exception:
@@ -42,6 +48,7 @@ import (
 	"onionbots/internal/churn"
 	"onionbots/internal/experiment"
 	"onionbots/internal/faults"
+	"onionbots/internal/scenario"
 )
 
 func main() {
@@ -62,6 +69,7 @@ func run() error {
 		taskTO    = flag.Duration("task-timeout", 0, "per-task wall-clock timeout (0 = off; a timed-out task is reported as failed)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value; see package doc for the full-mode probing exception)")
 		sweep     = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
+		scen      = flag.String("scenario", "", `run named library scenarios instead of -exp: a name, a comma-separated list, or "all"; exits non-zero if any expectation fails`)
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
 		list      = flag.Bool("list", false, "list registered experiments and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -99,6 +107,11 @@ func run() error {
 			def, _ := experiment.Lookup(id)
 			fmt.Printf("%-10s %s\n", id, def.Title)
 		}
+		fmt.Println()
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Lookup(name)
+			fmt.Printf("scenario:%-25s %s\n", name, sc.Question)
+		}
 		return nil
 	}
 
@@ -115,6 +128,9 @@ func run() error {
 		},
 	}
 
+	if *sweep != "" && *scen != "" {
+		return fmt.Errorf("-sweep and -scenario are mutually exclusive")
+	}
 	if *sweep != "" {
 		// A sweep spec carries its own experiments, presets, and seed
 		// grid; reject flag combinations that would otherwise be
@@ -131,6 +147,22 @@ func run() error {
 				strings.Join(conflict, ", "))
 		}
 		return runSweep(runner, *sweep, *jsonOut, *csvDir)
+	}
+	if *scen != "" {
+		// Scenarios carry their own sweeps and seeds; only -quick,
+		// -parallel, -task-timeout, -json, and -csv compose with them.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "seed", "churn", "faults":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-scenario takes experiments, seeds, churn, and faults from the library; drop %s",
+				strings.Join(conflict, ", "))
+		}
+		return runScenarios(runner, *scen, *quick, *jsonOut, *csvDir)
 	}
 
 	tasks, err := buildTasks(*exp, *quick, *seed, *churnStr, *faultsStr)
@@ -252,6 +284,55 @@ func runSweep(runner *experiment.Runner, path string, jsonOut bool, csvDir strin
 			return fmt.Errorf("%d of %d sweep tasks failed (first: %s: %v)",
 				countFailed(taskResults), len(taskResults), tr.Task.Label, tr.Err)
 		}
+	}
+	return nil
+}
+
+// runScenarios resolves a -scenario selector and runs each named
+// scenario: the sweep runs on the shared worker pool, the aggregate and
+// the evaluated expectation table go to stdout, and any FAIL/ERROR
+// outcome turns into a non-zero exit after all scenarios have reported
+// — CI sees every broken shape, not just the first.
+func runScenarios(runner *experiment.Runner, selector string, quick, jsonOut bool, csvDir string) error {
+	names := scenario.Names()
+	if selector != "all" {
+		names = strings.Split(selector, ",")
+	}
+	var results []*experiment.Result
+	var failed []string
+	for _, name := range names {
+		sc, ok := scenario.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(scenario.Names(), ", "))
+		}
+		fmt.Fprintf(os.Stderr, "scenario %s: %s\n", sc.Name, sc.Question)
+		rep, err := scenario.Run(sc, quick, runner)
+		if err != nil {
+			return err
+		}
+		if !rep.Passed() {
+			failed = append(failed, sc.Name)
+		}
+		results = append(results, rep.Aggregate, rep.Result())
+	}
+	if jsonOut {
+		doc, err := experiment.ResultsJSON(results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(doc))
+	} else {
+		for _, r := range results {
+			fmt.Println(r.Render())
+		}
+	}
+	for _, r := range results {
+		if err := writeCSV(csvDir, r.ID, r); err != nil {
+			return err
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d scenario(s) failed expectations: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }

@@ -261,20 +261,24 @@ func TestAggregateTrialStatsAndThresholdRows(t *testing.T) {
 		return base + float64(trial)*0.02
 	}))
 
-	var meanRows, thresholdRows [][]string
+	var trialRows, seedRows, thresholdRows [][]string
 	for _, row := range agg.Rows {
-		if strings.Contains(row[2], "mean±sd") {
-			meanRows = append(meanRows, row)
+		switch {
+		case strings.Contains(row[2], "mean±sd seeds"):
+			seedRows = append(seedRows, row)
+		case strings.Contains(row[2], "mean±sd"):
+			trialRows = append(trialRows, row)
 		}
 		if row[1] == "(threshold)" {
 			thresholdRows = append(thresholdRows, row)
 		}
 	}
-	// 2 churn × 2 seeds grid points, one quality series each.
-	if len(meanRows) != 4 {
-		t.Fatalf("got %d mean±sd rows, want 4:\n%s", len(meanRows), agg.Render())
+	// 2 churn × 2 seeds grid points, one quality series each; plus one
+	// cross-seed row per churn value pooling seeds × trials.
+	if len(trialRows) != 4 {
+		t.Fatalf("got %d mean±sd rows, want 4:\n%s", len(trialRows), agg.Render())
 	}
-	for _, row := range meanRows {
+	for _, row := range trialRows {
 		if row[3] != "2" {
 			t.Fatalf("mean row over %s trials, want 2: %v", row[3], row)
 		}
@@ -282,23 +286,43 @@ func TestAggregateTrialStatsAndThresholdRows(t *testing.T) {
 			t.Fatalf("grid-point label still carries trial component: %v", row)
 		}
 	}
-	// First point: trials 0.95 and 0.97 -> mean 0.96, sd ~0.0141.
-	if got := meanRows[0][8]; got != "0.96" {
+	// First point: trials 0.95 and 0.97 -> mean 0.96, sd ~0.0141, and a
+	// Student-t interval sized from n=2 (t=12.706): ±12.706·sd/√2 ≈ 0.127.
+	if got := trialRows[0][8]; got != "0.96" {
 		t.Fatalf("mean = %q, want 0.96", got)
 	}
-	if !strings.HasPrefix(meanRows[0][9], "0.014") {
-		t.Fatalf("stddev = %q, want ~0.0141", meanRows[0][9])
+	if !strings.HasPrefix(trialRows[0][9], "0.014") {
+		t.Fatalf("stddev = %q, want ~0.0141", trialRows[0][9])
+	}
+	if !strings.HasPrefix(trialRows[0][10], "±0.127") {
+		t.Fatalf("ci95 = %q, want ~±0.1271", trialRows[0][10])
+	}
+	if len(seedRows) != 2 {
+		t.Fatalf("got %d cross-seed rows, want one per churn value:\n%s", len(seedRows), agg.Render())
+	}
+	for _, row := range seedRows {
+		if row[3] != "4" {
+			t.Fatalf("cross-seed row pools %s replicates, want 2 seeds × 2 trials = 4: %v", row[3], row)
+		}
+		if strings.Contains(row[0], "seed=") || strings.Contains(row[0], "trial=") {
+			t.Fatalf("cross-seed label still carries replicate components: %v", row)
+		}
 	}
 
-	// Quality threshold: one row per seed group, crossing at l=16; the
-	// nonexistent series yields "(not crossed)" rows with 0 scanned.
+	// Quality threshold: one row per seed group. The churn axis varies a
+	// single numeric knob (λ), so the crossing is interpolated between
+	// λ=4 (mean 0.96) and λ=16 (mean 0.41): 4 + (0.96-0.8)/(0.96-0.41)·12
+	// ≈ 7.491. The nonexistent series yields "(not crossed)" with 0 scanned.
 	if len(thresholdRows) != 4 {
 		t.Fatalf("got %d threshold rows, want 2 thresholds × 2 seed groups:\n%s",
 			len(thresholdRows), agg.Render())
 	}
 	for _, row := range thresholdRows[:2] {
-		if row[4] != "poisson;l=16" {
-			t.Fatalf("quality threshold crossed at %q, want poisson;l=16 (row %v)", row[4], row)
+		if row[4] != "λ≈7.491" {
+			t.Fatalf("quality threshold crossed at %q, want λ≈7.491 (row %v)", row[4], row)
+		}
+		if !strings.Contains(row[2], "(interpolated)") {
+			t.Fatalf("numeric-axis threshold rule not marked interpolated: %v", row)
 		}
 		if row[8] == "-" {
 			t.Fatalf("crossing mean missing: %v", row)
@@ -382,7 +406,7 @@ func TestSweepJSONRoundTripsChurnAxisAndStatRows(t *testing.T) {
 		t.Fatalf("params.churn lost in JSON: %+v", decoded.Tasks[0].Task.Params)
 	}
 	wantHeader := []string{"task", "result", "series", "points",
-		"y.first", "y.last", "y.min", "y.max", "last.mean", "last.stddev"}
+		"y.first", "y.last", "y.min", "y.max", "last.mean", "last.stddev", "last.ci95"}
 	if len(decoded.Aggregate.Header) != len(wantHeader) {
 		t.Fatalf("aggregate header = %v, want %v", decoded.Aggregate.Header, wantHeader)
 	}
@@ -396,7 +420,7 @@ func TestSweepJSONRoundTripsChurnAxisAndStatRows(t *testing.T) {
 		if strings.Contains(row[2], "mean±sd") {
 			foundMean = true
 		}
-		if row[1] == "(threshold)" && row[4] == "poisson;l=16" {
+		if row[1] == "(threshold)" && strings.HasPrefix(row[4], "λ≈") {
 			foundThreshold = true
 		}
 	}

@@ -254,13 +254,20 @@ func RunPoWDefense(seed uint64, quick bool) (*Result, error) {
 		for _, b := range bn.AliveBots() {
 			honest += b.Stats().HashesSpent
 		}
+		contained := soap.ContainmentFraction(bn, a)
 		res.Rows = append(res.Rows, []string{
 			sc.name,
-			fmt.Sprintf("%.2f", soap.ContainmentFraction(bn, a)),
+			fmt.Sprintf("%.2f", contained),
 			fmt.Sprintf("%d", a.Stats().WorkHashes),
 			fmt.Sprintf("%d", honest),
 			fmt.Sprintf("%d", a.Stats().ClonesCreated),
 		})
+		// Summary series mirror the table so sweeps and scenario
+		// expectations can target the pow experiment like any other:
+		// x is the scenario index in table order.
+		x := float64(len(res.Rows) - 1)
+		res.AddPoint("contained", x, contained)
+		res.AddPoint("attacker-hashes", x, float64(a.Stats().WorkHashes))
 	}
 	res.AddNote("hardening stops a non-paying attacker outright and taxes a paying one with escalating difficulty")
 	return res, nil

@@ -41,6 +41,16 @@ func (r *Result) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
+// AddPoint appends one sample to the named series, creating the series
+// on first use (in first-use order, which keeps output deterministic).
+func (r *Result) AddPoint(series string, x, y float64) {
+	if s := r.SeriesByName(series); s != nil {
+		s.Points = append(s.Points, Point{X: x, Y: y})
+		return
+	}
+	r.Series = append(r.Series, Series{Name: series, Points: []Point{{X: x, Y: y}}})
+}
+
 // SeriesByName returns the named series, or nil.
 func (r *Result) SeriesByName(name string) *Series {
 	for i := range r.Series {

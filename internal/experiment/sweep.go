@@ -4,13 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"math"
 	"os"
 	"strings"
 
 	"onionbots/internal/churn"
 	"onionbots/internal/faults"
 	"onionbots/internal/soap"
+	"onionbots/internal/stats"
 )
 
 // Sweep is a scenario-sweep specification: one or more registered
@@ -64,100 +64,6 @@ type Sweep struct {
 	// scans a swept axis for the first value where a series statistic
 	// crosses a bound ("λ at first partition"). See Threshold.
 	Thresholds []Threshold `json:"thresholds,omitempty"`
-}
-
-// Threshold is a declarative answer-extraction rule for a sweep grid.
-// For every combination of the sweep's other axes, Aggregate walks the
-// named axis in spec order, averages the chosen per-task series
-// statistic over trials at each axis value, and reports the first axis
-// value whose mean crosses the bound. A churn grid with
-//
-//	{"series": "quality", "stat": "last", "axis": "churn", "below": 0.8}
-//
-// therefore answers "at which churn intensity does repair quality
-// first drop under 0.8?" as a single aggregate row.
-type Threshold struct {
-	// Result restricts the scan to results with this ID (empty = all).
-	Result string `json:"result,omitempty"`
-	// Series names the series whose statistic is scanned.
-	Series string `json:"series"`
-	// Stat picks the per-task scalar: "first", "last" (default),
-	// "min", or "max" of the series' y values.
-	Stat string `json:"stat,omitempty"`
-	// Axis is the swept axis to walk: "n", "k", "frac", "churn",
-	// "soap", "faults", or "seed". It must actually be swept by the
-	// spec.
-	Axis string `json:"axis"`
-	// Above and Below are the crossing bounds; exactly one must be set.
-	Above *float64 `json:"above,omitempty"`
-	Below *float64 `json:"below,omitempty"`
-}
-
-// validate checks the threshold against the spec's swept axes.
-func (th Threshold) validate(s *Sweep) error {
-	if th.Series == "" {
-		return fmt.Errorf("threshold: no series named")
-	}
-	switch th.Stat {
-	case "", "first", "last", "min", "max":
-	default:
-		return fmt.Errorf("threshold: unknown stat %q (want first, last, min, or max)", th.Stat)
-	}
-	if (th.Above == nil) == (th.Below == nil) {
-		return fmt.Errorf("threshold: exactly one of above/below must be set")
-	}
-	swept := map[string]bool{
-		"n": len(s.Ns) > 0, "k": len(s.Ks) > 0, "frac": len(s.Fracs) > 0,
-		"churn": len(s.Churn) > 0, "soap": len(s.Soap) > 0,
-		"faults": len(s.Faults) > 0,
-		"seed":   len(s.Seeds) > 0,
-	}
-	isSwept, known := swept[th.Axis]
-	if !known {
-		return fmt.Errorf("threshold: unknown axis %q (want n, k, frac, churn, soap, faults, or seed)", th.Axis)
-	}
-	if !isSwept {
-		return fmt.Errorf("threshold: axis %q is not swept by this spec", th.Axis)
-	}
-	return nil
-}
-
-// stat extracts the configured statistic from one series.
-func (th Threshold) stat(s Series) float64 {
-	first, last, min, max := seriesStats(s)
-	switch th.Stat {
-	case "first":
-		return first
-	case "min":
-		return min
-	case "max":
-		return max
-	default:
-		return last
-	}
-}
-
-// crossed reports whether a mean value satisfies the bound.
-func (th Threshold) crossed(mean float64) bool {
-	if th.Above != nil {
-		return mean > *th.Above
-	}
-	return mean < *th.Below
-}
-
-// describe renders the rule for the aggregate table.
-func (th Threshold) describe() string {
-	stat := th.Stat
-	if stat == "" {
-		stat = "last"
-	}
-	bound := ""
-	if th.Above != nil {
-		bound = fmt.Sprintf("> %g", *th.Above)
-	} else {
-		bound = fmt.Sprintf("< %g", *th.Below)
-	}
-	return fmt.Sprintf("first %s with mean %s.%s %s", th.Axis, th.Series, stat, bound)
 }
 
 // ParseSweep decodes and validates a JSON sweep spec. Unknown fields
@@ -374,26 +280,31 @@ func axisFaults(xs []faults.Spec) ([]faults.Spec, bool) {
 //
 // On top of the per-task rows, the aggregate carries cross-task
 // statistics: when the spec replicates grid points (Trials > 1), every
-// (grid point, result, series) gets a "(mean±sd)" row with the mean
-// and sample standard deviation of the series' last value over the
-// trials; and every Threshold in the spec contributes one "(threshold)"
-// row per combination of the non-scanned axes, reporting the first
-// scanned-axis value whose trial-mean crosses the bound. A grid
-// therefore answers its question — "mean recovery at each λ, and
-// where does it first break?" — without post-processing.
+// (grid point, result, series) gets a "(mean±sd)" row with the mean,
+// sample standard deviation, and Student-t 95% confidence half-width
+// (sized from the trial count) of the series' last value over the
+// trials; when the spec sweeps several seeds, every seed-free grid
+// point additionally gets a "(mean±sd seeds)" row pooling all
+// seed × trial replicates; and every Threshold in the spec contributes
+// one "(threshold)" row per combination of the non-scanned axes,
+// reporting where the replicate-mean crosses the bound — linearly
+// interpolated on numeric axes ("λ≈12.4"), the first crossed label on
+// categorical ones. A grid therefore answers its question — "mean
+// recovery at each λ, and where does it break?" — without
+// post-processing.
 func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 	res := &Result{
 		ID:    "sweep-" + s.Name,
 		Title: fmt.Sprintf("Scenario sweep %s: %s over %d tasks", s.Name, strings.Join(s.Experiments, ","), len(trs)),
 		Header: []string{"task", "result", "series", "points",
-			"y.first", "y.last", "y.min", "y.max", "last.mean", "last.stddev"},
+			"y.first", "y.last", "y.min", "y.max", "last.mean", "last.stddev", "last.ci95"},
 	}
 	failed := 0
 	for _, tr := range trs {
 		if tr.Err != nil {
 			failed++
 			res.Rows = append(res.Rows, []string{
-				tr.Task.Label, "error: " + tr.Err.Error(), "-", "-", "-", "-", "-", "-", "-", "-",
+				tr.Task.Label, "error: " + tr.Err.Error(), "-", "-", "-", "-", "-", "-", "-", "-", "-",
 			})
 			continue
 		}
@@ -405,18 +316,18 @@ func (s *Sweep) Aggregate(trs []TaskResult) *Result {
 					fmt.Sprintf("%d", len(series.Points)),
 					fmt.Sprintf("%g", first), fmt.Sprintf("%g", last),
 					fmt.Sprintf("%g", min), fmt.Sprintf("%g", max),
-					"-", "-",
+					"-", "-", "-",
 				})
 			}
 			if len(r.Rows) > 0 {
 				res.Rows = append(res.Rows, []string{
 					tr.Task.Label, r.ID, "(table)",
-					fmt.Sprintf("%d", len(r.Rows)), "-", "-", "-", "-", "-", "-",
+					fmt.Sprintf("%d", len(r.Rows)), "-", "-", "-", "-", "-", "-", "-",
 				})
 			}
 		}
 	}
-	s.appendTrialStats(res, trs)
+	s.appendReplicateStats(res, trs)
 	for _, th := range s.Thresholds {
 		s.appendThreshold(res, trs, th)
 	}
@@ -485,106 +396,62 @@ func labelComponent(label, key string) string {
 	return ""
 }
 
-// appendTrialStats emits one mean±stddev row per (grid point, result,
-// series) over the point's trial replicas. With Trials <= 1 there is
-// nothing to average and no rows are added.
-func (s *Sweep) appendTrialStats(res *Result, trs []TaskResult) {
-	if s.Trials <= 1 {
-		return
+// appendReplicateStats emits the cross-replicate statistics rows:
+//
+//   - "(mean±sd)" — with Trials > 1, one row per (grid point, result,
+//     series) over the point's trial replicas.
+//   - "(mean±sd seeds)" — with several seeds swept, one row per
+//     seed-free grid point pooling every seed × trial replicate, the
+//     cross-seed statistic the per-seed rows cannot show.
+//
+// Both carry a Student-t 95% confidence half-width in the last.ci95
+// column, sized from the replicate count (see internal/stats).
+func (s *Sweep) appendReplicateStats(res *Result, trs []TaskResult) {
+	if s.Trials > 1 {
+		s.appendStatRows(res, trs, " (mean±sd)", "trial")
 	}
+	if len(s.Seeds) > 1 {
+		s.appendStatRows(res, trs, " (mean±sd seeds)", "trial", "seed")
+	}
+}
+
+// appendStatRows pools the last value of every (grid point, result,
+// series) over the replicate components named in strip, and emits one
+// mean / stddev / CI row per pool.
+func (s *Sweep) appendStatRows(res *Result, trs []TaskResult, suffix string, strip ...string) {
 	type key struct{ point, result, series string }
-	lasts := map[key][]float64{}
+	pools := map[key]*stats.Welford{}
 	var order []key
 	for _, tr := range trs {
 		if tr.Err != nil {
 			continue
 		}
-		point := stripComponents(tr.Task.Label, "trial")
+		point := stripComponents(tr.Task.Label, strip...)
 		for _, r := range tr.Results {
 			for _, series := range r.Series {
 				k := key{point, r.ID, series.Name}
-				if _, seen := lasts[k]; !seen {
+				w, seen := pools[k]
+				if !seen {
+					w = &stats.Welford{}
+					pools[k] = w
 					order = append(order, k)
 				}
 				_, last, _, _ := seriesStats(series)
-				lasts[k] = append(lasts[k], last)
+				w.Add(last)
 			}
 		}
 	}
 	for _, k := range order {
-		mean, sd := meanStddev(lasts[k])
+		w := pools[k]
+		ci := "-"
+		if half, ok := stats.CI95Half(w.Stddev(), w.N()); ok {
+			ci = fmt.Sprintf("±%.4g", half)
+		}
 		res.Rows = append(res.Rows, []string{
-			k.point, k.result, k.series + " (mean±sd)",
-			fmt.Sprintf("%d", len(lasts[k])),
+			k.point, k.result, k.series + suffix,
+			fmt.Sprintf("%d", w.N()),
 			"-", "-", "-", "-",
-			fmt.Sprintf("%g", mean), fmt.Sprintf("%g", sd),
-		})
-	}
-}
-
-// appendThreshold emits the threshold's extracted rows: for each
-// combination of the non-scanned axes (in first-appearance order), the
-// scanned axis is walked in spec order and the first value whose
-// trial-mean statistic crosses the bound is reported in the y.first
-// column, with the crossing mean in last.mean.
-func (s *Sweep) appendThreshold(res *Result, trs []TaskResult, th Threshold) {
-	axisVals := s.axisValueLabels(th.Axis)
-	type cell struct {
-		sum float64
-		n   int
-	}
-	groups := map[string]map[string]*cell{} // group -> axis value -> mean acc
-	var order []string
-	for _, tr := range trs {
-		if tr.Err != nil {
-			continue
-		}
-		axisVal := labelComponent(tr.Task.Label, th.Axis)
-		if axisVal == "" {
-			continue
-		}
-		group := stripComponents(tr.Task.Label, th.Axis, "trial")
-		if _, seen := groups[group]; !seen {
-			groups[group] = map[string]*cell{}
-			order = append(order, group)
-		}
-		for _, r := range tr.Results {
-			if th.Result != "" && r.ID != th.Result {
-				continue
-			}
-			for _, series := range r.Series {
-				if series.Name != th.Series {
-					continue
-				}
-				c := groups[group][axisVal]
-				if c == nil {
-					c = &cell{}
-					groups[group][axisVal] = c
-				}
-				c.sum += th.stat(series)
-				c.n++
-			}
-		}
-	}
-	for _, group := range order {
-		crossing, crossingMean := "(not crossed)", "-"
-		scanned := 0
-		for _, v := range axisVals {
-			c := groups[group][v]
-			if c == nil || c.n == 0 {
-				continue
-			}
-			scanned++
-			mean := c.sum / float64(c.n)
-			if crossing == "(not crossed)" && th.crossed(mean) {
-				crossing = v
-				crossingMean = fmt.Sprintf("%g", mean)
-			}
-		}
-		res.Rows = append(res.Rows, []string{
-			group, "(threshold)", th.describe(),
-			fmt.Sprintf("%d", scanned),
-			crossing, "-", "-", "-", crossingMean, "-",
+			fmt.Sprintf("%g", w.Mean()), fmt.Sprintf("%g", w.Stddev()), ci,
 		})
 	}
 }
@@ -618,24 +485,6 @@ func (s *Sweep) axisValueLabels(axis string) []string {
 		}
 	}
 	return out
-}
-
-// meanStddev returns the mean and sample standard deviation.
-func meanStddev(xs []float64) (mean, sd float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	if len(xs) < 2 {
-		return mean, 0
-	}
-	for _, x := range xs {
-		sd += (x - mean) * (x - mean)
-	}
-	return mean, math.Sqrt(sd / float64(len(xs)-1))
 }
 
 func seriesStats(s Series) (first, last, min, max float64) {

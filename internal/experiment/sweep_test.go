@@ -136,9 +136,10 @@ func TestSweepEndToEndAggregate(t *testing.T) {
 	if agg1.Render() != agg8.Render() {
 		t.Fatalf("aggregate differs across parallelism:\n%s\n---\n%s", agg1.Render(), agg8.Render())
 	}
-	// 9 tasks x 2 series (Graph + reference line) = 18 rows.
-	if len(agg8.Rows) != 18 {
-		t.Fatalf("aggregate has %d rows, want 18", len(agg8.Rows))
+	// 9 tasks x 2 series (Graph + reference line) = 18 raw rows, plus
+	// one cross-seed (mean±sd seeds) row per n × series = 6 more.
+	if len(agg8.Rows) != 24 {
+		t.Fatalf("aggregate has %d rows, want 24", len(agg8.Rows))
 	}
 	if agg8.ID != "sweep-fig6-mini" {
 		t.Fatalf("aggregate id = %q", agg8.ID)
@@ -166,7 +167,7 @@ func TestSweepEndToEndAggregate(t *testing.T) {
 	if err := json.Unmarshal(doc, &decoded); err != nil {
 		t.Fatalf("sweep JSON does not round-trip: %v", err)
 	}
-	if decoded.Sweep.Name != "fig6-mini" || len(decoded.Tasks) != 9 || len(decoded.Aggregate.Rows) != 18 {
+	if decoded.Sweep.Name != "fig6-mini" || len(decoded.Tasks) != 9 || len(decoded.Aggregate.Rows) != 24 {
 		t.Fatalf("decoded doc wrong shape: %+v", decoded)
 	}
 	if decoded.Tasks[0].EffectiveSeed == 0 {

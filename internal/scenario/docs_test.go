@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readRepoDoc loads a file relative to the repository root.
+func readRepoDoc(t *testing.T, parts ...string) string {
+	t.Helper()
+	path := filepath.Join(append([]string{"..", ".."}, parts...)...)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing doc: %v", err)
+	}
+	return string(data)
+}
+
+// TestHandbookCataloguesScenarioLibrary: the handbook's scenario
+// chapter promises one entry per registered scenario; adding a scenario
+// without documenting it fails CI.
+func TestHandbookCataloguesScenarioLibrary(t *testing.T) {
+	handbook := readRepoDoc(t, "docs", "EXPERIMENTS.md")
+	for _, name := range Names() {
+		if !strings.Contains(handbook, "`"+name+"`") {
+			t.Errorf("docs/EXPERIMENTS.md does not catalogue scenario %q", name)
+		}
+	}
+}
+
+// TestReadmeMentionsScenarioRunner: the README quickstart must show the
+// -scenario entry point.
+func TestReadmeMentionsScenarioRunner(t *testing.T) {
+	readme := readRepoDoc(t, "README.md")
+	if !strings.Contains(readme, "-scenario") {
+		t.Error("README quickstart does not mention the -scenario runner")
+	}
+	for _, name := range []string{"churn-repair-lambda"} {
+		if !strings.Contains(readme, "`"+name+"`") {
+			t.Errorf("README does not name headline scenario %q", name)
+		}
+	}
+}
+
+// TestReplayTraceExistsAtDocumentedPath: replay scenarios resolve their
+// trace file at run time, CWD-relative; make sure the committed trace
+// actually sits where the library points.
+func TestReplayTraceExistsAtDocumentedPath(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Lookup(name)
+		for _, cs := range sc.Sweep.Churn {
+			if cs.TraceFile == "" {
+				continue
+			}
+			path := filepath.Join(append([]string{"..", ".."}, strings.Split(cs.TraceFile, "/")...)...)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("scenario %s points at missing trace: %v", name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package stats provides the small, dependency-free statistics layer
+// the experiment aggregator and the scenario assertion library share:
+// single-pass (Welford) mean/variance accumulation and Student-t
+// confidence intervals sized from the replicate count.
+//
+// Everything here is deterministic — a pure function of its inputs —
+// because aggregate output must stay byte-identical across runs and
+// worker counts.
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in one pass using Welford's
+// online algorithm, which stays numerically stable where the naive
+// sum-of-squares update cancels catastrophically (large means, small
+// spreads — exactly what cross-trial series statistics look like).
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator), or 0 when
+// fewer than two observations exist.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// tTable holds two-sided 95% Student-t critical values by degrees of
+// freedom. Entries are the standard printed table; lookups between
+// entries round the df DOWN to the nearest entry, which rounds the
+// critical value (and therefore the interval) conservatively UP.
+var tTable = []struct {
+	df int
+	t  float64
+}{
+	{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+	{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+	{11, 2.201}, {12, 2.179}, {13, 2.160}, {14, 2.145}, {15, 2.131},
+	{16, 2.120}, {17, 2.110}, {18, 2.101}, {19, 2.093}, {20, 2.086},
+	{21, 2.080}, {22, 2.074}, {23, 2.069}, {24, 2.064}, {25, 2.060},
+	{26, 2.056}, {27, 2.052}, {28, 2.048}, {29, 2.045}, {30, 2.042},
+	{40, 2.021}, {50, 2.009}, {60, 2.000}, {80, 1.990}, {100, 1.984},
+	{120, 1.980},
+}
+
+// tInf is the df→∞ (normal) critical value used above the table.
+const tInf = 1.960
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom. df < 1 returns NaN (no interval
+// exists); df beyond the table uses the asymptotic normal value.
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df > tTable[len(tTable)-1].df {
+		return tInf
+	}
+	t := tTable[0].t
+	for _, e := range tTable {
+		if e.df <= df {
+			t = e.t
+		} else {
+			break
+		}
+	}
+	return t
+}
+
+// CI95Half returns the half-width of the two-sided 95% Student-t
+// confidence interval for a mean estimated from n observations with
+// sample standard deviation sd: t(n-1) * sd / sqrt(n). ok is false when
+// n < 2 (a single replicate carries no interval). Zero variance yields
+// a legitimate zero-width interval.
+func CI95Half(sd float64, n int) (half float64, ok bool) {
+	if n < 2 {
+		return 0, false
+	}
+	return TCritical95(n-1) * sd / math.Sqrt(float64(n)), true
+}
+
+// MeanCI95 summarizes a sample: mean, sample standard deviation, and
+// the 95% confidence half-width. ok is false when n < 2, in which case
+// half is 0 and mean/sd are still reported (sd as 0).
+func MeanCI95(xs []float64) (mean, sd, half float64, ok bool) {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	mean, sd = w.Mean(), w.Stddev()
+	half, ok = CI95Half(sd, w.N())
+	return mean, sd, half, ok
+}

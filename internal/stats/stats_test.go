@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveMeanVar is the textbook two-pass reference implementation the
+// Welford accumulator must agree with.
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	return mean, variance / float64(len(xs)-1)
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{3.25}},
+		{"pair", []float64{0.95, 0.97}},
+		{"paper thresholds", []float64{0.4, 0.42, 0.38, 0.45, 0.41}},
+		{"large mean small spread", []float64{1e9 + 1, 1e9 + 2, 1e9 + 3, 1e9 + 4}},
+		{"negative and zero", []float64{-4, 0, 4, -2, 2}},
+		{"constant", []float64{7, 7, 7, 7, 7, 7}},
+	}
+	for _, tc := range cases {
+		var w Welford
+		for _, x := range tc.xs {
+			w.Add(x)
+		}
+		wantMean, wantVar := naiveMeanVar(tc.xs)
+		if w.N() != len(tc.xs) {
+			t.Errorf("%s: N = %d, want %d", tc.name, w.N(), len(tc.xs))
+		}
+		if math.Abs(w.Mean()-wantMean) > 1e-9*math.Max(1, math.Abs(wantMean)) {
+			t.Errorf("%s: mean = %g, want %g", tc.name, w.Mean(), wantMean)
+		}
+		if math.Abs(w.Variance()-wantVar) > 1e-6*math.Max(1, wantVar) {
+			t.Errorf("%s: variance = %g, want %g", tc.name, w.Variance(), wantVar)
+		}
+	}
+}
+
+func TestTCritical95KnownValues(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {4, 2.776}, {29, 2.045}, {30, 2.042},
+		{35, 2.042},   // between entries: rounds df down (conservative)
+		{1000, 1.960}, // beyond the table: asymptotic normal value
+	}
+	for _, tc := range cases {
+		if got := TCritical95(tc.df); got != tc.want {
+			t.Errorf("TCritical95(%d) = %g, want %g", tc.df, got, tc.want)
+		}
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("TCritical95(0) should be NaN (no interval exists)")
+	}
+}
+
+// TestCIWidthsKnownValues pins the t-sized interval half-widths the
+// issue calls out: n=2, 3, 5, and 30 replicates of unit-ish spread.
+func TestCIWidthsKnownValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		sd   float64
+		want float64 // t(n-1) * sd / sqrt(n)
+	}{
+		{2, 1, 12.706 / math.Sqrt2},
+		{3, 1, 4.303 / math.Sqrt(3)},
+		{5, 1, 2.776 / math.Sqrt(5)},
+		{30, 1, 2.045 / math.Sqrt(30)},
+		{5, 0.02, 2.776 * 0.02 / math.Sqrt(5)},
+	}
+	for _, tc := range cases {
+		half, ok := CI95Half(tc.sd, tc.n)
+		if !ok {
+			t.Errorf("CI95Half(sd=%g, n=%d) not ok", tc.sd, tc.n)
+			continue
+		}
+		if math.Abs(half-tc.want) > 1e-12 {
+			t.Errorf("CI95Half(sd=%g, n=%d) = %g, want %g", tc.sd, tc.n, half, tc.want)
+		}
+	}
+}
+
+func TestCIDegenerateCases(t *testing.T) {
+	// A single trial carries no interval.
+	if _, ok := CI95Half(1, 1); ok {
+		t.Error("n=1 should not produce a CI")
+	}
+	if mean, sd, half, ok := MeanCI95([]float64{0.5}); ok || mean != 0.5 || sd != 0 || half != 0 {
+		t.Errorf("single sample: mean=%g sd=%g half=%g ok=%v, want 0.5 0 0 false", mean, sd, half, ok)
+	}
+	// No samples at all: no interval either.
+	if _, _, _, ok := MeanCI95(nil); ok {
+		t.Error("empty sample should not produce a CI")
+	}
+	// Zero variance is a legitimate zero-width interval.
+	mean, sd, half, ok := MeanCI95([]float64{2, 2, 2})
+	if !ok || mean != 2 || sd != 0 || half != 0 {
+		t.Errorf("constant sample: mean=%g sd=%g half=%g ok=%v, want 2 0 0 true", mean, sd, half, ok)
+	}
+}
