@@ -12,7 +12,7 @@ BENCHTIME ?= 200x
 # fast paths from PR 1, and PR 5's pooled-vs-unpooled infection pair.
 BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial|InfectFrom
 
-.PHONY: all build test race bench determinism sweep-smoke scenario-smoke linkcheck
+.PHONY: all build test race bench determinism sweep-smoke scenario-smoke serve-smoke linkcheck
 
 all: build test
 
@@ -72,6 +72,14 @@ scenario-smoke:
 	/tmp/onionsim-ci -scenario all -quick -parallel 1 > /tmp/onionsim-scenario-p1.txt
 	/tmp/onionsim-ci -scenario all -quick -parallel 4 > /tmp/onionsim-scenario-p4.txt
 	cmp /tmp/onionsim-scenario-p1.txt /tmp/onionsim-scenario-p4.txt
+
+# serve-smoke is the crash-safety gate for server mode: submit a fig6
+# grid to a live `onionsim -serve`, kill -9 the process mid-sweep,
+# restart it over the same jobs dir, and byte-compare the resumed
+# result against an uninterrupted batch run (scripts/serve_smoke.sh).
+serve-smoke:
+	$(GO) build -o /tmp/onionsim-ci ./cmd/onionsim
+	BIN=/tmp/onionsim-ci ./scripts/serve_smoke.sh
 
 # linkcheck fails on dangling docs/*.md references anywhere in the tree
 # (markdown or Go docs), so the handbook cannot silently rot.

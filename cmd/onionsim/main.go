@@ -14,6 +14,7 @@
 //	onionsim -sweep examples/sweep/fig5-fig6-quick.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //	onionsim -scenario all -quick
 //	onionsim -scenario churn-repair-lambda -quick -json
+//	onionsim -serve :8080 -jobs-dir /var/lib/onionsim/jobs
 //
 // -exp takes a registered experiment ID, a comma-separated list, or
 // "all"; -list prints the registry (experiments and scenarios); -churn
@@ -23,6 +24,11 @@
 // named questions from the internal/scenario library — each a sweep
 // plus a machine-checked expectation block — and exits non-zero if any
 // expectation fails, which is what `make scenario-smoke` gates CI on.
+// -serve runs the sweep engine as a long-lived HTTP service instead of
+// a one-shot batch: sweep specs are submitted as jobs, every completed
+// grid point is checkpointed to an fsync'd journal under -jobs-dir, and
+// a killed or drained server resumes unfinished jobs on restart with
+// byte-identical output (see internal/serve and docs/ARCHITECTURE.md).
 // Experiments fan out across a
 // worker pool (-parallel, default one worker per CPU); output is
 // byte-identical at any parallelism because every task runs on its own
@@ -36,19 +42,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"onionbots/internal/churn"
 	"onionbots/internal/experiment"
 	"onionbots/internal/faults"
 	"onionbots/internal/scenario"
+	"onionbots/internal/serve"
 )
 
 func main() {
@@ -69,6 +79,9 @@ func run() error {
 		taskTO    = flag.Duration("task-timeout", 0, "per-task wall-clock timeout (0 = off; a timed-out task is reported as failed)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value; see package doc for the full-mode probing exception)")
 		sweep     = flag.String("sweep", "", "run a JSON scenario-sweep spec instead of -exp")
+		serveAddr = flag.String("serve", "", `run as a long-lived sweep server on this address (e.g. ":8080") instead of -exp; jobs persist under -jobs-dir and resume across restarts`)
+		jobsDir   = flag.String("jobs-dir", "jobs", "server mode: persistence root for job specs, checkpoint journals, and results")
+		retries   = flag.Int("task-retries", 2, "server mode: per-task retries for panicked or timed-out grid points")
 		scen      = flag.String("scenario", "", `run named library scenarios instead of -exp: a name, a comma-separated list, or "all"; exits non-zero if any expectation fails`)
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document on stdout")
 		list      = flag.Bool("list", false, "list registered experiments and exit")
@@ -113,6 +126,32 @@ func run() error {
 			fmt.Printf("scenario:%-25s %s\n", name, sc.Question)
 		}
 		return nil
+	}
+
+	if *serveAddr != "" {
+		// Server mode owns job intake: specs arrive over HTTP, so every
+		// batch-shaping flag is a mistake worth rejecting loudly.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "quick", "seed", "churn", "faults", "sweep", "scenario", "json", "csv":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-serve takes sweep specs over HTTP (POST /jobs); drop %s", strings.Join(conflict, ", "))
+		}
+		return runServe(*serveAddr, *jobsDir, *parallel, *taskTO, *retries)
+	}
+	var serveOnly []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "jobs-dir", "task-retries":
+			serveOnly = append(serveOnly, "-"+f.Name)
+		}
+	})
+	if len(serveOnly) > 0 {
+		return fmt.Errorf("%s only apply to -serve", strings.Join(serveOnly, ", "))
 	}
 
 	runner := &experiment.Runner{
@@ -170,6 +209,7 @@ func run() error {
 		return err
 	}
 	taskResults, err := runner.Run(tasks)
+	printRunSummary(runner)
 	if err != nil {
 		return err
 	}
@@ -253,6 +293,7 @@ func runSweep(runner *experiment.Runner, path string, jsonOut bool, csvDir strin
 	}
 	fmt.Fprintf(os.Stderr, "sweep %s: %d tasks\n", spec.Name, len(tasks))
 	taskResults, err := runner.Run(tasks)
+	printRunSummary(runner)
 	if err != nil {
 		return err
 	}
@@ -334,7 +375,44 @@ func runScenarios(runner *experiment.Runner, selector string, quick, jsonOut boo
 	if len(failed) > 0 {
 		return fmt.Errorf("%d scenario(s) failed expectations: %s", len(failed), strings.Join(failed, ", "))
 	}
+	printRunSummary(runner)
 	return nil
+}
+
+// runServe hands the process to the simulation service: SIGTERM/SIGINT
+// cancel the context, Run drains in-flight tasks into the checkpoint
+// journals, and the nil return exits 0 so supervisors read the drain as
+// a clean stop. Unfinished jobs resume on the next start.
+func runServe(addr, jobsDir string, parallel int, taskTimeout time.Duration, taskRetries int) error {
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		return fmt.Errorf("jobs dir: %w", err)
+	}
+	s, err := serve.New(serve.Config{
+		Addr:        addr,
+		JobsDir:     jobsDir,
+		Parallel:    parallel,
+		TaskTimeout: taskTimeout,
+		TaskRetries: taskRetries,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	return s.Run(ctx)
+}
+
+// printRunSummary surfaces the runner's retry/abandonment accounting on
+// stderr whenever any task needed more than one attempt — flaky or
+// timed-out grid points stay visible in batch mode, not just in the
+// server's /metrics.
+func printRunSummary(runner *experiment.Runner) {
+	c := runner.Counts()
+	if c.Retried == 0 && c.Abandoned == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "run summary: %d attempts across %d tasks (%d retried, %d abandoned by timeout, %d failed)\n",
+		c.Attempts, c.Completed, c.Retried, c.Abandoned, c.Failed)
 }
 
 func countFailed(trs []experiment.TaskResult) int {

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"onionbots/internal/jsonx"
 )
 
 // Spec is the declarative, JSON-serializable form of a churn process —
@@ -60,7 +62,7 @@ func ParseSpec(data []byte) (Spec, error) {
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return Spec{}, fmt.Errorf("parse churn spec: %w", err)
+		return Spec{}, fmt.Errorf("parse churn spec: %w", jsonx.Describe(data, err))
 	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, err

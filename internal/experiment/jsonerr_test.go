@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// A typo'd sweep file names its own bug: wrong-typed fields report the
+// field and line, syntax errors report the offending position.
+func TestParseSweepLocatesJSONErrors(t *testing.T) {
+	_, err := ParseSweep([]byte("{\n  \"experiments\": [\"fig6\"],\n  \"ns\": \"eight hundred\"\n}\n"))
+	if err == nil {
+		t.Fatal("wrong-typed ns accepted")
+	}
+	if !strings.Contains(err.Error(), `field "ns"`) || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("type error does not name field and line: %v", err)
+	}
+
+	_, err = ParseSweep([]byte("{\n  \"experiments\": [\"fig6\"],\n  \"seeds\": [1, 2,]\n}\n"))
+	if err == nil {
+		t.Fatal("malformed seeds accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("syntax error does not locate line: %v", err)
+	}
+}

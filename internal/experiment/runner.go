@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"onionbots/internal/sim"
@@ -43,6 +44,24 @@ type TaskResult struct {
 	Elapsed time.Duration `json:"-"`
 }
 
+// Counts is a snapshot of a runner's task accounting, read with
+// Runner.Counts. Attempts counts every execution attempt (a task retried
+// once contributes two); the remaining fields count terminal outcomes
+// plus the two events that never appear in TaskResult on their own:
+// Retried, the number of extra attempts granted to panicked or timed-out
+// tasks, and Abandoned, the number of timed-out attempts whose goroutine
+// was left running to completion in the background with its result
+// discarded. Abandoned > 0 means wall-clock budget was spent on work
+// nobody collected — the batch CLI and the serve-mode /metrics endpoint
+// both surface it so stuck tasks are visible instead of silently leaked.
+type Counts struct {
+	Attempts  int64 `json:"attempts"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Retried   int64 `json:"retried"`
+	Abandoned int64 `json:"abandoned"`
+}
+
 // Runner executes experiment tasks across a worker pool with
 // deterministic results.
 //
@@ -52,23 +71,57 @@ type TaskResult struct {
 // (root seed, task label). Experiments are forbidden from consulting
 // wall-clock time or shared mutable state, so the rendered output of a
 // task set is byte-identical at any Parallel value and any scheduling
-// order.
+// order. Retries preserve the contract: a re-attempted task runs on the
+// same substream seed, so whenever it completes it produces the same
+// bytes it would have produced the first time.
 type Runner struct {
 	// Parallel is the worker count. Values below 1 mean serial.
 	Parallel int
 	// Progress, if set, is called after each task completes, serialized
 	// under a lock, with the number of finished tasks so far. It is for
-	// stderr reporting; it must not write to stdout.
+	// stderr reporting and for completion hooks (the serve-mode
+	// checkpoint journal appends from it); it must not write to stdout.
+	// It fires once per task, after the final attempt, never per retry.
 	Progress func(done, total int, tr TaskResult)
 	// TaskTimeout, when positive, bounds each task's wall-clock
 	// duration: a task still running after the deadline is reported as
 	// TaskResult.Err instead of hanging the whole run. Off by default —
 	// experiments have no cancellation points, so a timed-out task's
 	// goroutine keeps running to completion in the background and its
-	// result is discarded; the timeout is a sweep-survival valve, not a
-	// scheduler. Wall-clock bounds are inherently nondeterministic, so
-	// never enable this when byte-identical output matters.
+	// result is discarded (counted in Counts.Abandoned); the timeout is
+	// a sweep-survival valve, not a scheduler. Wall-clock bounds are
+	// inherently nondeterministic, so never enable this when
+	// byte-identical output matters.
 	TaskTimeout time.Duration
+	// MaxTaskRetries grants each task this many extra attempts when an
+	// attempt panics or times out, before the task is marked failed.
+	// Deterministic experiment errors are not retried — they would fail
+	// identically — so retries only chase transient conditions
+	// (wall-clock timeouts under load, allocation panics under memory
+	// pressure). One grid point exhausting its budget fails that task
+	// only, never the run.
+	MaxTaskRetries int
+	// TaskRetryBackoff is the sleep before the second attempt, doubled
+	// per subsequent attempt. Zero means retry immediately.
+	TaskRetryBackoff time.Duration
+
+	attempts  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	retried   atomic.Int64
+	abandoned atomic.Int64
+}
+
+// Counts returns a snapshot of the runner's task accounting. Counters
+// accumulate across Run calls on the same Runner.
+func (r *Runner) Counts() Counts {
+	return Counts{
+		Attempts:  r.attempts.Load(),
+		Completed: r.completed.Load(),
+		Failed:    r.failed.Load(),
+		Retried:   r.retried.Load(),
+		Abandoned: r.abandoned.Load(),
+	}
 }
 
 // Run executes every task and returns one TaskResult per task, in task
@@ -77,10 +130,23 @@ type Runner struct {
 // malformed task set (duplicate labels, which would break the substream
 // independence guarantee).
 func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
+	results, _, err := r.RunStoppable(tasks, nil)
+	return results, err
+}
+
+// RunStoppable is Run with a drain valve: when stop is closed, workers
+// finish the tasks they already started but pick up no new ones, and
+// RunStoppable returns early. The returned ran slice records, in task
+// order, which tasks actually executed — results[i] is meaningful only
+// where ran[i] is true. A nil stop channel makes it exactly Run. This is
+// the hook serve-mode graceful shutdown and job cancellation stand on:
+// in-flight grid points drain (and reach the checkpoint journal via
+// Progress), unstarted ones are left for the resumed run.
+func (r *Runner) RunStoppable(tasks []Task, stop <-chan struct{}) ([]TaskResult, []bool, error) {
 	seen := make(map[string]struct{}, len(tasks))
 	for _, t := range tasks {
 		if _, dup := seen[t.Label]; dup {
-			return nil, fmt.Errorf("duplicate task label %q", t.Label)
+			return nil, nil, fmt.Errorf("duplicate task label %q", t.Label)
 		}
 		seen[t.Label] = struct{}{}
 	}
@@ -94,6 +160,7 @@ func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
 	}
 
 	results := make([]TaskResult, len(tasks))
+	ran := make([]bool, len(tasks))
 	idx := make(chan int)
 	var (
 		wg   sync.WaitGroup
@@ -105,6 +172,7 @@ func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				ran[i] = true
 				results[i] = r.runBounded(tasks[i])
 				if r.Progress != nil {
 					mu.Lock()
@@ -115,40 +183,80 @@ func (r *Runner) Run(tasks []Task) ([]TaskResult, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range tasks {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-stop:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return results, nil
+	return results, ran, nil
 }
 
-// runBounded runs one task under the runner's wall-clock budget. With
-// no TaskTimeout it is runTask itself — same goroutine, no channel.
+// runBounded runs one task under the runner's wall-clock and retry
+// budgets. With no TaskTimeout and no retries it is runTask itself —
+// same goroutine, no channel.
 func (r *Runner) runBounded(t Task) TaskResult {
-	if r.TaskTimeout <= 0 {
-		return runTask(t)
+	for attempt := 0; ; attempt++ {
+		tr, transient := r.attemptTask(t)
+		if tr.Err == nil {
+			r.completed.Add(1)
+			return tr
+		}
+		if !transient || attempt >= r.MaxTaskRetries {
+			r.failed.Add(1)
+			return tr
+		}
+		r.retried.Add(1)
+		if r.TaskRetryBackoff > 0 {
+			time.Sleep(r.TaskRetryBackoff << attempt)
+		}
 	}
-	ch := make(chan TaskResult, 1)
-	go func() { ch <- runTask(t) }()
+}
+
+// attemptTask makes one execution attempt. transient reports whether the
+// failure mode is worth retrying (panic or timeout, as opposed to a
+// deterministic experiment error).
+func (r *Runner) attemptTask(t Task) (tr TaskResult, transient bool) {
+	r.attempts.Add(1)
+	if r.TaskTimeout <= 0 {
+		tr, transient = runTask(t)
+		return tr, transient
+	}
+	type attempt struct {
+		tr        TaskResult
+		transient bool
+	}
+	ch := make(chan attempt, 1)
+	go func() {
+		tr, transient := runTask(t)
+		ch <- attempt{tr, transient}
+	}()
+	timer := time.NewTimer(r.TaskTimeout)
+	defer timer.Stop()
 	select {
-	case tr := <-ch:
-		return tr
-	case <-time.After(r.TaskTimeout):
+	case a := <-ch:
+		return a.tr, a.transient
+	case <-timer.C:
+		r.abandoned.Add(1)
 		tr := TaskResult{Task: t, EffectiveSeed: sim.SubstreamSeed(t.Params.Seed, t.Label)}
 		tr.Err = fmt.Errorf("task %s timed out after %s", t.Label, r.TaskTimeout)
 		tr.Error = tr.Err.Error()
 		tr.Elapsed = r.TaskTimeout
-		return tr
+		return tr, true
 	}
 }
 
-func runTask(t Task) (tr TaskResult) {
+func runTask(t Task) (tr TaskResult, panicked bool) {
 	start := time.Now()
 	tr = TaskResult{Task: t, EffectiveSeed: sim.SubstreamSeed(t.Params.Seed, t.Label)}
 	defer func() {
 		if p := recover(); p != nil {
 			tr.Err = fmt.Errorf("task %s panicked: %v", t.Label, p)
+			panicked = true
 		}
 		if tr.Err != nil {
 			tr.Error = tr.Err.Error()
@@ -159,10 +267,10 @@ func runTask(t Task) (tr TaskResult) {
 	def, ok := Lookup(t.Experiment)
 	if !ok {
 		tr.Err = fmt.Errorf("unknown experiment %q", t.Experiment)
-		return tr
+		return tr, false
 	}
 	p := t.Params
 	p.Seed = tr.EffectiveSeed
 	tr.Results, tr.Err = def.Run(p)
-	return tr
+	return tr, false
 }

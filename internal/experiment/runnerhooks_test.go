@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A timed-out task is retried MaxTaskRetries times, every abandoned
+// attempt is counted, and the task still fails when the budget runs dry
+// — without failing the run.
+func TestRunnerRetriesAndAbandonAccounting(t *testing.T) {
+	r := &Runner{TaskTimeout: time.Nanosecond, MaxTaskRetries: 2}
+	trs, err := r.Run([]Task{{Label: "slow", Experiment: "hsdir-outage", Params: Params{Quick: true, Seed: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trs[0].Err == nil || !strings.Contains(trs[0].Err.Error(), "timed out") {
+		t.Fatalf("expected timeout error, got %v", trs[0].Err)
+	}
+	c := r.Counts()
+	want := Counts{Attempts: 3, Completed: 0, Failed: 1, Retried: 2, Abandoned: 3}
+	if c != want {
+		t.Fatalf("counts = %+v, want %+v", c, want)
+	}
+}
+
+// Deterministic failures (unknown experiment, experiment errors) are
+// not retried: they would fail identically, so the budget is reserved
+// for transient panics and timeouts.
+func TestRunnerDoesNotRetryDeterministicErrors(t *testing.T) {
+	r := &Runner{MaxTaskRetries: 3}
+	trs, err := r.Run([]Task{{Label: "bad", Experiment: "no-such-exp", Params: Params{Quick: true, Seed: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trs[0].Err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+	c := r.Counts()
+	if c.Attempts != 1 || c.Retried != 0 || c.Failed != 1 {
+		t.Fatalf("counts = %+v, want exactly one unretried attempt", c)
+	}
+}
+
+// Successful tasks land in Completed and never consume retries.
+func TestRunnerCountsCompleted(t *testing.T) {
+	r := &Runner{Parallel: 2, MaxTaskRetries: 1}
+	trs, err := r.Run(fastTasks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		if tr.Err != nil {
+			t.Fatalf("%s: %v", tr.Task.Label, tr.Err)
+		}
+	}
+	c := r.Counts()
+	if c.Completed != int64(len(trs)) || c.Failed != 0 || c.Retried != 0 || c.Abandoned != 0 {
+		t.Fatalf("counts = %+v, want %d clean completions", c, len(trs))
+	}
+}
+
+// A pre-closed stop channel drains the run before any task starts; a
+// nil one is exactly Run.
+func TestRunnerStoppable(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	tasks := fastTasks(1)
+	results, ran, err := (&Runner{Parallel: 2}).RunStoppable(tasks, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(tasks) || len(ran) != len(tasks) {
+		t.Fatalf("got %d results / %d ran flags for %d tasks", len(results), len(ran), len(tasks))
+	}
+	started := 0
+	for _, r := range ran {
+		if r {
+			started++
+		}
+	}
+	// Workers may have grabbed at most Parallel tasks before the stop
+	// select won; with a pre-closed channel the dispatcher races the
+	// workers, so allow the worker-count worst case but not a full run.
+	if started > 2 {
+		t.Fatalf("%d tasks started after stop, want at most the worker count (2)", started)
+	}
+	for i, r := range ran {
+		if !r && results[i].Task.Label != "" {
+			t.Fatalf("unran slot %d holds a result", i)
+		}
+	}
+
+	results, ran, err = (&Runner{Parallel: 4}).RunStoppable(tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if !ran[i] {
+			t.Fatalf("task %d skipped with nil stop channel", i)
+		}
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", results[i].Task.Label, results[i].Err)
+		}
+	}
+}
+
+// Mid-run stop: tasks completed before the stop are intact and flagged,
+// and the runner returns without executing the full set. The stop fires
+// from the Progress hook, which is exactly how serve-mode cancellation
+// uses it.
+func TestRunnerStoppableMidRun(t *testing.T) {
+	stop := make(chan struct{})
+	var stopped bool
+	r := &Runner{Parallel: 1, Progress: func(done, total int, tr TaskResult) {
+		if done == 2 && !stopped {
+			stopped = true
+			close(stop)
+		}
+	}}
+	tasks := fastTasks(1)
+	results, ran, err := r.RunStoppable(tasks, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := 0
+	for i := range ran {
+		if ran[i] {
+			started++
+			if results[i].Err != nil {
+				t.Fatalf("%s: %v", results[i].Task.Label, results[i].Err)
+			}
+		}
+	}
+	// Serial worker: two tasks completed, and at most one more was
+	// already dispatched when the stop channel closed.
+	if started < 2 || started > 3 {
+		t.Fatalf("%d tasks started, want 2 or 3 (stop after the second)", started)
+	}
+	if started == len(tasks) {
+		t.Fatal("stop did not prevent the full run")
+	}
+}

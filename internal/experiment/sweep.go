@@ -9,6 +9,7 @@ import (
 
 	"onionbots/internal/churn"
 	"onionbots/internal/faults"
+	"onionbots/internal/jsonx"
 	"onionbots/internal/soap"
 	"onionbots/internal/stats"
 )
@@ -74,7 +75,7 @@ func ParseSweep(data []byte) (*Sweep, error) {
 	dec.DisallowUnknownFields()
 	var s Sweep
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("parse sweep: %w", err)
+		return nil, fmt.Errorf("parse sweep: %w", jsonx.Describe(data, err))
 	}
 	if len(s.Experiments) == 0 {
 		return nil, fmt.Errorf("parse sweep: no experiments listed")

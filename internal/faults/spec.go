@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"onionbots/internal/jsonx"
 	"onionbots/internal/tor"
 )
 
@@ -56,7 +57,7 @@ func ParseSpec(data []byte) (Spec, error) {
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return Spec{}, fmt.Errorf("parse faults spec: %w", err)
+		return Spec{}, fmt.Errorf("parse faults spec: %w", jsonx.Describe(data, err))
 	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, err

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"onionbots/internal/experiment"
+)
+
+// Executor drains the job queue one job at a time, running each job's
+// task grid on an experiment.Runner worker pool. It owns the
+// crash-safety protocol:
+//
+//  1. replay the job's checkpoint journal and re-emit the completed
+//     tasks as replayed progress events,
+//  2. run only the labels the journal is missing, appending each
+//     completion to the journal (fsync per record) from the runner's
+//     serialized Progress hook,
+//  3. when every label has a result, aggregate in original task order
+//     and atomically write result.json — byte-identical to what an
+//     uninterrupted batch `onionsim -sweep -json` run would print.
+//
+// Closing the stop channel (graceful shutdown) or a job's cancel
+// channel drains in-flight tasks — each one still reaches the journal —
+// and stops dispatching new ones.
+type Executor struct {
+	// Parallel, TaskTimeout, TaskRetries and TaskRetryBackoff configure
+	// the per-job runner.
+	Parallel         int
+	TaskTimeout      time.Duration
+	TaskRetries      int
+	TaskRetryBackoff time.Duration
+
+	metrics *Metrics
+	health  *HealthTracker
+	queue   chan *Job
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	logf    func(format string, args ...any)
+}
+
+// NewExecutor builds an executor whose queue holds queueCap jobs.
+func NewExecutor(queueCap int, metrics *Metrics, health *HealthTracker, logf func(string, ...any)) *Executor {
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Executor{
+		metrics: metrics,
+		health:  health,
+		queue:   make(chan *Job, queueCap),
+		stop:    make(chan struct{}),
+		logf:    logf,
+	}
+}
+
+// Start launches the drain loop.
+func (e *Executor) Start() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case j := <-e.queue:
+				e.metrics.QueueDepth.Add(-1)
+				e.runJob(j)
+			}
+		}
+	}()
+}
+
+// Enqueue admits a job, returning false when the queue is full.
+func (e *Executor) Enqueue(j *Job) bool {
+	select {
+	case e.queue <- j:
+		e.metrics.QueueDepth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown stops dispatching new tasks, waits for in-flight ones to
+// drain into the journal, and returns. Jobs left mid-run are persisted
+// as queued so the next start resumes them.
+func (e *Executor) Shutdown() {
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// isTimeoutResult matches the runner's timeout failure shape.
+func isTimeoutResult(tr experiment.TaskResult) bool {
+	return tr.Err != nil && strings.Contains(tr.Error, "timed out after")
+}
+
+// runJob executes (or resumes) one job end to end.
+func (e *Executor) runJob(j *Job) {
+	if j.State().Terminal() {
+		return // cancelled while queued
+	}
+	j.setState(JobRunning, "")
+	e.logf("job %s: running (%s)", j.ID, j.Spec.Name)
+
+	tasks, err := j.Spec.Tasks()
+	if err != nil {
+		e.failJob(j, fmt.Errorf("expand spec: %w", err))
+		return
+	}
+	labelIdx := make(map[string]int, len(tasks))
+	for i, t := range tasks {
+		labelIdx[t.Label] = i
+	}
+
+	// Phase 1: replay the checkpoint journal. Unknown labels mean the
+	// journal does not belong to this spec — resuming would silently
+	// produce a franken-sweep, so fail loudly instead.
+	journaled, torn, err := ReplayJournal(j.journalPath())
+	if err != nil {
+		e.failJob(j, err)
+		return
+	}
+	if torn {
+		e.logf("job %s: %v", j.ID, ErrTornTail)
+	}
+	results := make([]experiment.TaskResult, len(tasks))
+	have := make([]bool, len(tasks))
+	j.resetProgress()
+	for _, tr := range journaled {
+		i, ok := labelIdx[tr.Task.Label]
+		if !ok {
+			e.failJob(j, fmt.Errorf("journal references unknown label %q — journal does not match the job spec", tr.Task.Label))
+			return
+		}
+		results[i] = tr
+		have[i] = true
+		e.metrics.TasksReplayed.Add(1)
+		j.taskDone(tr.Task.Label, tr.Error, true, 0)
+	}
+	var pending []experiment.Task
+	for i, t := range tasks {
+		if !have[i] {
+			pending = append(pending, t)
+		}
+	}
+	if len(journaled) > 0 {
+		e.logf("job %s: resumed %d/%d tasks from journal", j.ID, len(journaled), len(tasks))
+	}
+
+	// Phase 2: run the missing labels, checkpointing each completion.
+	interrupted := false
+	if len(pending) > 0 {
+		journal, err := OpenJournal(j.journalPath())
+		if err != nil {
+			e.failJob(j, err)
+			return
+		}
+		var appendErr error
+		abort := make(chan struct{})
+		stop, release := mergeStops(e.stop, j.cancelled(), abort)
+		defer release()
+		runner := &experiment.Runner{
+			Parallel:         e.Parallel,
+			TaskTimeout:      e.TaskTimeout,
+			MaxTaskRetries:   e.TaskRetries,
+			TaskRetryBackoff: e.TaskRetryBackoff,
+			// Progress is serialized by the runner, so journal appends
+			// and event fan-out need no extra locking here.
+			Progress: func(done, total int, tr experiment.TaskResult) {
+				if appendErr == nil {
+					if aerr := journal.Append(tr); aerr != nil {
+						appendErr = aerr
+						close(abort)
+						return
+					}
+				}
+				e.metrics.TasksRun.Add(1)
+				if tr.Err != nil {
+					e.metrics.TasksFailed.Add(1)
+				}
+				e.metrics.ObserveTask(tr.Task.Experiment, tr.Elapsed)
+				e.health.RecordTask(tr.Err != nil, isTimeoutResult(tr))
+				j.taskDone(tr.Task.Label, tr.Error, false, float64(tr.Elapsed)/float64(time.Millisecond))
+			},
+		}
+		before := runner.Counts()
+		fresh, ran, rerr := runner.RunStoppable(pending, stop)
+		counts := runner.Counts()
+		e.metrics.TasksRetried.Add(counts.Retried - before.Retried)
+		e.metrics.TasksAbandoned.Add(counts.Abandoned - before.Abandoned)
+		journal.Close()
+		if rerr != nil {
+			e.failJob(j, rerr)
+			return
+		}
+		if appendErr != nil {
+			e.failJob(j, fmt.Errorf("checkpoint failed: %w", appendErr))
+			return
+		}
+		for i, tr := range fresh {
+			if ran[i] {
+				results[labelIdx[tr.Task.Label]] = tr
+				have[labelIdx[tr.Task.Label]] = true
+			} else {
+				interrupted = true
+			}
+		}
+	}
+
+	// Phase 3: finalize, or park the job for the next process.
+	switch {
+	case j.State() == JobCancelled:
+		e.metrics.JobsCancelled.Add(1)
+		e.logf("job %s: cancelled (%d/%d tasks checkpointed)", j.ID, countTrue(have), len(tasks))
+	case interrupted:
+		// Graceful shutdown drained the in-flight tasks into the
+		// journal; hand the rest to the next server process.
+		j.setState(JobQueued, "")
+		e.logf("job %s: interrupted, %d/%d tasks checkpointed for resume", j.ID, countTrue(have), len(tasks))
+	default:
+		if err := e.finalize(j, results); err != nil {
+			e.failJob(j, err)
+			return
+		}
+		e.metrics.JobsCompleted.Add(1)
+		st := j.Status()
+		e.logf("job %s: completed (%d tasks, %d failed)", j.ID, st.Total, st.FailedTasks)
+	}
+}
+
+// finalize aggregates the full task grid in original order and
+// atomically writes result.json — the exact bytes `onionsim -sweep
+// <spec> -json` prints for the same spec, which is what the kill/resume
+// differential test and make serve-smoke byte-compare.
+func (e *Executor) finalize(j *Job, results []experiment.TaskResult) error {
+	aggregate := j.Spec.Aggregate(results)
+	doc, err := experiment.SweepJSON(j.Spec, results, aggregate)
+	if err != nil {
+		return fmt.Errorf("render result: %w", err)
+	}
+	if err := atomicWrite(j.resultPath(), append(doc, '\n')); err != nil {
+		return fmt.Errorf("write result: %w", err)
+	}
+	j.setState(JobCompleted, "")
+	return nil
+}
+
+// failJob marks a job Failed with its infrastructure error.
+func (e *Executor) failJob(j *Job, err error) {
+	e.metrics.JobsFailed.Add(1)
+	j.setState(JobFailed, err.Error())
+	e.logf("job %s: FAILED: %v", j.ID, err)
+}
+
+// resetProgress clears the load-time progress counts before the
+// executor re-emits replayed tasks, so done/total stay exact.
+func (j *Job) resetProgress() {
+	j.mu.Lock()
+	j.done = 0
+	j.failedTasks = 0
+	j.mu.Unlock()
+}
+
+// mergeStops fans three stop channels into one. The returned release
+// function frees the merge goroutine once the merged channel is no
+// longer needed.
+func mergeStops(a, b, c <-chan struct{}) (<-chan struct{}, func()) {
+	out := make(chan struct{})
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		case <-c:
+		case <-quit:
+			return
+		}
+		close(out)
+	}()
+	var once sync.Once
+	return out, func() { once.Do(func() { close(quit) }) }
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

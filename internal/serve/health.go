@@ -1,0 +1,128 @@
+package serve
+
+import "sync"
+
+// HealthStatus is the server's graded readiness value object: not a
+// boolean, because a sweep server with a few timed-out grid points is
+// degraded — worth draining traffic from — long before it is down.
+type HealthStatus string
+
+const (
+	Healthy   HealthStatus = "healthy"
+	Degraded  HealthStatus = "degraded"
+	Unhealthy HealthStatus = "unhealthy"
+)
+
+// HTTPStatus maps the grade onto a probe response code: load balancers
+// keep routing to a degraded server (200) but drop an unhealthy one
+// (503).
+func (s HealthStatus) HTTPStatus() int {
+	if s == Unhealthy {
+		return 503
+	}
+	return 200
+}
+
+// taskOutcome is one completed task's contribution to health.
+type taskOutcome uint8
+
+const (
+	outcomeOK taskOutcome = iota
+	outcomeFailed
+	outcomeTimedOut
+)
+
+// HealthTracker grades the server from recent task failure and timeout
+// rates over a sliding window of the last N task completions. Rates are
+// over completions, not wall time, so an idle server neither heals nor
+// decays — its last known behavior stands.
+type HealthTracker struct {
+	mu     sync.Mutex
+	window []taskOutcome // ring buffer
+	next   int
+	filled bool
+
+	// minSamples gates grading: with fewer completions than this the
+	// tracker reports Healthy, because one early failure out of one
+	// task is noise, not a trend.
+	minSamples int
+}
+
+// NewHealthTracker tracks the last windowSize task completions
+// (default 32) and starts grading once minSamples (default 5) have
+// been seen.
+func NewHealthTracker(windowSize, minSamples int) *HealthTracker {
+	if windowSize <= 0 {
+		windowSize = 32
+	}
+	if minSamples <= 0 {
+		minSamples = 5
+	}
+	return &HealthTracker{window: make([]taskOutcome, windowSize), minSamples: minSamples}
+}
+
+// RecordTask folds one completed task into the window.
+func (h *HealthTracker) RecordTask(failed, timedOut bool) {
+	o := outcomeOK
+	switch {
+	case timedOut:
+		o = outcomeTimedOut
+	case failed:
+		o = outcomeFailed
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.window[h.next] = o
+	h.next++
+	if h.next == len(h.window) {
+		h.next = 0
+		h.filled = true
+	}
+}
+
+// HealthReport is the JSON shape of /healthz.
+type HealthReport struct {
+	Status      HealthStatus `json:"status"`
+	Window      int          `json:"window"`
+	FailureRate float64      `json:"failure_rate"`
+	TimeoutRate float64      `json:"timeout_rate"`
+}
+
+// Eval grades the current window. Thresholds: ≥50% of recent tasks
+// failing is Unhealthy (the server is spending its time producing
+// nothing); ≥10% failing or ≥10% timing out is Degraded (grid points
+// are being lost or abandoned often enough to matter); otherwise
+// Healthy.
+func (h *HealthTracker) Eval() HealthReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.next
+	if h.filled {
+		n = len(h.window)
+	}
+	rep := HealthReport{Status: Healthy, Window: n}
+	if n == 0 {
+		return rep
+	}
+	var failed, timedOut int
+	for _, o := range h.window[:n] {
+		switch o {
+		case outcomeFailed:
+			failed++
+		case outcomeTimedOut:
+			timedOut++
+		}
+	}
+	rep.FailureRate = float64(failed+timedOut) / float64(n)
+	rep.TimeoutRate = float64(timedOut) / float64(n)
+	if n < h.minSamples {
+		return rep
+	}
+	switch {
+	case rep.FailureRate >= 0.5:
+		rep.Status = Unhealthy
+	case rep.FailureRate >= 0.1 || rep.TimeoutRate >= 0.1:
+		rep.Status = Degraded
+	}
+	return rep
+}

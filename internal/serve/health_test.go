@@ -1,0 +1,78 @@
+package serve
+
+import "testing"
+
+func TestHealthTrackerGrading(t *testing.T) {
+	record := func(h *HealthTracker, ok, failed, timedOut int) {
+		for i := 0; i < ok; i++ {
+			h.RecordTask(false, false)
+		}
+		for i := 0; i < failed; i++ {
+			h.RecordTask(true, false)
+		}
+		for i := 0; i < timedOut; i++ {
+			h.RecordTask(false, true)
+		}
+	}
+	cases := []struct {
+		name                  string
+		ok, failed, timedOut  int
+		want                  HealthStatus
+		wantFail, wantTimeout float64
+	}{
+		{"empty window", 0, 0, 0, Healthy, 0, 0},
+		{"below min samples stays healthy", 1, 3, 0, Healthy, 0.75, 0},
+		{"all ok", 10, 0, 0, Healthy, 0, 0},
+		{"ten percent failures degrades", 9, 1, 0, Degraded, 0.1, 0},
+		{"ten percent timeouts degrades", 9, 0, 1, Degraded, 0.1, 0.1},
+		{"half failing is unhealthy", 5, 5, 0, Unhealthy, 0.5, 0},
+		{"timeouts count toward failure rate", 5, 3, 2, Unhealthy, 0.5, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHealthTracker(0, 0)
+			record(h, tc.ok, tc.failed, tc.timedOut)
+			rep := h.Eval()
+			if rep.Status != tc.want {
+				t.Fatalf("status %s, want %s (report %+v)", rep.Status, tc.want, rep)
+			}
+			if rep.FailureRate != tc.wantFail || rep.TimeoutRate != tc.wantTimeout {
+				t.Fatalf("rates %g/%g, want %g/%g", rep.FailureRate, rep.TimeoutRate, tc.wantFail, tc.wantTimeout)
+			}
+			if rep.Window != tc.ok+tc.failed+tc.timedOut {
+				t.Fatalf("window %d, want %d", rep.Window, tc.ok+tc.failed+tc.timedOut)
+			}
+		})
+	}
+}
+
+// Old outcomes age out of the ring buffer: a burst of failures followed
+// by a full window of successes reads healthy again.
+func TestHealthTrackerSlidingWindow(t *testing.T) {
+	h := NewHealthTracker(8, 1)
+	for i := 0; i < 8; i++ {
+		h.RecordTask(true, false)
+	}
+	if rep := h.Eval(); rep.Status != Unhealthy {
+		t.Fatalf("all-failed window graded %s", rep.Status)
+	}
+	for i := 0; i < 8; i++ {
+		h.RecordTask(false, false)
+	}
+	rep := h.Eval()
+	if rep.Status != Healthy || rep.FailureRate != 0 {
+		t.Fatalf("recovered window graded %+v", rep)
+	}
+	if rep.Window != 8 {
+		t.Fatalf("window %d, want 8", rep.Window)
+	}
+}
+
+func TestHealthStatusHTTPStatus(t *testing.T) {
+	if Healthy.HTTPStatus() != 200 || Degraded.HTTPStatus() != 200 {
+		t.Fatal("healthy/degraded must keep answering 200 for load balancers")
+	}
+	if Unhealthy.HTTPStatus() != 503 {
+		t.Fatal("unhealthy must answer 503")
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"onionbots/internal/experiment"
+)
+
+// Journal is the crash-safety backbone of a job: an append-only JSONL
+// file under the job's directory recording one completed task per line.
+// Every Append marshals the TaskResult compactly, writes it with a
+// trailing newline in a single call, and fsyncs before returning, so a
+// record either survives a kill -9 whole or is a torn final line that
+// Replay discards. Because every grid point runs on its own RNG
+// substream derived from (root seed, task label), a journaled result is
+// exactly the bytes a rerun of that label would produce — which is what
+// makes resume-by-label byte-exact: replay the journal, run only the
+// labels it is missing, merge in task order.
+type Journal struct {
+	f *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append durably records one completed task. It must not be called
+// concurrently; the executor serializes appends through the runner's
+// Progress lock.
+func (j *Journal) Append(tr experiment.TaskResult) error {
+	line, err := json.Marshal(tr)
+	if err != nil {
+		return fmt.Errorf("journal %s: marshal: %w", tr.Task.Label, err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal %s: write: %w", tr.Task.Label, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal %s: fsync: %w", tr.Task.Label, err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ErrTornTail is wrapped into ReplayNotes when a journal's final line
+// was torn by a crash; the line is discarded and its task reruns.
+var ErrTornTail = errors.New("torn final journal record discarded")
+
+// ReplayJournal reads a journal back into completed TaskResults, in
+// append order. A missing file is an empty journal (nothing completed
+// before the crash). Torn final lines — a crash landed mid-write — are
+// discarded and reported via torn; the affected task simply reruns. Any
+// other malformation (garbage mid-file, duplicate labels) is corruption
+// the resume must not paper over, and fails loudly.
+//
+// The Err field of a replayed result is reconstructed from its JSON
+// Error mirror, so downstream aggregation treats a journaled failure
+// exactly like a fresh one.
+func ReplayJournal(path string) (results []experiment.TaskResult, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("replay journal: %w", err)
+	}
+	seen := make(map[string]struct{})
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var tr experiment.TaskResult
+		if uerr := json.Unmarshal(line, &tr); uerr != nil {
+			// Only the final line may be torn: it means the process died
+			// mid-append. Anything earlier is corruption.
+			if !sc.Scan() {
+				return results, true, nil
+			}
+			return nil, false, fmt.Errorf("replay journal: line %d corrupt: %v", lineNo, uerr)
+		}
+		if tr.Task.Label == "" {
+			if !hasMoreLines(data, line) {
+				return results, true, nil
+			}
+			return nil, false, fmt.Errorf("replay journal: line %d has no task label", lineNo)
+		}
+		if _, dup := seen[tr.Task.Label]; dup {
+			return nil, false, fmt.Errorf("replay journal: duplicate record for label %q (line %d)", tr.Task.Label, lineNo)
+		}
+		seen[tr.Task.Label] = struct{}{}
+		if tr.Error != "" {
+			tr.Err = errors.New(tr.Error)
+		}
+		results = append(results, tr)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, false, fmt.Errorf("replay journal: %w", serr)
+	}
+	// A file that does not end in a newline had its final record torn
+	// mid-write even if the prefix happened to parse; discard it.
+	if len(data) > 0 && data[len(data)-1] != '\n' && len(results) > 0 {
+		results = results[:len(results)-1]
+		torn = true
+	}
+	return results, torn, nil
+}
+
+// hasMoreLines reports whether line is followed by further content in
+// data — i.e. whether it can still claim to be the (possibly torn)
+// final record.
+func hasMoreLines(data, line []byte) bool {
+	i := bytes.LastIndex(data, line)
+	if i < 0 {
+		return true
+	}
+	rest := data[i+len(line):]
+	rest = bytes.TrimPrefix(rest, []byte{'\n'})
+	return len(bytes.TrimSpace(rest)) > 0
+}

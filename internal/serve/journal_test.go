@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"onionbots/internal/experiment"
+)
+
+func sampleResults(t *testing.T, n int) []experiment.TaskResult {
+	t.Helper()
+	tasks := make([]experiment.Task, n)
+	for i := range tasks {
+		tasks[i] = experiment.Task{
+			Label:      "serve-det/seed=" + string(rune('1'+i)),
+			Experiment: "serve-det",
+			Params:     experiment.Params{Quick: true, Seed: uint64(i + 1)},
+		}
+	}
+	trs, err := (&experiment.Runner{Parallel: 1}).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trs
+}
+
+func writeJournal(t *testing.T, path string, trs []experiment.TaskResult) {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, tr := range trs {
+		if err := j.Append(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	trs := sampleResults(t, 3)
+	writeJournal(t, path, trs)
+	replayed, torn, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if len(replayed) != len(trs) {
+		t.Fatalf("replayed %d records, want %d", len(replayed), len(trs))
+	}
+	for i := range trs {
+		if replayed[i].Task.Label != trs[i].Task.Label {
+			t.Fatalf("record %d label %q, want %q", i, replayed[i].Task.Label, trs[i].Task.Label)
+		}
+		if replayed[i].EffectiveSeed != trs[i].EffectiveSeed {
+			t.Fatalf("record %d effective seed drifted", i)
+		}
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	replayed, torn, err := ReplayJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || torn || len(replayed) != 0 {
+		t.Fatalf("missing journal: got %d records, torn=%v, err=%v", len(replayed), torn, err)
+	}
+}
+
+// A kill -9 mid-append leaves a truncated final line; replay discards
+// exactly that record and resumes cleanly.
+func TestJournalTornFinalRecordDiscarded(t *testing.T) {
+	trs := sampleResults(t, 3)
+	for _, cut := range []int{1, 7, 40} {
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		writeJournal(t, path, trs)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut >= len(data) {
+			t.Fatalf("cut %d exceeds journal size %d", cut, len(data))
+		}
+		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		replayed, torn, err := ReplayJournal(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if len(replayed) != len(trs)-1 {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(replayed), len(trs)-1)
+		}
+		for i := range replayed {
+			if replayed[i].Task.Label != trs[i].Task.Label {
+				t.Fatalf("cut %d: surviving record %d is %q", cut, i, replayed[i].Task.Label)
+			}
+		}
+	}
+}
+
+// Garbage mid-file is corruption, not a torn tail: replay must fail
+// loudly rather than silently dropping completed work.
+func TestJournalMidFileCorruptionFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	trs := sampleResults(t, 2)
+	writeJournal(t, path, trs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupt := "{\"task\": GARBAGE\n" + lines[1]
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplayJournal(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption err = %v, want loud failure", err)
+	}
+}
+
+func TestJournalDuplicateLabelFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	trs := sampleResults(t, 1)
+	writeJournal(t, path, []experiment.TaskResult{trs[0], trs[0]})
+	_, _, err := ReplayJournal(path)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate record err = %v, want loud failure", err)
+	}
+}
+
+// A journaled failure round-trips as a failure: the Err field is
+// reconstructed from its JSON mirror so aggregation renders the same
+// error row a fresh run would.
+func TestJournalReplaysErrorsAsErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	tasks := []experiment.Task{{Label: "serve-fail/x", Experiment: "serve-fail", Params: experiment.Params{Seed: 9}}}
+	trs, err := (&experiment.Runner{}).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trs[0].Err == nil {
+		t.Fatal("serve-fail task did not fail")
+	}
+	writeJournal(t, path, trs)
+	replayed, _, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed[0].Err == nil || replayed[0].Err.Error() != trs[0].Error || replayed[0].Error != trs[0].Error {
+		t.Fatalf("replayed failure lost its error: %+v", replayed[0])
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's atomic counter block, exposed verbatim on
+// /metrics. Counters only ever increase (except the queue-depth gauge);
+// reading them takes no locks on the hot path, so a scrape never stalls
+// a sweep. Per-experiment latency is aggregated under a small mutex off
+// the hot path — one update per completed task, not per event.
+type Metrics struct {
+	// Task outcomes across all jobs. TasksRetried counts extra attempts
+	// granted to panicked/timed-out tasks; TasksAbandoned counts
+	// timed-out attempts whose goroutine was left running with its
+	// result discarded (see experiment.Counts).
+	TasksRun       atomic.Int64
+	TasksFailed    atomic.Int64
+	TasksRetried   atomic.Int64
+	TasksAbandoned atomic.Int64
+	TasksReplayed  atomic.Int64
+
+	// Job lifecycle.
+	JobsSubmitted atomic.Int64
+	JobsResumed   atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsRejected  atomic.Int64
+
+	// QueueDepth gauges jobs admitted but not yet finished executing.
+	QueueDepth atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*latencyAgg
+}
+
+type latencyAgg struct {
+	count   int64
+	totalMS float64
+	maxMS   float64
+}
+
+// ObserveTask records one completed task attempt's latency under its
+// experiment ID.
+func (m *Metrics) ObserveTask(experimentID string, elapsed time.Duration) {
+	ms := float64(elapsed) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latency == nil {
+		m.latency = make(map[string]*latencyAgg)
+	}
+	agg := m.latency[experimentID]
+	if agg == nil {
+		agg = &latencyAgg{}
+		m.latency[experimentID] = agg
+	}
+	agg.count++
+	agg.totalMS += ms
+	if ms > agg.maxMS {
+		agg.maxMS = ms
+	}
+}
+
+// LatencySnapshot is one experiment's latency aggregate in a /metrics
+// response.
+type LatencySnapshot struct {
+	Experiment string  `json:"experiment"`
+	Count      int64   `json:"count"`
+	MeanMS     float64 `json:"mean_ms"`
+	MaxMS      float64 `json:"max_ms"`
+}
+
+// MetricsSnapshot is the JSON shape of /metrics.
+type MetricsSnapshot struct {
+	TasksRun       int64             `json:"tasks_run"`
+	TasksFailed    int64             `json:"tasks_failed"`
+	TasksRetried   int64             `json:"tasks_retried"`
+	TasksAbandoned int64             `json:"tasks_abandoned"`
+	TasksReplayed  int64             `json:"tasks_replayed"`
+	JobsSubmitted  int64             `json:"jobs_submitted"`
+	JobsResumed    int64             `json:"jobs_resumed"`
+	JobsCompleted  int64             `json:"jobs_completed"`
+	JobsFailed     int64             `json:"jobs_failed"`
+	JobsCancelled  int64             `json:"jobs_cancelled"`
+	JobsRejected   int64             `json:"jobs_rejected"`
+	QueueDepth     int64             `json:"queue_depth"`
+	TaskLatency    []LatencySnapshot `json:"task_latency,omitempty"`
+}
+
+// Snapshot captures every counter, with per-experiment latency rows
+// sorted by experiment ID for stable output.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		TasksRun:       m.TasksRun.Load(),
+		TasksFailed:    m.TasksFailed.Load(),
+		TasksRetried:   m.TasksRetried.Load(),
+		TasksAbandoned: m.TasksAbandoned.Load(),
+		TasksReplayed:  m.TasksReplayed.Load(),
+		JobsSubmitted:  m.JobsSubmitted.Load(),
+		JobsResumed:    m.JobsResumed.Load(),
+		JobsCompleted:  m.JobsCompleted.Load(),
+		JobsFailed:     m.JobsFailed.Load(),
+		JobsCancelled:  m.JobsCancelled.Load(),
+		JobsRejected:   m.JobsRejected.Load(),
+		QueueDepth:     m.QueueDepth.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.latency))
+	for id := range m.latency {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		agg := m.latency[id]
+		s.TaskLatency = append(s.TaskLatency, LatencySnapshot{
+			Experiment: id,
+			Count:      agg.count,
+			MeanMS:     agg.totalMS / float64(agg.count),
+			MaxMS:      agg.maxMS,
+		})
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is the job-admission throttle: submissions each take one
+// token, the bucket refills at a steady rate up to a burst capacity,
+// and an empty bucket rejects with the exact wait until the next token
+// — which the server hands back verbatim as a Retry-After header, so a
+// well-behaved client never has to guess a backoff.
+type TokenBucket struct {
+	mu       sync.Mutex
+	capacity float64
+	tokens   float64
+	perSec   float64
+	last     time.Time
+
+	// now is the clock, injectable for tests.
+	now func() time.Time
+}
+
+// NewTokenBucket builds a bucket holding at most capacity tokens,
+// refilled at perSec tokens per second, starting full.
+func NewTokenBucket(capacity, perSec float64) *TokenBucket {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if perSec <= 0 {
+		perSec = 1
+	}
+	b := &TokenBucket{capacity: capacity, tokens: capacity, perSec: perSec, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// Take attempts to consume one token. When the bucket is empty it
+// returns ok=false and the duration after which one token will have
+// accumulated.
+func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.capacity, b.tokens+now.Sub(b.last).Seconds()*b.perSec)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.perSec * float64(time.Second))
+}

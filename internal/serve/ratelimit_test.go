@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock makes the bucket deterministic: tests advance time by hand.
+func fakeClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	now := start
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestTokenBucketBurstThenRefusal(t *testing.T) {
+	b := NewTokenBucket(3, 1)
+	clock, _ := fakeClock(time.Unix(1000, 0))
+	b.now = clock
+	b.last = clock()
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d refused within burst capacity", i)
+		}
+	}
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s at 1 token/s", retry)
+	}
+}
+
+func TestTokenBucketRefills(t *testing.T) {
+	b := NewTokenBucket(2, 2) // 2 tokens/s
+	clock, advance := fakeClock(time.Unix(1000, 0))
+	b.now = clock
+	b.last = clock()
+	b.Take()
+	b.Take()
+	if ok, retry := b.Take(); ok || retry != 500*time.Millisecond {
+		t.Fatalf("empty at 2/s: ok=%v retry=%v, want refused/500ms", ok, retry)
+	}
+	advance(500 * time.Millisecond)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("token not refilled after the advertised wait")
+	}
+	// Refill is capped at capacity: a long idle stretch doesn't bank
+	// unlimited burst.
+	advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d after idle refused", i)
+		}
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("bucket exceeded capacity after long idle")
+	}
+}
+
+func TestTokenBucketPartialRetryAfter(t *testing.T) {
+	b := NewTokenBucket(1, 1)
+	clock, advance := fakeClock(time.Unix(1000, 0))
+	b.now = clock
+	b.last = clock()
+	b.Take()
+	advance(300 * time.Millisecond) // 0.3 tokens accumulated
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("0.3 tokens granted a take")
+	}
+	if retry != 700*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 700ms", retry)
+	}
+}
+
+func TestTokenBucketDefensiveDefaults(t *testing.T) {
+	b := NewTokenBucket(0, -1)
+	if b.capacity != 1 || b.perSec != 1 {
+		t.Fatalf("defaults = %g cap / %g per-sec, want 1/1", b.capacity, b.perSec)
+	}
+}

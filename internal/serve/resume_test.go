@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"onionbots/internal/experiment"
+)
+
+// resumeSpec is the differential-test grid: 3 seeds × 2 trials = 6
+// tasks of the deterministic test experiment.
+const resumeSpec = `{
+  "name": "resume-grid",
+  "experiments": ["serve-det"],
+  "quick": true,
+  "seeds": [1, 2, 3],
+  "trials": 2
+}`
+
+// newTestExec builds a store + executor pair over dir.
+func newTestExec(t *testing.T, dir string) (*Store, *Executor) {
+	t.Helper()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(4, &Metrics{}, NewHealthTracker(0, 0), t.Logf)
+	exec.Parallel = 2
+	return store, exec
+}
+
+// runToCompletion enqueues the job on a fresh executor loop and waits
+// for a terminal state.
+func runToCompletion(t *testing.T, exec *Executor, j *Job) {
+	t.Helper()
+	_, ch, unsub := j.Subscribe()
+	defer unsub()
+	exec.Start()
+	defer exec.Shutdown()
+	if !exec.Enqueue(j) {
+		t.Fatal("enqueue failed")
+	}
+	for ev := range ch {
+		if ev.Type == "state" && ev.State.Terminal() {
+			return
+		}
+	}
+	t.Fatal("event stream closed before terminal state")
+}
+
+func readResult(t *testing.T, j *Job) []byte {
+	t.Helper()
+	data, err := os.ReadFile(j.resultPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The acceptance differential: a job journaled to 0, some, or all of
+// its tasks and then resumed by a fresh store/executor (a new "process")
+// produces a final document byte-identical to the uninterrupted batch
+// run of the same spec.
+func TestResumeByteIdenticalToUninterruptedRun(t *testing.T) {
+	want, err := batchDocument([]byte(resumeSpec), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden cross-check: a never-interrupted server job matches batch.
+	dir := t.TempDir()
+	store, exec := newTestExec(t, dir)
+	j, err := store.Create([]byte(resumeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, exec, j)
+	if j.State() != JobCompleted {
+		t.Fatalf("job state %s, want completed", j.State())
+	}
+	if got := readResult(t, j); !bytes.Equal(got, want) {
+		t.Fatalf("uninterrupted server run differs from batch run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Resume after completing 0, some, and all tasks: simulate the
+	// crash by hand-building the job directory with a journal prefix,
+	// then let a brand-new store (the "restarted process") finish it.
+	spec, _ := experiment.ParseSweep([]byte(resumeSpec))
+	tasks, _ := spec.Tasks()
+	full, err := (&experiment.Runner{Parallel: 1}).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, completed := range []int{0, 1, len(tasks) - 1, len(tasks)} {
+		dir := t.TempDir()
+		jobDir := filepath.Join(dir, "job-000001")
+		if err := os.MkdirAll(jobDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(jobDir, "spec.json"), []byte(resumeSpec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(jobDir, "state.json"), []byte(`{"state":"running"}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		writeJournal(t, filepath.Join(jobDir, "journal.jsonl"), full[:completed])
+
+		store, exec := newTestExec(t, dir)
+		resumable := store.Resumable()
+		if len(resumable) != 1 {
+			t.Fatalf("completed=%d: %d resumable jobs, want 1", completed, len(resumable))
+		}
+		rj := resumable[0]
+		if rj.Status().Done != completed {
+			t.Fatalf("completed=%d: loaded done=%d", completed, rj.Status().Done)
+		}
+		runToCompletion(t, exec, rj)
+		if rj.State() != JobCompleted {
+			t.Fatalf("completed=%d: resumed job state %s (%s)", completed, rj.State(), rj.Status().Error)
+		}
+		if got := readResult(t, rj); !bytes.Equal(got, want) {
+			t.Fatalf("completed=%d: resumed document differs from uninterrupted batch run", completed)
+		}
+	}
+}
+
+// Kill-and-resume with a torn tail: truncate the journal mid-record
+// before resuming; the torn record's task reruns and the document still
+// byte-matches.
+func TestResumeAfterTornTailByteIdentical(t *testing.T) {
+	want, err := batchDocument([]byte(resumeSpec), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := experiment.ParseSweep([]byte(resumeSpec))
+	tasks, _ := spec.Tasks()
+	full, err := (&experiment.Runner{Parallel: 1}).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "job-000001")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "spec.json"), []byte(resumeSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	journalPath := filepath.Join(jobDir, "journal.jsonl")
+	writeJournal(t, journalPath, full[:3])
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journalPath, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, exec := newTestExec(t, dir)
+	rj, ok := store.Get("job-000001")
+	if !ok {
+		t.Fatal("job not loaded")
+	}
+	runToCompletion(t, exec, rj)
+	if rj.State() != JobCompleted {
+		t.Fatalf("job state %s (%s)", rj.State(), rj.Status().Error)
+	}
+	if got := readResult(t, rj); !bytes.Equal(got, want) {
+		t.Fatal("torn-tail resume differs from uninterrupted batch run")
+	}
+}
+
+// A journal that references labels the spec never produced means the
+// journal and spec do not belong together; resume must refuse loudly
+// instead of fabricating a sweep.
+func TestResumeUnknownJournalLabelFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "job-000001")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "spec.json"), []byte(resumeSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	alien, err := (&experiment.Runner{}).Run([]experiment.Task{
+		{Label: "somebody-elses-label", Experiment: "serve-det", Params: experiment.Params{Seed: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeJournal(t, filepath.Join(jobDir, "journal.jsonl"), alien)
+
+	store, exec := newTestExec(t, dir)
+	rj, _ := store.Get("job-000001")
+	runToCompletion(t, exec, rj)
+	st := rj.Status()
+	if st.State != JobFailed {
+		t.Fatalf("job state %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "unknown label") || !strings.Contains(st.Error, "somebody-elses-label") {
+		t.Fatalf("failure does not name the alien label: %q", st.Error)
+	}
+}
+
+// A mid-run drain (graceful shutdown) checkpoints completed tasks,
+// parks the job queued, and a second executor finishes it to the same
+// bytes.
+func TestShutdownDrainThenResumeByteIdentical(t *testing.T) {
+	want, err := batchDocument([]byte(resumeSpec), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, exec := newTestExec(t, dir)
+	exec.Parallel = 1 // serialize so the drain point is mid-sweep
+	j, err := store.Create([]byte(resumeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch, unsub := j.Subscribe()
+	exec.Start()
+	if !exec.Enqueue(j) {
+		t.Fatal("enqueue failed")
+	}
+	// Drain as soon as the first task lands in the journal.
+	for ev := range ch {
+		if ev.Type == "task" {
+			break
+		}
+	}
+	unsub()
+	exec.Shutdown()
+	st := j.Status()
+	if st.State == JobCompleted {
+		t.Skip("job finished before the drain; nothing to resume")
+	}
+	if st.State != JobQueued {
+		t.Fatalf("drained job state %s, want queued", st.State)
+	}
+	if st.Done == 0 || st.Done == st.Total {
+		t.Fatalf("drain checkpointed %d/%d tasks, want a strict prefix", st.Done, st.Total)
+	}
+
+	// The "restarted process": a fresh store over the same directory.
+	store2, exec2 := newTestExec(t, dir)
+	resumable := store2.Resumable()
+	if len(resumable) != 1 {
+		t.Fatalf("%d resumable jobs after drain, want 1", len(resumable))
+	}
+	rj := resumable[0]
+	runToCompletion(t, exec2, rj)
+	if rj.State() != JobCompleted {
+		t.Fatalf("resumed job state %s (%s)", rj.State(), rj.Status().Error)
+	}
+	if got := readResult(t, rj); !bytes.Equal(got, want) {
+		t.Fatal("drain-and-resume differs from uninterrupted batch run")
+	}
+}
+
+// Transient panics are retried per task and the job still completes;
+// the retry is invisible in the final document because the retried task
+// runs on the same substream.
+func TestTransientPanicRetriedToCompletion(t *testing.T) {
+	spec := `{
+  "name": "flaky-grid",
+  "experiments": ["serve-flaky"],
+  "seeds": [101, 102, 103]
+}`
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := &Metrics{}
+	exec := NewExecutor(4, metrics, NewHealthTracker(0, 0), t.Logf)
+	exec.Parallel = 2
+	exec.TaskRetries = 2
+	j, err := store.Create([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, exec, j)
+	st := j.Status()
+	if st.State != JobCompleted || st.FailedTasks != 0 {
+		t.Fatalf("flaky job: state %s, %d failed tasks (%s)", st.State, st.FailedTasks, st.Error)
+	}
+	if got := metrics.TasksRetried.Load(); got != 3 {
+		t.Fatalf("TasksRetried = %d, want 3 (one per seed)", got)
+	}
+}
+
+// One permanently failing grid point must not fail the job: it lands as
+// an error row in the aggregate and the job completes.
+func TestFailingTaskDoesNotFailJob(t *testing.T) {
+	spec := `{
+  "name": "mixed-grid",
+  "experiments": ["serve-det", "serve-fail"],
+  "seeds": [7]
+}`
+	dir := t.TempDir()
+	store, exec := newTestExec(t, dir)
+	j, err := store.Create([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, exec, j)
+	st := j.Status()
+	if st.State != JobCompleted {
+		t.Fatalf("job state %s, want completed despite the failing point", st.State)
+	}
+	if st.FailedTasks != 1 {
+		t.Fatalf("FailedTasks = %d, want 1", st.FailedTasks)
+	}
+	doc := readResult(t, j)
+	if !bytes.Contains(doc, []byte("deliberate failure")) {
+		t.Fatal("aggregate lost the failing task's error row")
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"onionbots/internal/experiment"
+	"onionbots/internal/sim"
+)
+
+// Test-only experiments, registered in this test binary only (the
+// experiment package's registry-completeness test runs in its own
+// binary and never sees them).
+//
+//   - serve-det: deterministic output from the seed, with a small
+//     wall-clock delay so shutdown tests can interrupt mid-sweep.
+//   - serve-flaky: panics the first time each substream seed runs,
+//     succeeds on retry — the transient-failure path.
+//   - serve-fail: always errors — the error-row / health path.
+//   - serve-gate: blocks until released — the cancellation path.
+var (
+	flakySeen sync.Map // seed → attempted once
+
+	gateMu       sync.Mutex
+	gateReleased chan struct{}
+)
+
+// testTaskDelay paces serve-det so a multi-task job is reliably
+// interruptible; output stays a pure function of the seed.
+const testTaskDelay = 10 * time.Millisecond
+
+// gate returns the current gate channel.
+func gate() chan struct{} {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	if gateReleased == nil {
+		gateReleased = make(chan struct{})
+	}
+	return gateReleased
+}
+
+// releaseGate opens the gate and leaves it open, so gated tasks that
+// start after the release (e.g. queued jobs draining during test
+// cleanup) sail through instead of wedging the executor.
+func releaseGate() {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	if gateReleased == nil {
+		gateReleased = make(chan struct{})
+	}
+	select {
+	case <-gateReleased:
+	default:
+		close(gateReleased)
+	}
+}
+
+// resetGate arms a fresh closed gate for a test that needs blocking
+// tasks.
+func resetGate() {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	gateReleased = make(chan struct{})
+}
+
+func init() {
+	experiment.Register(experiment.Definition{
+		ID: "serve-det", Title: "serve test: deterministic",
+		Run: func(p experiment.Params) ([]*experiment.Result, error) {
+			time.Sleep(testTaskDelay)
+			rng := sim.NewRNG(p.Seed)
+			r := &experiment.Result{ID: "serve-det", Title: "serve test", XLabel: "i"}
+			for i := 0; i < 5; i++ {
+				r.AddPoint("y", float64(i), float64(rng.Uint64()%1000000))
+			}
+			r.AddNote("n=%d quick=%v", p.N, p.Quick)
+			return []*experiment.Result{r}, nil
+		},
+	})
+	experiment.Register(experiment.Definition{
+		ID: "serve-flaky", Title: "serve test: panics once per substream",
+		Run: func(p experiment.Params) ([]*experiment.Result, error) {
+			if _, attempted := flakySeen.LoadOrStore(p.Seed, true); !attempted {
+				panic(fmt.Sprintf("transient failure for seed %d", p.Seed))
+			}
+			r := &experiment.Result{ID: "serve-flaky", Title: "recovered"}
+			r.AddPoint("ok", 0, float64(p.Seed%97))
+			return []*experiment.Result{r}, nil
+		},
+	})
+	experiment.Register(experiment.Definition{
+		ID: "serve-fail", Title: "serve test: always fails",
+		Run: func(p experiment.Params) ([]*experiment.Result, error) {
+			return nil, fmt.Errorf("deliberate failure (seed %d)", p.Seed)
+		},
+	})
+	experiment.Register(experiment.Definition{
+		ID: "serve-gate", Title: "serve test: blocks until released",
+		Run: func(p experiment.Params) ([]*experiment.Result, error) {
+			<-gate()
+			r := &experiment.Result{ID: "serve-gate", Title: "released"}
+			r.AddPoint("ok", 0, 1)
+			return []*experiment.Result{r}, nil
+		},
+	})
+}
+
+// batchDocument renders the byte-exact document an uninterrupted
+// `onionsim -sweep <spec> -json` run prints (plus the trailing newline
+// the CLI's Println adds) — the golden value every resume path must
+// reproduce.
+func batchDocument(specBytes []byte, parallel int) ([]byte, error) {
+	spec, err := experiment.ParseSweep(specBytes)
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := spec.Tasks()
+	if err != nil {
+		return nil, err
+	}
+	trs, err := (&experiment.Runner{Parallel: parallel}).Run(tasks)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := experiment.SweepJSON(spec, trs, spec.Aggregate(trs))
+	if err != nil {
+		return nil, err
+	}
+	return append(doc, '\n'), nil
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"onionbots/internal/jsonx"
 )
 
 // Spec is the declarative, JSON-serializable form of a SOAP campaign —
@@ -44,7 +46,7 @@ func ParseSpec(data []byte) (Spec, error) {
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return Spec{}, fmt.Errorf("parse soap spec: %w", err)
+		return Spec{}, fmt.Errorf("parse soap spec: %w", jsonx.Describe(data, err))
 	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, err

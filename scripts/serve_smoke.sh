@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# serve-smoke: the crash-safety acceptance test for `onionsim -serve`.
+#
+# It proves the checkpoint/resume contract end to end, from outside the
+# process boundary where no Go test can cheat:
+#
+#   1. run the sweep once in batch mode       -> want.json (the golden bytes)
+#   2. start the server, submit the same spec
+#   3. kill -9 the server mid-sweep (some tasks journaled, some not)
+#   4. restart the server over the same jobs dir; it resumes the job
+#   5. fetch the finished result              -> got.json
+#   6. cmp want.json got.json                 -> must be byte-identical
+#
+# Requires curl and jq (both in the CI image). Override BIN / SPEC /
+# PORT via the environment.
+set -euo pipefail
+
+BIN=${BIN:-/tmp/onionsim-ci}
+SPEC=${SPEC:-examples/serve/fig6-serve-grid.json}
+PORT=${PORT:-18466}
+BASE="http://127.0.0.1:$PORT"
+WORK=$(mktemp -d)
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+say() { echo "serve-smoke: $*" >&2; }
+
+say "golden batch run of $SPEC"
+"$BIN" -sweep "$SPEC" -parallel 2 -json > "$WORK/want.json" 2> /dev/null
+
+start_server() {
+  "$BIN" -serve "127.0.0.1:$PORT" -jobs-dir "$WORK/jobs" -parallel 1 >> "$WORK/server.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" > /dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  say "server did not come up; log follows"
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+start_server
+say "server up (pid $SERVER_PID); submitting the same spec as a job"
+JOB=$(curl -fsS -X POST --data-binary @"$SPEC" "$BASE/jobs" | jq -r .id)
+if [ -z "$JOB" ] || [ "$JOB" = null ]; then
+  say "job submission failed"
+  exit 1
+fi
+
+# Poll until the journal holds a strict prefix of the grid — at least
+# one task done, at least one pending — then SIGKILL the server. That
+# is the torn-state window the whole subsystem exists for.
+KILLED=0
+for _ in $(seq 1 400); do
+  STATUS=$(curl -fsS "$BASE/jobs/$JOB")
+  DONE=$(echo "$STATUS" | jq -r .done)
+  TOTAL=$(echo "$STATUS" | jq -r .total)
+  STATE=$(echo "$STATUS" | jq -r .state)
+  if [ "$STATE" = completed ]; then
+    break
+  fi
+  if [ "$DONE" -ge 1 ] && [ "$DONE" -lt "$TOTAL" ]; then
+    say "kill -9 at $DONE/$TOTAL journaled tasks"
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2> /dev/null || true
+    KILLED=1
+    break
+  fi
+  sleep 0.02
+done
+if [ "$KILLED" != 1 ]; then
+  say "job finished before the kill window opened; enlarge the grid"
+  exit 1
+fi
+
+say "restarting the server over the same jobs dir"
+start_server
+STATE=""
+for _ in $(seq 1 600); do
+  STATE=$(curl -fsS "$BASE/jobs/$JOB" | jq -r .state)
+  case "$STATE" in
+    completed) break ;;
+    failed | cancelled)
+      say "resumed job ended $STATE; log follows"
+      cat "$WORK/server.log" >&2
+      exit 1
+      ;;
+  esac
+  sleep 0.05
+done
+if [ "$STATE" != completed ]; then
+  say "resume timed out in state '$STATE'; log follows"
+  cat "$WORK/server.log" >&2
+  exit 1
+fi
+
+curl -fsS "$BASE/jobs/$JOB/result" > "$WORK/got.json"
+cmp "$WORK/want.json" "$WORK/got.json"
+say "OK: resumed result is byte-identical to the batch run ($(wc -c < "$WORK/want.json") bytes)"
