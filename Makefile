@@ -12,7 +12,7 @@ BENCHTIME ?= 200x
 # fast paths from PR 1, and PR 5's pooled-vs-unpooled infection pair.
 BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial|InfectFrom
 
-.PHONY: all build test race bench determinism sweep-smoke scenario-smoke serve-smoke linkcheck
+.PHONY: all build test race bench determinism sweep-smoke scenario-smoke serve-smoke linkcheck fuzz-smoke
 
 all: build test
 
@@ -29,11 +29,27 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# bench runs the microbenchmark set with -benchmem and archives it as
-# BENCH_pr5.json (stderr keeps the human-readable stream).
+# bench runs the microbenchmark set with -benchmem, then the n=10^6
+# Fig 5 memory-plane point (one iteration IS the experiment; it
+# reports its heap high-water mark as a custom heap-MiB metric), and
+# archives both as BENCH_pr9.json (stderr keeps the human-readable
+# stream).
 bench:
-	$(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem ./... \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+	{ $(GO) test -run=NONE -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem ./... && \
+	  $(GO) test -run=NONE -bench=Fig5MillionNode -benchtime=1x -timeout 60m ./internal/experiment/; } \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr9.json
+
+# fuzz-smoke runs every native fuzz target for a short budget each —
+# enough to shake out parser panics on every CI run while keeping the
+# job bounded. Longer local sessions: make fuzz-smoke FUZZTIME=30s.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/churn/
+	$(GO) test -run=NONE -fuzz=FuzzParseTrace -fuzztime=$(FUZZTIME) ./internal/churn/
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/soap/
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults/
+	$(GO) test -run=NONE -fuzz=FuzzParseSweep -fuzztime=$(FUZZTIME) ./internal/experiment/
+	$(GO) test -run=NONE -fuzz=FuzzReplayJournal -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # determinism asserts the scheduler/runner contract: -exp all output is
 # byte-identical at any -parallel value.
@@ -62,6 +78,11 @@ sweep-smoke:
 	/tmp/onionsim-ci -sweep examples/sweep/hsdir-outage-grid.json -parallel 1 -json > /tmp/onionsim-faults-p1.json
 	/tmp/onionsim-ci -sweep examples/sweep/hsdir-outage-grid.json -parallel 4 -json > /tmp/onionsim-faults-p4.json
 	cmp /tmp/onionsim-faults-p1.json /tmp/onionsim-faults-p4.json
+	# Store-backend A/B: the three DescriptorStore backends must be
+	# observably identical, and the sweep itself byte-deterministic.
+	/tmp/onionsim-ci -sweep examples/sweep/store-ab.json -parallel 1 -json > /tmp/onionsim-store-p1.json
+	/tmp/onionsim-ci -sweep examples/sweep/store-ab.json -parallel 4 -json > /tmp/onionsim-store-p4.json
+	cmp /tmp/onionsim-store-p1.json /tmp/onionsim-store-p4.json
 
 # scenario-smoke runs the whole named-question library in quick mode —
 # every expectation must PASS (non-zero exit otherwise) — and

@@ -25,6 +25,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom units reported via testing.B.ReportMetric
+	// (e.g. "heap-MiB" from the million-node memory-profile benchmark).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc is the emitted artifact.
@@ -102,6 +105,13 @@ func parseBenchLine(line string) (Result, bool) {
 			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			if f, ferr := strconv.ParseFloat(val, 64); ferr == nil {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = f
+			}
 		}
 	}
 	return r, true

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"onionbots/internal/sim"
+)
+
+// aliveRef is the executable reference for aliveIndex: the previous
+// pointer-slice-plus-map layout, reduced to roster indices. The SoA
+// index must present identical observable state — same membership,
+// same internal order (the order uniform victim draws are made over) —
+// after any add/remove sequence.
+type aliveRef struct {
+	ids []int32
+	pos map[int32]int
+}
+
+func newAliveRef() *aliveRef { return &aliveRef{pos: make(map[int32]int)} }
+
+func (r *aliveRef) add(idx int32) {
+	r.pos[idx] = len(r.ids)
+	r.ids = append(r.ids, idx)
+}
+
+func (r *aliveRef) remove(idx int32) {
+	i, ok := r.pos[idx]
+	if !ok {
+		return
+	}
+	last := len(r.ids) - 1
+	moved := r.ids[last]
+	r.ids[i] = moved
+	r.pos[moved] = i
+	r.ids = r.ids[:last]
+	delete(r.pos, idx)
+}
+
+// TestAliveIndexMatchesReference drives the SoA index and the
+// map-based reference through randomized adopt/takedown/draw sequences
+// over several seeds and requires identical order at every step. Order
+// equality (not just set equality) is the property that keeps
+// RandomAliveBot draws — and therefore every churn trace — byte-
+// identical across the layout change.
+func TestAliveIndexMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := sim.NewRNG(seed)
+		var a aliveIndex
+		ref := newAliveRef()
+		next := int32(0)
+		for step := 0; step < 5000; step++ {
+			switch {
+			case len(ref.ids) == 0 || rng.Bool(0.5):
+				a.add(next)
+				ref.add(next)
+				next++
+			case rng.Bool(0.2):
+				// Remove an index that may already be dead (Takedown is
+				// idempotent; the index must tolerate the repeat).
+				idx := int32(rng.Intn(int(next)))
+				a.remove(idx)
+				ref.remove(idx)
+			default:
+				// Remove a live index drawn the way churn picks victims.
+				idx := ref.ids[rng.Intn(len(ref.ids))]
+				a.remove(idx)
+				ref.remove(idx)
+			}
+			if a.count() != len(ref.ids) {
+				t.Fatalf("seed %d step %d: count=%d ref=%d", seed, step, a.count(), len(ref.ids))
+			}
+			for i, want := range ref.ids {
+				if a.ids[i] != want {
+					t.Fatalf("seed %d step %d: order diverges at %d: got %d want %d",
+						seed, step, i, a.ids[i], want)
+				}
+			}
+			for i, idx := range ref.ids {
+				if a.pos[idx] != int32(i) {
+					t.Fatalf("seed %d step %d: pos[%d]=%d want %d", seed, step, idx, a.pos[idx], i)
+				}
+			}
+		}
+	}
+}
+
+// TestAliveIndexSteadyChurnZeroAlloc pins the SoA claim on the hot
+// path: once the arrays are warm, a takedown/adopt churn cycle
+// allocates nothing (the old layout paid map traffic plus a takedown
+// closure per adopted bot).
+func TestAliveIndexSteadyChurnZeroAlloc(t *testing.T) {
+	var a aliveIndex
+	const n = 1024
+	for i := int32(0); i < n; i++ {
+		a.add(i)
+	}
+	i := int32(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		idx := i % n
+		a.remove(idx)
+		a.add(idx)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady churn allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBotNetAliveIndex exercises the index through the public surface:
+// adopt via infection, remove via takedown (including double-takedown),
+// with AliveCount and RandomAliveBot as the observers.
+func TestBotNetAliveIndex(t *testing.T) {
+	bn, err := NewBotNet(21, 16, BotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.Grow(8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bn.AliveCount() != 8 {
+		t.Fatalf("AliveCount = %d, want 8", bn.AliveCount())
+	}
+	bots := bn.Bots()
+	bots[2].Takedown()
+	bots[2].Takedown() // idempotent
+	bots[5].Takedown()
+	if bn.AliveCount() != 6 {
+		t.Fatalf("AliveCount after takedowns = %d, want 6", bn.AliveCount())
+	}
+	rng := sim.NewRNG(99)
+	for i := 0; i < 200; i++ {
+		b := bn.RandomAliveBot(rng)
+		if b == nil || !b.Alive() {
+			t.Fatalf("draw %d returned dead or nil bot", i)
+		}
+		if b == bots[2] || b == bots[5] {
+			t.Fatalf("draw %d returned a taken-down bot", i)
+		}
+	}
+	for _, b := range bn.AliveBots() {
+		b.Takedown()
+	}
+	if bn.AliveCount() != 0 || bn.RandomAliveBot(nil) != nil {
+		t.Fatalf("emptied botnet still reports alive bots")
+	}
+}

@@ -74,6 +74,13 @@ type BotConfig struct {
 	// the botmaster's, via BotNet). The zero value keeps single-attempt
 	// dials — byte-identical to a population predating the fault plane.
 	Retry tor.RetryPolicy
+	// Store selects the DescriptorStore backend every relay in the
+	// botnet's Tor network uses: "flat", "sharded", "mmap", or "" for
+	// the default (sharded). The backends are observably identical —
+	// fixed-seed runs are byte-identical across them — so the knob
+	// trades memory layout (heap maps vs off-heap append-log), never
+	// behavior. BotNet construction rejects unknown names.
+	Store string
 }
 
 func (c BotConfig) withDefaults() BotConfig {
@@ -177,9 +184,12 @@ type Bot struct {
 	alive    bool
 	executed []ExecRecord
 	stats    BotStats
-	// onTakedown, when set (by the owning BotNet), runs once when the
-	// bot dies so population indexes stay O(1)-consistent.
-	onTakedown func()
+	// owner and rosterIdx tie the bot into its BotNet's flat alive
+	// index (see aliveIndex): set once at adoption, consulted once at
+	// takedown. Two inline words replace the per-bot closure the old
+	// layout allocated for the same job.
+	owner     *BotNet
+	rosterIdx int32
 	// lastHotlistQuery rate-limits re-rallying when the bot is starved
 	// of peer candidates.
 	lastHotlistQuery time.Time
@@ -333,38 +343,47 @@ func (b *Bot) hostCurrentIdentity() error {
 	return nil
 }
 
+// Tags a bot subscribes its batched timers under (see Bot.BatchTick).
+const (
+	botTickPing uint8 = iota
+	botTickGossip
+	botTickRotate
+)
+
 // startTimers installs the bot's recurring maintenance timers. They are
 // batched: every bot infected at the same virtual instant with the same
 // periods shares one wheel event per period (ping/repair beacons, NoN
 // gossip, rotation), so a 10^5-bot population schedules a handful of
 // events per period instead of 3·10^5 — with firing order identical to
 // per-bot timers for contiguously created populations (see
-// sim.EveryBatched's ordering contract).
+// sim.EveryBatched's ordering contract). The subscriptions are
+// closure-free (Ticker, tag) pairs: a tick streams flat subscriber
+// arrays instead of chasing three captured-variable blocks per bot.
 func (b *Bot) startTimers() {
 	sched := b.net.Scheduler()
-	sched.EveryBatched(b.cfg.PingInterval, func() bool {
-		if !b.alive {
-			return false
-		}
-		b.pingTick()
-		return true
-	})
-	sched.EveryBatched(b.cfg.NoNInterval, func() bool {
-		if !b.alive {
-			return false
-		}
-		b.gossipNoN()
-		return true
-	})
+	sched.EveryBatchedTick(b.cfg.PingInterval, b, botTickPing)
+	sched.EveryBatchedTick(b.cfg.NoNInterval, b, botTickGossip)
 	if b.cfg.Rotation {
-		sched.EveryBatched(time.Hour, func() bool {
-			if !b.alive {
-				return false
-			}
-			b.maybeRotate()
-			return true
-		})
+		sched.EveryBatchedTick(time.Hour, b, botTickRotate)
 	}
+}
+
+// BatchTick dispatches one batched maintenance duty (sim.Ticker). It
+// keeps exactly the old closures' shape: dead bots unsubscribe, live
+// ones run the duty the tag names.
+func (b *Bot) BatchTick(tag uint8) bool {
+	if !b.alive {
+		return false
+	}
+	switch tag {
+	case botTickPing:
+		b.pingTick()
+	case botTickGossip:
+		b.gossipNoN()
+	case botTickRotate:
+		b.maybeRotate()
+	}
+	return true
 }
 
 // Onion reports the bot's current address.
@@ -418,8 +437,8 @@ func (b *Bot) Takedown() {
 		return
 	}
 	b.alive = false
-	if b.onTakedown != nil {
-		b.onTakedown()
+	if b.owner != nil {
+		b.owner.alive.remove(b.rosterIdx)
 	}
 	if b.ownProxy {
 		b.proxy.Shutdown()

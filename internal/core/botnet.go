@@ -92,12 +92,14 @@ type BotNet struct {
 	nextBot int
 	seed    uint64
 	// alive is the unordered swap-remove index of living bots
-	// (maintained via Bot.onTakedown), giving churn processes O(1)
-	// population counts and uniform victim picks without scanning or
-	// copying the full roster per event. AliveBots still reports in
-	// infection order off bn.bots.
-	alive    []*Bot
-	alivePos map[*Bot]int
+	// (maintained via Bot.Takedown through Bot.owner), giving churn
+	// processes O(1) population counts and uniform victim picks without
+	// scanning or copying the full roster per event. It holds int32
+	// roster indices in struct-of-arrays form — pointer-free, so a
+	// million-bot population adds two flat arrays, not a pointer-keyed
+	// map the GC must walk. AliveBots still reports in infection order
+	// off bn.bots.
+	alive aliveIndex
 	// pool pre-derives bot key material in batches (on by default; see
 	// SetIdentityPool), making infections O(handshake) instead of
 	// O(keygen) without changing a single output byte.
@@ -112,7 +114,11 @@ type BotNet struct {
 func NewBotNet(seed uint64, numRelays int, cfg BotConfig) (*BotNet, error) {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(seed)
-	net := tor.NewNetwork(sched, rng, tor.Config{})
+	newStore, err := tor.NewDescriptorStoreByName(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	net := tor.NewNetwork(sched, rng, tor.Config{NewDescriptorStore: newStore})
 	if err := net.Bootstrap(numRelays); err != nil {
 		return nil, err
 	}
@@ -131,30 +137,19 @@ func NewBotNet(seed uint64, numRelays int, cfg BotConfig) (*BotNet, error) {
 		cfg:        cfg,
 		seed:       seed,
 		SettleTime: 2 * time.Second,
-		alivePos:   make(map[*Bot]int),
 		pool:       newIdentityPool(defaultPoolBatch),
 	}, nil
 }
 
 // adopt registers a freshly created bot in the roster and the alive
-// index, wiring the takedown hook that keeps the index exact.
+// index. The bot keeps its roster index and owner inline, so takedown
+// is two array writes against the index — no per-bot closure.
 func (bn *BotNet) adopt(b *Bot) {
+	idx := int32(len(bn.bots))
 	bn.bots = append(bn.bots, b)
-	bn.alivePos[b] = len(bn.alive)
-	bn.alive = append(bn.alive, b)
-	b.onTakedown = func() {
-		i, ok := bn.alivePos[b]
-		if !ok {
-			return
-		}
-		last := len(bn.alive) - 1
-		moved := bn.alive[last]
-		bn.alive[i] = moved
-		bn.alivePos[moved] = i
-		bn.alive[last] = nil
-		bn.alive = bn.alive[:last]
-		delete(bn.alivePos, b)
-	}
+	b.owner = bn
+	b.rosterIdx = idx
+	bn.alive.add(idx)
 }
 
 // Config returns the bot configuration used for infections.
@@ -179,20 +174,22 @@ func (bn *BotNet) AliveBots() []*Bot {
 
 // AliveCount reports how many bots are currently alive — O(1) off the
 // alive index; churn processes poll this every event.
-func (bn *BotNet) AliveCount() int { return len(bn.alive) }
+func (bn *BotNet) AliveCount() int { return bn.alive.count() }
 
 // RandomAliveBot returns a uniformly random alive bot drawn with rng
 // (bn.RNG when nil), or nil when none is left. O(1) off the alive
 // index; the draw is over the index's internal (deterministic) order,
-// so it suits churn substreams that only need uniformity.
+// so it suits churn substreams that only need uniformity. The index
+// maintains exactly the swap-remove order of the old pointer slice, so
+// a given rng state draws the same bot as before the SoA layout.
 func (bn *BotNet) RandomAliveBot(rng *sim.RNG) *Bot {
-	if len(bn.alive) == 0 {
+	if bn.alive.count() == 0 {
 		return nil
 	}
 	if rng == nil {
 		rng = bn.RNG
 	}
-	return bn.alive[rng.Intn(len(bn.alive))]
+	return bn.bots[bn.alive.ids[rng.Intn(len(bn.alive.ids))]]
 }
 
 // InfectOne creates a bot and rallies it with the given bootstrap
@@ -273,24 +270,24 @@ func (bn *BotNet) Takedown(b *Bot) { b.Takedown() }
 // bots by their current derived address, so the measure survives
 // address rotation. An empty registry reports 0.
 func (bn *BotNet) HotlistStaleness() float64 {
-	recs := bn.Master.recordList
-	if len(recs) == 0 {
+	nRecs := bn.Master.records.len()
+	if nRecs == 0 {
 		return 0
 	}
 	// Derive the alive-onion set from the swap-remove alive index: the
 	// former full-roster scan (dead bots included) made every staleness
 	// sample O(all bots ever infected).
-	alive := make(map[string]struct{}, len(bn.alive))
-	for _, b := range bn.alive {
-		alive[b.Onion()] = struct{}{}
+	alive := make(map[string]struct{}, bn.alive.count())
+	for _, idx := range bn.alive.ids {
+		alive[bn.bots[idx].Onion()] = struct{}{}
 	}
 	dead := 0
-	for _, r := range recs {
-		if _, ok := alive[bn.Master.CurrentOnionOf(r)]; !ok {
+	for i := 0; i < nRecs; i++ {
+		if _, ok := alive[bn.Master.CurrentOnionOf(bn.Master.records.at(i))]; !ok {
 			dead++
 		}
 	}
-	return float64(dead) / float64(len(recs))
+	return float64(dead) / float64(nRecs)
 }
 
 // NewVirtualBot constructs a bot on a caller-supplied proxy (a

@@ -26,8 +26,17 @@ const defaultPoolBatch = 64
 // X25519 exchange the botmaster pays to open the rally report
 // (Botmaster.PrimeRallyOpen).
 type IdentityPool struct {
-	batch   int
-	entries map[int]*botcrypto.BotMaterial
+	batch int
+	// base and entries form a sliding window over bot indices:
+	// entries[i] holds the material for bot index base+i, nil when not
+	// yet derived or already consumed. Bot indices are consumed in
+	// strictly increasing order (InfectOne increments nextBot before
+	// drawing), so the window only slides forward; the consumed prefix
+	// is trimmed on every take. Compared to the former map[int] this is
+	// one flat pointer array of ~batch length — no hashing on the churn
+	// path and nothing for the GC to walk beyond the window itself.
+	base    int
+	entries []*botcrypto.BotMaterial
 	stats   IdentityPoolStats
 }
 
@@ -43,10 +52,49 @@ type IdentityPoolStats struct {
 }
 
 func newIdentityPool(batch int) *IdentityPool {
-	return &IdentityPool{
-		batch:   batch,
-		entries: make(map[int]*botcrypto.BotMaterial, batch),
+	return &IdentityPool{batch: batch}
+}
+
+// get returns the window slot for bot index idx, nil when outside the
+// window or not derived.
+func (p *IdentityPool) get(idx int) *botcrypto.BotMaterial {
+	if idx < p.base || idx >= p.base+len(p.entries) {
+		return nil
 	}
+	return p.entries[idx-p.base]
+}
+
+// set stores material for bot index idx, growing the window tail as
+// needed. Indices behind the window were already consumed; storing
+// them again is dropped.
+func (p *IdentityPool) set(idx int, m *botcrypto.BotMaterial) {
+	if len(p.entries) == 0 {
+		p.base = idx
+	}
+	if idx < p.base {
+		return
+	}
+	for idx >= p.base+len(p.entries) {
+		p.entries = append(p.entries, nil)
+	}
+	p.entries[idx-p.base] = m
+}
+
+// take removes and returns the material for bot index idx, sliding the
+// window past the consumed prefix.
+func (p *IdentityPool) take(idx int) *botcrypto.BotMaterial {
+	m := p.get(idx)
+	if m == nil {
+		return nil
+	}
+	p.entries[idx-p.base] = nil
+	trim := 0
+	for trim < len(p.entries) && p.entries[trim] == nil {
+		trim++
+	}
+	p.entries = p.entries[trim:]
+	p.base += trim
+	return m
 }
 
 // SetIdentityPool resizes the botnet's identity pool warmup batch, or
@@ -85,7 +133,7 @@ func (bn *BotNet) WarmIdentities(n int) {
 	encPub := bn.Master.enc.Pub
 	netKey := bn.Master.netKey
 	for i := bn.nextBot + 1; i <= bn.nextBot+n; i++ {
-		if _, ok := p.entries[i]; ok {
+		if p.get(i) != nil {
 			continue
 		}
 		m, err := botcrypto.DeriveBotMaterial(signPub, encPub, netKey,
@@ -97,7 +145,7 @@ func (bn *BotNet) WarmIdentities(n int) {
 		if m.SealedKB != nil {
 			bn.Master.PrimeRallyOpen(m.SealedKB, m.KB)
 		}
-		p.entries[i] = m
+		p.set(i, m)
 		p.stats.Derived++
 	}
 }
@@ -108,8 +156,8 @@ func (bn *BotNet) WarmIdentities(n int) {
 func (bn *BotNet) takeMaterial(idx int) *botcrypto.BotMaterial {
 	p := bn.pool
 	ip := botcrypto.PeriodIndex(bn.Net.Now())
-	mat, ok := p.entries[idx]
-	if !ok {
+	mat := p.take(idx)
+	if mat == nil {
 		signPub := bn.Master.SignPub()
 		encPub := bn.Master.enc.Pub
 		netKey := bn.Master.netKey
@@ -123,12 +171,14 @@ func (bn *BotNet) takeMaterial(idx int) *botcrypto.BotMaterial {
 			if m.SealedKB != nil {
 				bn.Master.PrimeRallyOpen(m.SealedKB, m.KB)
 			}
-			p.entries[i] = m
+			p.set(i, m)
 			p.stats.Derived++
 		}
-		mat = p.entries[idx]
+		mat = p.take(idx)
+		if mat == nil {
+			return nil
+		}
 	}
-	delete(p.entries, idx)
 	if mat.Period != ip {
 		// The rotation period rolled over since warmup: re-derive the
 		// identity (K_B, the DRBG position, and the rally seal are

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"onionbots/internal/tor"
+)
+
+// TestStoreAxisExpansion pins the stores sweep axis: label component,
+// Params threading, and validation of unknown backend names.
+func TestStoreAxisExpansion(t *testing.T) {
+	s := &Sweep{
+		Name:        "stores",
+		Experiments: []string{"churn-hotlist"},
+		Quick:       true,
+		Stores:      []string{"sharded", "mmap"},
+		Seeds:       []uint64{1},
+	}
+	tasks, err := s.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("expanded to %d tasks, want 2", len(tasks))
+	}
+	if tasks[0].Label != "churn-hotlist/store=sharded/seed=1" {
+		t.Fatalf("first label = %q", tasks[0].Label)
+	}
+	if tasks[1].Params.Store != "mmap" {
+		t.Fatalf("second params = %+v", tasks[1].Params)
+	}
+	// Both tasks must share one substream: the store axis compares
+	// backends on the same random stream, not two unrelated runs.
+	want := "churn-hotlist/seed=1"
+	for _, task := range tasks {
+		if task.SeedLabel != want {
+			t.Fatalf("task %q seed label = %q, want %q", task.Label, task.SeedLabel, want)
+		}
+	}
+}
+
+// TestStoreSweepResultsIdenticalAcrossBackends runs a store-axis sweep
+// through the real Runner and requires every backend's task to emit the
+// same results for the same seed — the end-to-end form of the A/B
+// guarantee the store knob advertises.
+func TestStoreSweepResultsIdenticalAcrossBackends(t *testing.T) {
+	s := &Sweep{
+		Name:        "store-ab",
+		Experiments: []string{"churn-hotlist"},
+		Quick:       true,
+		Stores:      tor.StoreBackendNames(),
+		Seeds:       []uint64{1},
+	}
+	tasks, err := s.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Parallel: len(tasks)}
+	results, err := r.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range results {
+		if tr.Err != nil {
+			t.Fatalf("%s: %v", tr.Task.Label, tr.Err)
+		}
+		if tr.EffectiveSeed != results[0].EffectiveSeed {
+			t.Fatalf("%s ran on seed %d, want shared seed %d",
+				tr.Task.Label, tr.EffectiveSeed, results[0].EffectiveSeed)
+		}
+		if i > 0 && !reflect.DeepEqual(tr.Results, results[0].Results) {
+			t.Fatalf("%s diverges from %s", tr.Task.Label, results[0].Task.Label)
+		}
+	}
+}
+
+func TestParseSweepRejectsBadStore(t *testing.T) {
+	spec := `{"experiments":["fig6"],"stores":["ramdisk"]}`
+	if _, err := ParseSweep([]byte(spec)); err == nil || !strings.Contains(err.Error(), "ramdisk") {
+		t.Fatalf("bad store accepted: %v", err)
+	}
+	dup := `{"experiments":["fig6"],"stores":["mmap","mmap"]}`
+	if _, err := ParseSweep([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate store") {
+		t.Fatalf("duplicate store accepted: %v", err)
+	}
+}
+
+// TestStoreBackendsByteIdenticalOutputs is the acceptance gate for the
+// store knob: a fixed-seed protocol-level experiment must produce
+// exactly the same results on every DescriptorStore backend — the
+// backend is a memory plane, not a behavior knob. churn-hotlist is the
+// experiment that exercises the store hardest (rotation on, rally
+// registration, hotlist lookups under churn).
+func TestStoreBackendsByteIdenticalOutputs(t *testing.T) {
+	def, ok := Lookup("churn-hotlist")
+	if !ok {
+		t.Fatal("churn-hotlist not registered")
+	}
+	var baseline []*Result
+	for i, store := range tor.StoreBackendNames() {
+		res, err := def.Run(Params{Quick: true, Seed: 3, Store: store})
+		if err != nil {
+			t.Fatalf("store=%s: %v", store, err)
+		}
+		if i == 0 {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(baseline, res) {
+			t.Fatalf("store=%s diverges from store=%s:\n%+v\nvs\n%+v",
+				store, tor.StoreBackendNames()[0], res, baseline)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hunts for fault-plane inputs that panic the parser or
+// break its contracts: accepted specs validate, label safely, and
+// round-trip through JSON unchanged.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"crash_rate": 6, "restart_h": 1}`))
+	f.Add([]byte(`{"outage_frac": 0.3, "outage_at_h": 2, "outage_targeted": true}`))
+	f.Add([]byte(`{"intro_fail_p": 0.2, "retry_attempts": 3, "retry_backoff_s": 300}`))
+	f.Add([]byte(`{"outage_frac": 1.5}`))
+	f.Add([]byte(`{"restart_h": 1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails Validate: %v\ninput: %q", verr, data)
+		}
+		if label := s.Label(); strings.ContainsAny(label, "/,") {
+			t.Fatalf("label %q contains a task-label or CSV delimiter", label)
+		}
+		enc, merr := json.Marshal(s)
+		if merr != nil {
+			t.Fatalf("accepted spec does not marshal: %v", merr)
+		}
+		s2, perr := ParseSpec(enc)
+		if perr != nil {
+			t.Fatalf("re-parse of %s failed: %v", enc, perr)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round-trip changed spec: %+v vs %+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzReplayJournal throws arbitrary bytes at the crash-recovery path
+// that normally only ever sees this process's own appends. The replay
+// contract under fuzz: never panic, and any accepted journal yields
+// records with unique non-empty labels — the resume logic keys on
+// labels, so a duplicate or blank one slipping through would corrupt
+// the merged result set silently.
+func FuzzReplayJournal(f *testing.F) {
+	f.Add([]byte(`{"task":{"label":"fig6/seed=1","experiment":"fig6","params":{"quick":true,"seed":1}},"effective_seed":42}` + "\n"))
+	f.Add([]byte(`{"task":{"label":"a","experiment":"fig6","params":{"quick":false,"seed":0}},"effective_seed":1}` + "\n" +
+		`{"task":{"label":"b","experiment":"fig6","params":{"quick":false,"seed":0}},"effective_seed":2,"error":"boom"}` + "\n"))
+	// A torn tail: the crash landed mid-append.
+	f.Add([]byte(`{"task":{"label":"a","experiment":"fig6","params":{"quick":false,"seed":0}},"effective_seed":1}` + "\n" +
+		`{"task":{"label":"b","exper`))
+	// Garbage mid-file: corruption, must fail loudly.
+	f.Add([]byte("garbage\n" + `{"task":{"label":"a","experiment":"fig6","params":{"quick":false,"seed":0}},"effective_seed":1}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		results, torn, err := replayJournalData(data)
+		if err != nil {
+			return
+		}
+		seen := make(map[string]struct{}, len(results))
+		for _, tr := range results {
+			if tr.Task.Label == "" {
+				t.Fatalf("replay accepted a record with no label (torn=%v)\ninput: %q", torn, data)
+			}
+			if _, dup := seen[tr.Task.Label]; dup {
+				t.Fatalf("replay accepted duplicate label %q\ninput: %q", tr.Task.Label, data)
+			}
+			seen[tr.Task.Label] = struct{}{}
+			if tr.Error != "" && tr.Err == nil {
+				t.Fatalf("journaled failure %q not reconstructed into Err", tr.Error)
+			}
+		}
+	})
+}

@@ -78,6 +78,13 @@ func ReplayJournal(path string) (results []experiment.TaskResult, torn bool, err
 		}
 		return nil, false, fmt.Errorf("replay journal: %w", err)
 	}
+	return replayJournalData(data)
+}
+
+// replayJournalData is the pure bytes→records core of ReplayJournal,
+// split out so the torn-tail recovery logic is directly fuzzable
+// (FuzzReplayJournal) without touching the filesystem.
+func replayJournalData(data []byte) (results []experiment.TaskResult, torn bool, err error) {
 	seen := make(map[string]struct{})
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)

@@ -31,13 +31,41 @@ type batchKey struct {
 	created int64 // virtual ns the batch was created; implies the phase
 }
 
+// Ticker is the closure-free batched-timer subscriber: one object
+// implements every periodic duty it owns, dispatching on the tag it
+// subscribed with. A population of n entities with k timers each then
+// costs n·k two-word batchSub entries in flat arrays instead of n·k
+// heap-allocated closures, and a tick streams those arrays without
+// chasing captured-variable blocks. Return false to unsubscribe, as
+// with Every.
+type Ticker interface {
+	BatchTick(tag uint8) bool
+}
+
+// batchSub is one subscription in a batch: either a closure (fn set,
+// the EveryBatched path) or a (Ticker, tag) pair (the EveryBatchedTick
+// path). Mixed batches are fine — ordering depends only on
+// subscription order, never on which form a subscriber used.
+type batchSub struct {
+	fn  func() bool
+	t   Ticker
+	tag uint8
+}
+
+func (s batchSub) run() bool {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return s.t.BatchTick(s.tag)
+}
+
 // tickBatch is the shared recurring event for one (period, instant).
 // Note the key is (period, instant) only, not the call site: distinct
 // logical timer groups subscribed interleaved at one instant with one
 // period merge into a single batch, which preserves exactly the
 // interleaved subscription order their individual timers would fire in.
 type tickBatch struct {
-	subs []func() bool
+	subs []batchSub
 }
 
 // EveryBatched schedules fn like Every(d, fn) — first run d from now,
@@ -46,6 +74,20 @@ type tickBatch struct {
 // event. Use it for per-entity maintenance timers in large populations
 // built in setup bursts. A non-positive d is rejected by doing nothing.
 func (s *Scheduler) EveryBatched(d time.Duration, fn func() bool) {
+	s.everyBatchedSub(d, batchSub{fn: fn})
+}
+
+// EveryBatchedTick is EveryBatched without the closure: the subscriber
+// is a (Ticker, tag) pair stored inline in the batch's subscriber
+// array, and each tick calls t.BatchTick(tag). Firing order is
+// identical to an EveryBatched closure subscribed at the same point —
+// the two forms share one batch per (period, instant) — so swapping a
+// closure for a Ticker cannot perturb trace output.
+func (s *Scheduler) EveryBatchedTick(d time.Duration, t Ticker, tag uint8) {
+	s.everyBatchedSub(d, batchSub{t: t, tag: tag})
+}
+
+func (s *Scheduler) everyBatchedSub(d time.Duration, sub batchSub) {
 	if d <= 0 {
 		return
 	}
@@ -54,10 +96,10 @@ func (s *Scheduler) EveryBatched(d time.Duration, fn func() bool) {
 		s.batches = make(map[batchKey]*tickBatch)
 	}
 	if b, ok := s.batches[key]; ok {
-		b.subs = append(b.subs, fn)
+		b.subs = append(b.subs, sub)
 		return
 	}
-	b := &tickBatch{subs: []func() bool{fn}}
+	b := &tickBatch{subs: []batchSub{sub}}
 	s.batches[key] = b
 	first := true
 	s.Every(d, func() bool {
@@ -68,20 +110,21 @@ func (s *Scheduler) EveryBatched(d time.Duration, fn func() bool) {
 			first = false
 			delete(s.batches, key)
 		}
-		// Compact in place with an explicit index: a subscriber's fn may
+		// Compact in place with an explicit index: a subscriber may
 		// append to b.subs mid-iteration (a same-instant EveryBatched
 		// call from inside a tick); re-reading len each step keeps it.
 		w := 0
 		for i := 0; i < len(b.subs); i++ {
 			sub := b.subs[i]
-			if sub() {
+			if sub.run() {
 				b.subs[w] = sub
 				w++
 			}
 		}
-		// Zero dropped tails so unsubscribed closures become collectable.
+		// Zero dropped tails so unsubscribed closures and tickers become
+		// collectable.
 		for i := w; i < len(b.subs); i++ {
-			b.subs[i] = nil
+			b.subs[i] = batchSub{}
 		}
 		b.subs = b.subs[:w]
 		return len(b.subs) > 0

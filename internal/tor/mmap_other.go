@@ -1,0 +1,17 @@
+//go:build !unix
+
+package tor
+
+// Non-unix fallback: chunks are plain heap slices. The store keeps its
+// append-log layout and compaction behaviour — only the off-heap
+// property is lost, which is a performance matter, not a correctness
+// one (the differential battery runs identically).
+type mmapChunk struct {
+	buf []byte
+}
+
+func newMmapChunk(size int) mmapChunk { return mmapChunk{buf: make([]byte, size)} }
+
+func (c mmapChunk) bytes() []byte { return c.buf }
+
+func (c mmapChunk) release() {}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package tor
+
+import "syscall"
+
+// mmapChunk is one log segment. On unix it is an anonymous private
+// mapping: the bytes live outside the Go heap (the GC never scans
+// them), pages are committed lazily on first touch, and release
+// returns them to the OS immediately instead of waiting for a GC
+// cycle.
+type mmapChunk struct {
+	buf    []byte
+	mapped bool
+}
+
+func newMmapChunk(size int) mmapChunk {
+	buf, err := syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		// Out of address space or mapping limit; fall back to a heap
+		// slice rather than aborting the simulation.
+		return mmapChunk{buf: make([]byte, size)}
+	}
+	return mmapChunk{buf: buf, mapped: true}
+}
+
+func (c mmapChunk) bytes() []byte { return c.buf }
+
+func (c mmapChunk) release() {
+	if c.mapped {
+		_ = syscall.Munmap(c.buf)
+	}
+}

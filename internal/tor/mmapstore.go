@@ -1,0 +1,453 @@
+package tor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// MmapDescriptorStore is the spill-to-disk backend for million-entry
+// descriptor populations: descriptors live encoded in an append-only
+// log of mmap'd chunks outside the Go heap, and only a fixed-size
+// digest→offset index (the same open-addressed ringTable the sharded
+// backend uses) stays on the heap. The GC therefore scans a few flat
+// slices regardless of population, and a 10^6-descriptor directory
+// costs the heap ~24 bytes per entry instead of a pointer-heavy
+// Descriptor graph.
+//
+// Log format (offsets are global across the chunk list):
+//
+//	record  := kind(1) id(20) len(4, LE) payload(len)
+//	kind    := recPut | recNil | recDel | recPad
+//	payload := encoded descriptor (recPut), empty (recNil, recDel)
+//
+// Put appends a recPut (or recNil for a nil descriptor — the flat
+// backend accepts those, so the differential battery does too) and
+// repoints the index at the new offset; the overwritten record stays
+// behind as a tombstone counted in deadBytes. Delete appends a recDel
+// marker — the log is a complete operation journal, so an index can be
+// rebuilt by replay (see rebuildIndex) — and drops the index entry.
+// Records never span chunks; the unusable tail of a chunk is stamped
+// recPad and counted dead. When the dead volume exceeds the live
+// volume (and compactMin), compact rewrites live records into a fresh
+// chunk list in log order and unmaps the old one.
+//
+// Like the other backends it is not safe for concurrent use: each
+// simulation task drives its network from one goroutine.
+type MmapDescriptorStore struct {
+	chunks []mmapChunk
+	tail   uint64 // global append offset
+	index  [descShards]ringTable[uint64]
+	n      int
+
+	liveBytes uint64 // bytes of records the index still points at
+	deadBytes uint64 // tombstoned records, delete markers, chunk padding
+
+	scratch []byte // encode buffer, reused across Puts
+	stats   MmapStoreStats
+}
+
+// MmapStoreStats counts store activity for tests and benchmarks.
+type MmapStoreStats struct {
+	// Compactions is how many times the log was rewritten.
+	Compactions int
+	// Chunks is the current chunk count; LogBytes the current tail
+	// offset (live + dead + padding).
+	Chunks   int
+	LogBytes uint64
+	// LiveBytes and DeadBytes split LogBytes by whether the index still
+	// points at the record.
+	LiveBytes, DeadBytes uint64
+}
+
+// Record kinds. recPad marks the unusable tail of a chunk (records
+// never span chunks); its "record" is just the single kind byte
+// repeated implicitly to the chunk boundary.
+const (
+	recPad = iota
+	recPut
+	recNil
+	recDel
+)
+
+const (
+	// mmapChunkShift sizes chunks at 1 MiB: small enough that a
+	// network's many HSDir stores cost little, large enough that a
+	// 10^6-entry log is a few hundred chunks. Anonymous mappings are
+	// lazily committed, so an idle store's resident cost is one page.
+	mmapChunkShift = 20
+	mmapChunkSize  = 1 << mmapChunkShift
+	mmapChunkMask  = mmapChunkSize - 1
+
+	recHeaderSize = 1 + 20 + 4
+
+	// compactMin is the dead volume below which compaction is never
+	// triggered, so small stores do not thrash.
+	compactMin = 1 << 20
+)
+
+// NewMmapDescriptorStore returns an empty mmap-backed store. Chunks are
+// anonymous private mappings: off-heap, swappable, reclaimed on Close
+// (or process exit) — there is no backing file to manage, which keeps
+// a network's per-HSDir stores free of file-descriptor cost.
+func NewMmapDescriptorStore() *MmapDescriptorStore {
+	return &MmapDescriptorStore{}
+}
+
+// Close unmaps every chunk. The store is empty afterwards and remains
+// usable (a subsequent Put maps fresh chunks). Calling Close on
+// long-gone stores is optional — unreferenced mappings are reclaimed
+// when the process exits, and relays live for the whole run — but
+// sweeps that churn many networks per process should close stores (via
+// Network teardown) to keep mapped memory bounded.
+func (s *MmapDescriptorStore) Close() {
+	for _, c := range s.chunks {
+		c.release()
+	}
+	s.chunks = nil
+	s.tail = 0
+	s.n = 0
+	s.liveBytes, s.deadBytes = 0, 0
+	for i := range s.index {
+		s.index[i] = ringTable[uint64]{}
+	}
+}
+
+// Len reports the number of stored descriptors.
+func (s *MmapDescriptorStore) Len() int { return s.n }
+
+// Stats returns a snapshot of the log geometry.
+func (s *MmapDescriptorStore) Stats() MmapStoreStats {
+	st := s.stats
+	st.Chunks = len(s.chunks)
+	st.LogBytes = s.tail
+	st.LiveBytes, st.DeadBytes = s.liveBytes, s.deadBytes
+	return st
+}
+
+// Put stores (or replaces) the descriptor at id. The descriptor is
+// encoded at call time: later mutations of d are not reflected, which
+// matches how directories use the interface (they ingest immutable
+// clones and never touch them again).
+func (s *MmapDescriptorStore) Put(id DescriptorID, d *Descriptor) {
+	kind := byte(recPut)
+	payload := s.scratch[:0]
+	if d == nil {
+		kind = recNil
+	} else {
+		payload = encodeDescriptor(payload, d)
+		s.scratch = payload[:0]
+	}
+	off := s.append(kind, id, payload)
+	t := &s.index[id[8]&(descShards-1)]
+	if old, ok := t.get(id); ok {
+		s.retire(old)
+	} else {
+		s.n++
+	}
+	t.put(id, off)
+	s.liveBytes += uint64(recHeaderSize + len(payload))
+	s.maybeCompact()
+}
+
+// Get returns the descriptor stored at id, decoded fresh from the log.
+// Successive Gets of one id return distinct (equal) *Descriptor values;
+// callers of the DescriptorStore interface treat results as immutable
+// either way (directories clone before serving).
+func (s *MmapDescriptorStore) Get(id DescriptorID) (*Descriptor, bool) {
+	off, ok := s.index[id[8]&(descShards-1)].get(id)
+	if !ok {
+		return nil, false
+	}
+	kind, _, payload := s.record(off)
+	if kind == recNil {
+		return nil, true
+	}
+	d, err := decodeDescriptor(payload)
+	if err != nil {
+		// Unreachable unless the log was corrupted through the mmap by
+		// an outside writer; fail loudly rather than serve garbage.
+		panic(fmt.Sprintf("tor: mmap store: corrupt record at offset %d: %v", off, err))
+	}
+	return d, true
+}
+
+// Delete removes the descriptor at id (absent ids are a no-op). The
+// log gains a delete marker so replaying it reproduces the index.
+func (s *MmapDescriptorStore) Delete(id DescriptorID) {
+	t := &s.index[id[8]&(descShards-1)]
+	off, ok := t.get(id)
+	if !ok {
+		return
+	}
+	t.remove(id)
+	s.n--
+	s.retire(off)
+	s.append(recDel, id, nil)
+	s.deadBytes += recHeaderSize // the marker itself is never live
+	s.maybeCompact()
+}
+
+// retire moves the record at off from the live to the dead account.
+func (s *MmapDescriptorStore) retire(off uint64) {
+	_, n, _ := s.record(off)
+	s.liveBytes -= uint64(recHeaderSize + n)
+	s.deadBytes += uint64(recHeaderSize + n)
+}
+
+// append writes one record and returns its global offset.
+func (s *MmapDescriptorStore) append(kind byte, id DescriptorID, payload []byte) uint64 {
+	need := recHeaderSize + len(payload)
+	if need > mmapChunkSize {
+		panic(fmt.Sprintf("tor: mmap store: record of %d bytes exceeds chunk size", need))
+	}
+	if room := mmapChunkSize - int(s.tail&mmapChunkMask); room < need && len(s.chunks) > 0 {
+		// Stamp the unusable tail as padding and advance to the next
+		// chunk boundary.
+		buf := s.chunks[len(s.chunks)-1].bytes()
+		pos := int(s.tail & mmapChunkMask)
+		if pos < mmapChunkSize {
+			buf[pos] = recPad
+		}
+		s.deadBytes += uint64(room)
+		s.tail = (s.tail + mmapChunkSize) &^ uint64(mmapChunkMask)
+	}
+	for int(s.tail>>mmapChunkShift) >= len(s.chunks) {
+		s.chunks = append(s.chunks, newMmapChunk(mmapChunkSize))
+	}
+	buf := s.chunks[s.tail>>mmapChunkShift].bytes()
+	pos := int(s.tail & mmapChunkMask)
+	off := s.tail
+	buf[pos] = kind
+	copy(buf[pos+1:], id[:])
+	binary.LittleEndian.PutUint32(buf[pos+21:], uint32(len(payload)))
+	copy(buf[pos+recHeaderSize:], payload)
+	s.tail += uint64(need)
+	return off
+}
+
+// record reads the record at off, returning its kind, payload length,
+// and payload view into the mapped chunk.
+func (s *MmapDescriptorStore) record(off uint64) (kind byte, n int, payload []byte) {
+	buf := s.chunks[off>>mmapChunkShift].bytes()
+	pos := int(off & mmapChunkMask)
+	kind = buf[pos]
+	n = int(binary.LittleEndian.Uint32(buf[pos+21:]))
+	return kind, n, buf[pos+recHeaderSize : pos+recHeaderSize+n]
+}
+
+// recordID reads the 20-byte key of the record at off.
+func (s *MmapDescriptorStore) recordID(off uint64) DescriptorID {
+	buf := s.chunks[off>>mmapChunkShift].bytes()
+	pos := int(off & mmapChunkMask)
+	var id DescriptorID
+	copy(id[:], buf[pos+1:])
+	return id
+}
+
+// maybeCompact rewrites the log when tombstones dominate it.
+func (s *MmapDescriptorStore) maybeCompact() {
+	if s.deadBytes > compactMin && s.deadBytes > s.liveBytes {
+		s.compact()
+	}
+}
+
+// compact walks the old log in offset order, re-appending every record
+// the index still points at into a fresh chunk list, then unmaps the
+// old chunks. Offset order keeps the rewrite deterministic and
+// preserves temporal locality; delete markers and tombstones vanish.
+func (s *MmapDescriptorStore) compact() {
+	oldChunks := s.chunks
+	oldTail := s.tail
+	s.chunks = nil
+	s.tail = 0
+	s.liveBytes, s.deadBytes = 0, 0
+	for off := uint64(0); off < oldTail; {
+		pos := int(off & mmapChunkMask)
+		buf := oldChunks[off>>mmapChunkShift].bytes()
+		if buf[pos] == recPad {
+			off = (off + mmapChunkSize) &^ uint64(mmapChunkMask)
+			continue
+		}
+		kind := buf[pos]
+		n := int(binary.LittleEndian.Uint32(buf[pos+21:]))
+		if kind == recPut || kind == recNil {
+			id := DescriptorID{}
+			copy(id[:], buf[pos+1:])
+			t := &s.index[id[8]&(descShards-1)]
+			if cur, ok := t.get(id); ok && cur == off {
+				newOff := s.append(kind, id, buf[pos+recHeaderSize:pos+recHeaderSize+n])
+				t.put(id, newOff)
+				s.liveBytes += uint64(recHeaderSize + n)
+			}
+		}
+		off += uint64(recHeaderSize + n)
+	}
+	for _, c := range oldChunks {
+		c.release()
+	}
+	s.stats.Compactions++
+}
+
+// rebuildIndex reconstructs the digest→offset index purely from the
+// log, proving the log is a self-contained operation journal. Used by
+// tests; a crash-recovery caller would do the same.
+func (s *MmapDescriptorStore) rebuildIndex() {
+	for i := range s.index {
+		s.index[i] = ringTable[uint64]{}
+	}
+	s.n = 0
+	s.liveBytes, s.deadBytes = 0, 0
+	for off := uint64(0); off < s.tail; {
+		pos := int(off & mmapChunkMask)
+		buf := s.chunks[off>>mmapChunkShift].bytes()
+		if buf[pos] == recPad {
+			s.deadBytes += mmapChunkSize - uint64(pos)
+			off = (off + mmapChunkSize) &^ uint64(mmapChunkMask)
+			continue
+		}
+		kind := buf[pos]
+		n := int(binary.LittleEndian.Uint32(buf[pos+21:]))
+		var id DescriptorID
+		copy(id[:], buf[pos+1:])
+		t := &s.index[id[8]&(descShards-1)]
+		switch kind {
+		case recPut, recNil:
+			if old, ok := t.get(id); ok {
+				on := 0
+				_, on, _ = s.record(old)
+				s.liveBytes -= uint64(recHeaderSize + on)
+				s.deadBytes += uint64(recHeaderSize + on)
+			} else {
+				s.n++
+			}
+			t.put(id, off)
+			s.liveBytes += uint64(recHeaderSize + n)
+		case recDel:
+			if old, ok := t.get(id); ok {
+				t.remove(id)
+				s.n--
+				on := 0
+				_, on, _ = s.record(old)
+				s.liveBytes -= uint64(recHeaderSize + on)
+				s.deadBytes += uint64(recHeaderSize + on)
+			}
+			s.deadBytes += recHeaderSize
+		}
+		off += uint64(recHeaderSize + n)
+	}
+}
+
+// Descriptor wire codec. The encoding is private to the store: it only
+// ever round-trips within one process, so it needs determinism and
+// completeness (every field of Descriptor that participates in equal),
+// not cross-version stability. The verified memo-mark deliberately
+// does not travel — a decoded copy must re-earn verification exactly
+// like a clone() does.
+
+func encodeDescriptor(buf []byte, d *Descriptor) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(d.Pub)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, d.Pub...)
+	binary.LittleEndian.PutUint64(tmp[:], d.TimePeriod)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(int64(d.Replica)))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(d.PublishedAt.Unix()))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(d.PublishedAt.Nanosecond()))
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(d.IntroPoints)))
+	buf = append(buf, tmp[:2]...)
+	for _, ip := range d.IntroPoints {
+		buf = append(buf, ip[:]...)
+	}
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(d.Sig)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, d.Sig...)
+	return buf
+}
+
+func decodeDescriptor(b []byte) (*Descriptor, error) {
+	d := &Descriptor{}
+	take := func(n int) ([]byte, error) {
+		if len(b) < n {
+			return nil, fmt.Errorf("short record")
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, nil
+	}
+	pl, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := take(int(binary.LittleEndian.Uint16(pl)))
+	if err != nil {
+		return nil, err
+	}
+	if len(pub) > 0 {
+		d.Pub = append(d.Pub, pub...)
+	}
+	f, err := take(8 + 8 + 8 + 4)
+	if err != nil {
+		return nil, err
+	}
+	d.TimePeriod = binary.LittleEndian.Uint64(f)
+	d.Replica = int(int64(binary.LittleEndian.Uint64(f[8:])))
+	sec := int64(binary.LittleEndian.Uint64(f[16:]))
+	nsec := binary.LittleEndian.Uint32(f[24:])
+	d.PublishedAt = time.Unix(sec, int64(nsec)).UTC()
+	nl, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	nIntro := int(binary.LittleEndian.Uint16(nl))
+	if nIntro > 0 {
+		ips, err := take(20 * nIntro)
+		if err != nil {
+			return nil, err
+		}
+		d.IntroPoints = make([]Fingerprint, nIntro)
+		for i := range d.IntroPoints {
+			copy(d.IntroPoints[i][:], ips[20*i:])
+		}
+	}
+	sl, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := take(int(binary.LittleEndian.Uint16(sl)))
+	if err != nil {
+		return nil, err
+	}
+	if len(sig) > 0 {
+		d.Sig = append(d.Sig, sig...)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(b))
+	}
+	return d, nil
+}
+
+// NewDescriptorStoreByName maps a backend name to its constructor:
+// "flat" (seed reference), "sharded" (default), "mmap" (off-heap
+// append-log). The empty name selects the default. Unknown names error
+// so a sweep spec typo cannot silently fall back.
+func NewDescriptorStoreByName(name string) (func() DescriptorStore, error) {
+	switch name {
+	case "", "sharded":
+		return func() DescriptorStore { return NewShardedDescriptorStore() }, nil
+	case "flat":
+		return func() DescriptorStore { return NewFlatDescriptorStore() }, nil
+	case "mmap":
+		return func() DescriptorStore { return NewMmapDescriptorStore() }, nil
+	default:
+		return nil, fmt.Errorf("tor: unknown descriptor store backend %q (want flat, sharded, or mmap)", name)
+	}
+}
+
+// StoreBackendNames lists the selectable backends in a stable order,
+// for sweep-axis validation and -store flag help.
+func StoreBackendNames() []string { return []string{"flat", "sharded", "mmap"} }

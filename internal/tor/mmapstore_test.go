@@ -1,0 +1,285 @@
+package tor
+
+import (
+	"testing"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// testDescriptor fabricates a descriptor with rng-driven field shapes,
+// including the degenerate ones the flat backend tolerates (empty pub,
+// no intro points, nil sig).
+func testDescriptor(rng *sim.RNG, base time.Time) *Descriptor {
+	d := &Descriptor{
+		TimePeriod:  uint64(rng.Intn(1000)),
+		Replica:     rng.Intn(NumReplicas),
+		PublishedAt: base.Add(time.Duration(rng.Intn(86400)) * time.Second),
+	}
+	if rng.Bool(0.9) {
+		d.Pub = rng.Bytes(32)
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		var fp Fingerprint
+		copy(fp[:], rng.Bytes(20))
+		d.IntroPoints = append(d.IntroPoints, fp)
+	}
+	if rng.Bool(0.9) {
+		d.Sig = rng.Bytes(64)
+	}
+	return d
+}
+
+// descMatch compares a Get result pair across backends: presence must
+// agree, and present descriptors must be field-for-field equal (the
+// mmap backend decodes fresh copies, so pointer identity is out).
+func descMatch(a *Descriptor, aok bool, b *Descriptor, bok bool) bool {
+	if aok != bok {
+		return false
+	}
+	if !aok {
+		return true
+	}
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.equal(b)
+}
+
+// TestMmapStoreRoundTrip pins the codec: every field that participates
+// in Descriptor.equal survives a Put/Get round trip, including zero
+// times and empty slices.
+func TestMmapStoreRoundTrip(t *testing.T) {
+	s := NewMmapDescriptorStore()
+	rng := sim.NewRNG(1)
+	base := sim.Epoch
+	cases := []*Descriptor{
+		{},  // all zero fields, zero PublishedAt
+		nil, // flat stores nil pointers; so must we
+		testDescriptor(rng, base),
+		{Pub: rng.Bytes(32), Sig: rng.Bytes(64), Replica: 1,
+			TimePeriod: 42, PublishedAt: base.Add(3 * time.Hour)},
+	}
+	for i, want := range cases {
+		var id DescriptorID
+		copy(id[:], rng.Bytes(20))
+		s.Put(id, want)
+		got, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("case %d: lost entry", i)
+		}
+		if want == nil {
+			if got != nil {
+				t.Fatalf("case %d: nil descriptor came back non-nil", i)
+			}
+			continue
+		}
+		if !got.equal(want) {
+			t.Fatalf("case %d: round trip mismatch:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		if got == want {
+			t.Fatalf("case %d: Get returned the stored pointer; mmap must decode a copy", i)
+		}
+	}
+}
+
+// TestMmapStoreChunkBoundary drives records across chunk boundaries:
+// payloads sized so the padding path runs, then verifies every entry.
+func TestMmapStoreChunkBoundary(t *testing.T) {
+	s := NewMmapDescriptorStore()
+	rng := sim.NewRNG(2)
+	const n = 300
+	ids := make([]DescriptorID, n)
+	descs := make([]*Descriptor, n)
+	for i := range ids {
+		copy(ids[i][:], rng.Bytes(20))
+		// ~4 KiB sig forces several chunk crossings over 300 records
+		// (300 × ~4.2 KiB ≈ 1.2 MiB > one 1 MiB chunk).
+		descs[i] = &Descriptor{Sig: rng.Bytes(4096), PublishedAt: sim.Epoch}
+		s.Put(ids[i], descs[i])
+	}
+	if st := s.Stats(); st.Chunks < 2 {
+		t.Fatalf("expected multiple chunks, got %d", st.Chunks)
+	}
+	for i, id := range ids {
+		got, ok := s.Get(id)
+		if !ok || !got.equal(descs[i]) {
+			t.Fatalf("entry %d lost or corrupted across chunk boundary", i)
+		}
+	}
+}
+
+// TestMmapStoreCompaction churns one hot key set until the natural
+// dead>live trigger fires, then verifies observable state survived and
+// the log actually shrank.
+func TestMmapStoreCompaction(t *testing.T) {
+	s := NewMmapDescriptorStore()
+	rng := sim.NewRNG(3)
+	const n = 64
+	ids := make([]DescriptorID, n)
+	descs := make([]*Descriptor, n)
+	for i := range ids {
+		copy(ids[i][:], rng.Bytes(20))
+		descs[i] = &Descriptor{Sig: rng.Bytes(2048), PublishedAt: sim.Epoch}
+		s.Put(ids[i], descs[i])
+	}
+	for round := 0; s.Stats().Compactions == 0; round++ {
+		if round > 100 {
+			t.Fatalf("compaction never triggered: %+v", s.Stats())
+		}
+		for i, id := range ids {
+			s.Delete(id)
+			s.Put(id, descs[i])
+		}
+	}
+	st := s.Stats()
+	if st.DeadBytes > st.LiveBytes {
+		t.Fatalf("compaction left dead %d > live %d", st.DeadBytes, st.LiveBytes)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d after compaction, want %d", s.Len(), n)
+	}
+	for i, id := range ids {
+		got, ok := s.Get(id)
+		if !ok || !got.equal(descs[i]) {
+			t.Fatalf("entry %d lost or corrupted by compaction", i)
+		}
+	}
+}
+
+// TestMmapStoreRebuildIndex proves the log is a self-contained
+// operation journal: dropping the index and replaying the log must
+// reproduce the exact observable state, including after overwrites,
+// deletes, and a compaction.
+func TestMmapStoreRebuildIndex(t *testing.T) {
+	s := NewMmapDescriptorStore()
+	ref := NewFlatDescriptorStore()
+	rng := sim.NewRNG(4)
+	ids := make([]DescriptorID, 48)
+	for i := range ids {
+		copy(ids[i][:], rng.Bytes(20))
+	}
+	descs := make([]*Descriptor, 8)
+	for i := range descs {
+		descs[i] = testDescriptor(rng, sim.Epoch)
+	}
+	for step := 0; step < 3000; step++ {
+		id := ids[rng.Intn(len(ids))]
+		switch rng.Intn(3) {
+		case 0, 1:
+			d := descs[rng.Intn(len(descs))]
+			s.Put(id, d)
+			ref.Put(id, d)
+		default:
+			s.Delete(id)
+			ref.Delete(id)
+		}
+	}
+	s.compact()
+	s.rebuildIndex()
+	if s.Len() != ref.Len() {
+		t.Fatalf("rebuilt Len = %d, want %d", s.Len(), ref.Len())
+	}
+	for _, id := range ids {
+		md, mok := s.Get(id)
+		fd, fok := ref.Get(id)
+		if !descMatch(md, mok, fd, fok) {
+			t.Fatalf("rebuilt Get(%x) = (%v,%v), want (%v,%v)", id[:4], md, mok, fd, fok)
+		}
+	}
+}
+
+// TestMmapStoreClose pins Close semantics: the store empties, chunks
+// are released, and it stays usable.
+func TestMmapStoreClose(t *testing.T) {
+	s := NewMmapDescriptorStore()
+	rng := sim.NewRNG(5)
+	var id DescriptorID
+	copy(id[:], rng.Bytes(20))
+	s.Put(id, &Descriptor{Sig: rng.Bytes(16), PublishedAt: sim.Epoch})
+	s.Close()
+	if s.Len() != 0 || s.Stats().Chunks != 0 {
+		t.Fatalf("Close left state behind: len=%d stats=%+v", s.Len(), s.Stats())
+	}
+	if _, ok := s.Get(id); ok {
+		t.Fatal("Get after Close returned an entry")
+	}
+	d := &Descriptor{Sig: rng.Bytes(16), PublishedAt: sim.Epoch}
+	s.Put(id, d)
+	if got, ok := s.Get(id); !ok || !got.equal(d) {
+		t.Fatal("store unusable after Close")
+	}
+	s.Close()
+}
+
+// TestMmapStoreBackendOption exercises the mmap backend through the
+// full host/dial path, like TestFlatStoreBackendOption does for flat.
+func TestMmapStoreBackendOption(t *testing.T) {
+	sched := sim.NewScheduler()
+	n := NewNetwork(sched, sim.NewRNG(3), Config{
+		NewDescriptorStore: func() DescriptorStore { return NewMmapDescriptorStore() },
+	})
+	if err := n.Bootstrap(12); err != nil {
+		t.Fatal(err)
+	}
+	var seed [32]byte
+	seed[0] = 9
+	hs, err := NewProxy(n).Host(IdentityFromSeed(seed), func(*Conn) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := NewProxy(n).Dial(hs.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+// TestNewDescriptorStoreByName pins the factory's name mapping and its
+// rejection of unknown backends.
+func TestNewDescriptorStoreByName(t *testing.T) {
+	for _, name := range append([]string{""}, StoreBackendNames()...) {
+		factory, err := NewDescriptorStoreByName(name)
+		if err != nil {
+			t.Fatalf("NewDescriptorStoreByName(%q): %v", name, err)
+		}
+		if factory() == nil {
+			t.Fatalf("NewDescriptorStoreByName(%q) built a nil store", name)
+		}
+	}
+	if _, err := NewDescriptorStoreByName("bogus"); err == nil {
+		t.Fatal("unknown backend name accepted")
+	}
+}
+
+// TestMmapStoreChurnAllocs pins the allocation profile of the hot
+// churn path (Delete+Put of a steady population): nothing per op
+// beyond amortized log growth, which the generous bound absorbs.
+func TestMmapStoreChurnAllocs(t *testing.T) {
+	rng := sim.NewRNG(7)
+	s := NewMmapDescriptorStore()
+	ids := make([]DescriptorID, 256)
+	for i := range ids {
+		copy(ids[i][:], rng.Bytes(20))
+	}
+	d := &Descriptor{Pub: rng.Bytes(32), Sig: rng.Bytes(64), PublishedAt: sim.Epoch}
+	for _, id := range ids {
+		s.Put(id, d)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		id := ids[i%len(ids)]
+		s.Delete(id)
+		s.Put(id, d)
+		i++
+	})
+	// Put/Delete append to mapped chunks through a reused scratch
+	// buffer: the only allocations are the occasional fresh chunk and
+	// compaction, amortized far below one object per op.
+	if allocs > 0.5 {
+		t.Fatalf("steady churn allocated %.2f objects/op, want amortized < 0.5", allocs)
+	}
+}

@@ -408,6 +408,12 @@ func (n *Network) RemoveRelay(fp Fingerprint) {
 		r.destroyBackward(rc, id)
 	}
 	n.relays.remove(fp)
+	// A store holding off-process resources (the mmap backend's
+	// mappings) is released now rather than at the next GC cycle, so
+	// relay churn cannot accumulate dead mappings.
+	if c, ok := r.store.(interface{ Close() }); ok {
+		c.Close()
+	}
 	// Swap-remove from the insertion-order slice: O(1) per removal, and
 	// harmless to determinism because PublishConsensus sorts its snapshot
 	// by fingerprint before anything consumes it.

@@ -182,6 +182,7 @@ func BenchmarkDescriptorStoreLookup(b *testing.B) {
 		}{
 			{"flat", NewFlatDescriptorStore()},
 			{"sharded", NewShardedDescriptorStore()},
+			{"mmap", NewMmapDescriptorStore()},
 		} {
 			for _, id := range ids {
 				backend.s.Put(id, d)
@@ -227,6 +228,16 @@ func BenchmarkDescriptorStoreBuild(b *testing.B) {
 			}
 		}
 	})
+	b.Run("mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewMmapDescriptorStore()
+			for _, id := range ids {
+				s.Put(id, d)
+			}
+			s.Close()
+		}
+	})
 }
 
 // BenchmarkDescriptorStoreChurn compares put/delete churn, the
@@ -245,6 +256,7 @@ func BenchmarkDescriptorStoreChurn(b *testing.B) {
 	}{
 		{"flat", NewFlatDescriptorStore()},
 		{"sharded", NewShardedDescriptorStore()},
+		{"mmap", NewMmapDescriptorStore()},
 	} {
 		for _, id := range ids {
 			backend.s.Put(id, d)

@@ -1,0 +1,149 @@
+package tor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"onionbots/internal/sim"
+)
+
+// The cross-backend differential battery, in the style of the
+// scheduler's TestWheelMatchesHeapScheduler: every DescriptorStore
+// backend is driven through one randomized op sequence per seed —
+// puts, gets, removes, churn bursts, descriptor rollovers, and (for
+// the mmap backend) forced compactions and index rebuilds at arbitrary
+// points — and must present identical observable state at every step.
+// The flat map backend is the executable reference; sharded and mmap
+// must be indistinguishable from it through the interface.
+
+// diffStores builds one instance of every backend.
+func diffStores() []struct {
+	name string
+	s    DescriptorStore
+} {
+	return []struct {
+		name string
+		s    DescriptorStore
+	}{
+		{"flat", NewFlatDescriptorStore()},
+		{"sharded", NewShardedDescriptorStore()},
+		{"mmap", NewMmapDescriptorStore()},
+	}
+}
+
+// TestStoreBackendsDifferential runs the battery over 24 seeds. Each
+// seed's sequence is ~4000 ops with its own id-pool shape (including
+// shared 8-byte prefixes that force probe-chain handling) and its own
+// op mix.
+func TestStoreBackendsDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 24; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runStoreDifferential(t, seed)
+		})
+	}
+}
+
+func runStoreDifferential(t *testing.T, seed uint64) {
+	rng := sim.NewRNG(seed)
+	backends := diffStores()
+	flat := backends[0].s
+
+	// Id pool: size and collision structure vary per seed.
+	nIDs := 32 + rng.Intn(96)
+	ids := make([]DescriptorID, nIDs)
+	for i := range ids {
+		copy(ids[i][:], rng.Bytes(20))
+		if i%3 == 0 {
+			copy(ids[i][:8], []byte("collide!")) // shared probe prefix
+		}
+	}
+	// Descriptor pool: varied shapes, including nil.
+	descs := make([]*Descriptor, 12)
+	for i := range descs {
+		if i == 0 {
+			continue // descs[0] stays nil
+		}
+		descs[i] = testDescriptor(rng, sim.Epoch)
+	}
+
+	// checkID asserts every backend agrees with flat on one id.
+	checkID := func(step int, id DescriptorID) {
+		fd, fok := flat.Get(id)
+		for _, b := range backends[1:] {
+			bd, bok := b.s.Get(id)
+			if !descMatch(fd, fok, bd, bok) {
+				t.Fatalf("step %d: Get(%x) %s=(%v,%v) flat=(%v,%v)",
+					step, id[:4], b.name, bd, bok, fd, fok)
+			}
+		}
+	}
+
+	period := uint64(0)
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // put
+			id := ids[rng.Intn(nIDs)]
+			d := descs[rng.Intn(len(descs))]
+			for _, b := range backends {
+				b.s.Put(id, d)
+			}
+		case op < 6: // delete
+			id := ids[rng.Intn(nIDs)]
+			for _, b := range backends {
+				b.s.Delete(id)
+			}
+		case op < 8: // get
+			checkID(step, ids[rng.Intn(nIDs)])
+		case op == 8: // churn burst: delete+put a run of hot ids
+			for k := rng.Intn(16); k > 0; k-- {
+				id := ids[rng.Intn(nIDs)]
+				d := descs[rng.Intn(len(descs))]
+				for _, b := range backends {
+					b.s.Delete(id)
+					b.s.Put(id, d)
+				}
+			}
+		default: // rollover: the period advances, every live descriptor
+			// is republished under the new period and a slice of old
+			// ids expires — the daily HSDir migration pattern.
+			period++
+			for k := 0; k < nIDs/4; k++ {
+				id := ids[rng.Intn(nIDs)]
+				for _, b := range backends {
+					b.s.Delete(id)
+				}
+			}
+			for k := 0; k < nIDs/4; k++ {
+				id := ids[rng.Intn(nIDs)]
+				d := testDescriptor(rng, sim.Epoch.Add(time.Duration(period)*24*time.Hour))
+				d.TimePeriod = period
+				descs[rng.Intn(len(descs)-1)+1] = d
+				for _, b := range backends {
+					b.s.Put(id, d)
+				}
+			}
+		}
+		// Maintenance events the interface never sees must be invisible:
+		// force them at random points.
+		if rng.Bool(0.01) {
+			backends[2].s.(*MmapDescriptorStore).compact()
+		}
+		if rng.Bool(0.005) {
+			backends[2].s.(*MmapDescriptorStore).rebuildIndex()
+		}
+		lens := make([]int, len(backends))
+		for i, b := range backends {
+			lens[i] = b.s.Len()
+		}
+		for i := 1; i < len(lens); i++ {
+			if lens[i] != lens[0] {
+				t.Fatalf("step %d: Len %s=%d flat=%d", step, backends[i].name, lens[i], lens[0])
+			}
+		}
+	}
+	// Final full sweep: every id must agree everywhere.
+	for _, id := range ids {
+		checkID(-1, id)
+	}
+}
