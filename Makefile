@@ -12,15 +12,46 @@ BENCHTIME ?= 200x
 # fast paths from PR 1, and PR 5's pooled-vs-unpooled infection pair.
 BENCH     ?= SchedulerSteadyState|SchedulerBatchedTicks|DescriptorStore|CellRelayHop|SealOpenSession|HiddenServiceDial|InfectFrom
 
-.PHONY: all build test race bench determinism sweep-smoke scenario-smoke serve-smoke linkcheck fuzz-smoke
+# External lint tool versions are pinned in tools/go.mod (a separate
+# module, so the simulator's go.mod keeps zero dependencies). The
+# Makefile reads them from there; bump them only in tools/go.mod.
+STATICCHECK_VERSION := $(shell awk '$$1 == "honnef.co/go/tools" {print $$2}' tools/go.mod)
+GOVULNCHECK_VERSION := $(shell awk '$$1 == "golang.org/x/vuln" {print $$2}' tools/go.mod)
+GOBIN_DIR           := $(shell $(GO) env GOPATH)/bin
 
-all: build test
+.PHONY: all build test race bench determinism sweep-smoke scenario-smoke serve-smoke linkcheck fuzz-smoke lint tools
+
+all: build test lint
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# lint is the determinism-contract gate: go vet, then onionlint
+# (internal/lint: detclock/detrand/maporder/substream — the analyzers
+# that ban the Graph.Snapshot map-order and MaybeReadByte keygen bug
+# classes), then staticcheck and govulncheck at the versions pinned in
+# tools/go.mod. The external tools need `make tools` (network) once;
+# until then they are skipped with a notice so offline trees still get
+# the full onionlint sweep.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/onionlint ./...
+	@sc=$$(command -v staticcheck || echo $(GOBIN_DIR)/staticcheck); \
+	if [ -x "$$sc" ]; then "$$sc" ./...; \
+	else echo "lint: staticcheck $(STATICCHECK_VERSION) not installed; run 'make tools' to enable"; fi
+	@gv=$$(command -v govulncheck || echo $(GOBIN_DIR)/govulncheck); \
+	if [ -x "$$gv" ]; then "$$gv" ./...; \
+	else echo "lint: govulncheck $(GOVULNCHECK_VERSION) not installed; run 'make tools' to enable"; fi
+
+# tools installs the pinned external lint tools (network required).
+# Standalone `go install pkg@version` honours the pin without needing a
+# go.sum in tools/.
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 # race runs the short test set under the race detector. The simulator
 # itself is single-threaded by design; this guards the concurrent

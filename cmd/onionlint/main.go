@@ -1,0 +1,69 @@
+// Command onionlint runs the determinism-contract analyzers
+// (internal/lint) over the tree and exits non-zero on any finding.
+//
+// Usage:
+//
+//	onionlint [-list] [packages]
+//
+// With no package patterns it checks ./... from the current directory,
+// which must be inside the module. Diagnostics print one per line as
+// file:line:col: analyzer: message — the same shape as go vet — and the
+// exit status is 1 if anything was reported. See docs/ARCHITECTURE.md
+// ("Mechanically enforced") for the analyzer catalogue and the
+// //onionlint:allow escape-hatch grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"onionbots/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: onionlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Static enforcement of the determinism contract. Analyzers:\n\n")
+		printAnalyzers(flag.CommandLine.Output())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onionlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onionlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "onionlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w io.Writer) {
+	for _, a := range lint.Suite() {
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nSuppress a finding with `%s <analyzer> -- <reason>` on the\noffending line or the line above; docs/LINT_ALLOWLIST.txt must list every\ndirective (enforced by internal/lint tests).\n\n", lint.DirectivePrefix)
+}

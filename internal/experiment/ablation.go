@@ -95,6 +95,7 @@ func RunDDSRAblation(cfg AblationConfig) (*Result, error) {
 			}
 			m = nrm
 		}
+		//onionlint:allow substream -- pre-substream seed schedule pinned by archived ablation runs; relabeling would reshuffle every published curve
 		perm := sim.NewRNG(cfg.Seed + 1).Perm(cfg.N)
 
 		firstPartition := -1

@@ -107,10 +107,12 @@ func RunFig5(cfg Fig5Config) (components, degree, diameter *Result, err error) {
 	variants := []variant{{"DDSR", o}, {"Normal", nrm}}
 
 	for _, v := range variants {
+		//onionlint:allow substream -- pre-substream seed schedule pinned by archived Fig 5 runs; relabeling would reshuffle the takedown permutation
 		perm := sim.NewRNG(cfg.Seed + 7).Perm(cfg.N)
 		comp := Series{Name: v.name}
 		deg := Series{Name: v.name}
 		diam := Series{Name: v.name}
+		//onionlint:allow substream -- same pinned schedule, maintenance stream
 		mrng := sim.NewRNG(cfg.Seed + 11)
 		measure := func(deleted int) {
 			g := v.m.Graph()

@@ -227,6 +227,7 @@ func (r *Runner) runBounded(t Task) TaskResult {
 		}
 		r.retried.Add(1)
 		if r.TaskRetryBackoff > 0 {
+			//onionlint:allow detclock -- retry backoff paces real re-execution of a crashed task; simulated results never observe it
 			time.Sleep(r.TaskRetryBackoff << attempt)
 		}
 	}
@@ -250,6 +251,7 @@ func (r *Runner) attemptTask(t Task) (tr TaskResult, transient bool) {
 		tr, transient := runTask(t)
 		ch <- attempt{tr, transient}
 	}()
+	//onionlint:allow detclock -- TaskTimeout bounds real runtime of a wedged task; a timeout abandons the task rather than altering its output
 	timer := time.NewTimer(r.TaskTimeout)
 	defer timer.Stop()
 	select {
@@ -266,6 +268,7 @@ func (r *Runner) attemptTask(t Task) (tr TaskResult, transient bool) {
 }
 
 func runTask(t Task) (tr TaskResult, panicked bool) {
+	//onionlint:allow detclock -- Elapsed is progress/ops telemetry on stderr; the deterministic result document never includes it
 	start := time.Now()
 	tr = TaskResult{Task: t, EffectiveSeed: sim.SubstreamSeed(t.Params.Seed, t.seedLabel())}
 	defer func() {
@@ -277,6 +280,7 @@ func runTask(t Task) (tr TaskResult, panicked bool) {
 			tr.Error = tr.Err.Error()
 			tr.Results = nil
 		}
+		//onionlint:allow detclock -- wall-clock half of the same telemetry measurement
 		tr.Elapsed = time.Since(start)
 	}()
 	def, ok := Lookup(t.Experiment)

@@ -224,13 +224,15 @@ func (g *Graph) Connected() bool {
 	}
 	gen := g.visitGen
 	g.queue = g.queue[:0]
+	//onionlint:allow maporder -- any start node: Connected returns a bool, unaffected by which node seeds the BFS
 	for id := range g.adj {
 		g.visit[id] = gen
 		g.queue = append(g.queue, id)
-		break // any start node: connectivity is order-independent
+		break
 	}
 	reached := 1
 	for head := 0; head < len(g.queue); head++ {
+		//onionlint:allow maporder -- BFS frontier is private scratch; the reached count is visit-order independent
 		for v := range g.adj[g.queue[head]] {
 			if g.visit[v] != gen {
 				g.visit[v] = gen
@@ -247,12 +249,14 @@ func (g *Graph) Connected() bool {
 func (g *Graph) connectedByMap() bool {
 	visited := make(map[int]struct{}, len(g.adj))
 	queue := make([]int, 0, len(g.adj))
+	//onionlint:allow maporder -- any start node: connectivity is a bool, unaffected by which node seeds the BFS
 	for id := range g.adj {
 		visited[id] = struct{}{}
 		queue = append(queue, id)
 		break
 	}
 	for head := 0; head < len(queue); head++ {
+		//onionlint:allow maporder -- BFS frontier is private scratch; the visited count is visit-order independent
 		for v := range g.adj[queue[head]] {
 			if _, ok := visited[v]; !ok {
 				visited[v] = struct{}{}

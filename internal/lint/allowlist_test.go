@@ -1,0 +1,118 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"onionbots/internal/lint"
+)
+
+// allowlistPath is the audited inventory of every live
+// //onionlint:allow directive, relative to the module root. Each line is
+//
+//	<file> <analyzer> <count>
+//
+// sorted by file then analyzer. The file exists so that suppressions
+// show up in review as a diff to a single ledger; this test fails when
+// the ledger and the tree disagree in either direction.
+const allowlistPath = "docs/LINT_ALLOWLIST.txt"
+
+var directiveRE = regexp.MustCompile(`^` + regexp.QuoteMeta(lint.DirectivePrefix) + `[ \t]+([^ \t]+)[ \t]+--[ \t]`)
+
+// TestAllowlistInSync walks the tree for allow directives (fixtures
+// under testdata excluded — those exercise the machinery) and compares
+// the inventory against docs/LINT_ALLOWLIST.txt. Set
+// LINT_ALLOWLIST_UPDATE=1 to rewrite the ledger from the tree.
+func TestAllowlistInSync(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scanDirectives(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := renderAllowlist(got)
+
+	path := filepath.Join(root, allowlistPath)
+	if os.Getenv("LINT_ALLOWLIST_UPDATE") == "1" {
+		if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", allowlistPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v\nrun with LINT_ALLOWLIST_UPDATE=1 to create the ledger", err)
+	}
+	if string(want) != rendered {
+		t.Errorf("%s is out of sync with the tree's //onionlint:allow directives.\n--- ledger ---\n%s--- tree ---\n%s"+
+			"Run: LINT_ALLOWLIST_UPDATE=1 go test ./internal/lint -run TestAllowlistInSync",
+			allowlistPath, want, rendered)
+	}
+}
+
+// scanDirectives returns "relpath analyzer" → count for every directive
+// in tracked Go source, skipping testdata fixtures. Files are parsed so
+// that only real comments count — directive grammar quoted inside doc
+// comments or string literals does not.
+func scanDirectives(root string) (map[string]int, error) {
+	counts := map[string]int{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == "bin" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := directiveRE.FindStringSubmatch(c.Text); m != nil {
+					counts[filepath.ToSlash(rel)+" "+m[1]]++
+				}
+			}
+		}
+		return nil
+	})
+	return counts, err
+}
+
+func renderAllowlist(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# Audited //onionlint:allow directives: <file> <analyzer> <count>.\n")
+	b.WriteString("# Regenerate: LINT_ALLOWLIST_UPDATE=1 go test ./internal/lint -run TestAllowlistInSync\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, counts[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand bans the entropy sources that have broken (or would break)
+// DRBG-exact derivation:
+//
+//   - global math/rand state (rand.Intn, rand.Shuffle, …, in v1 and v2):
+//     process-global streams make output depend on everything else that
+//     consumed them. Constructors (rand.New, rand.NewPCG, …) are
+//     substream's concern, not detrand's.
+//   - crypto/rand (Reader, Read, Int, Prime, Text): live OS entropy by
+//     definition; all key material must flow from seeded DRBGs.
+//   - stdlib key generation outside botcrypto: rsa/ecdsa/ecdh
+//     GenerateKey call randutil.MaybeReadByte, which consumes a
+//     coin-flip byte from the caller's reader — the PR 4 bug class; even
+//     a DRBG argument drifts. ed25519.GenerateKey reads byte-exactly and
+//     is allowed iff its reader is statically a *botcrypto.DRBG.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand state, crypto/rand, and stdlib key " +
+		"generation outside botcrypto's byte-exact wrappers (the " +
+		"randutil.MaybeReadByte bug class)",
+	Applies: func(importPath string) bool {
+		// botcrypto (and its legacy subpackage) is the one place
+		// allowed to touch stdlib keygen: it owns the byte-exact
+		// wrappers and the deliberate weak-crypto reproductions.
+		return !strings.Contains(importPath, "botcrypto")
+	},
+	Run: runDetRand,
+}
+
+// randConstructors are the math/rand entry points that build a local
+// generator rather than touching global state.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// maybeReadByteFuncs generate keys through randutil.MaybeReadByte: the
+// stdlib randomizes whether one byte is consumed from the reader before
+// keygen, so no reader — DRBG or not — yields stable keys.
+var maybeReadByteFuncs = map[string]bool{
+	"crypto/rsa.GenerateKey":           true,
+	"crypto/rsa.GenerateMultiPrimeKey": true,
+	"crypto/ecdsa.GenerateKey":         true,
+	"crypto/dsa.GenerateKey":           true,
+	"crypto/dsa.GenerateParameters":    true,
+}
+
+func runDetRand(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			// Method form: (ecdh.Curve).GenerateKey — MaybeReadByte class.
+			if recvPkg, name, ok := methodRef(info, e); ok {
+				if recvPkg == "crypto/ecdh" && name == "GenerateKey" {
+					pass.Reportf(e.Pos(), "ecdh GenerateKey consumes a randomized extra byte (randutil.MaybeReadByte) and drifts even on a DRBG; use botcrypto.NewEncryptionKeyPair")
+					return false
+				}
+				return true
+			}
+			path, name, ok := pkgLevelRef(info, e)
+			if !ok {
+				return true
+			}
+			switch {
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(e.Pos(), "global math/rand state (%s.%s) breaks seeded determinism; draw from a sim.RNG substream", strings.TrimPrefix(path, "math/"), name)
+				return false
+			case path == "crypto/rand":
+				pass.Reportf(e.Pos(), "crypto/rand.%s is live OS entropy; derive bytes from a seeded botcrypto.DRBG", name)
+				return false
+			case maybeReadByteFuncs[path+"."+name]:
+				pass.Reportf(e.Pos(), "%s.%s consumes a randomized extra byte (randutil.MaybeReadByte) and drifts even on a DRBG; wrap it in botcrypto", lastSegment(path), name)
+				return false
+			case path == "crypto/ed25519" && name == "GenerateKey":
+				if call := enclosingCall(info, e, f); call != nil {
+					if len(call.Args) == 1 && isDRBG(info.Types[call.Args[0]].Type) {
+						return false // byte-exact reader, statically proven
+					}
+					pass.Reportf(e.Pos(), "ed25519.GenerateKey fed a live reader; pass a *botcrypto.DRBG (or derive via botcrypto wrappers)")
+					return false
+				}
+				pass.Reportf(e.Pos(), "ed25519.GenerateKey used as a value cannot be proven DRBG-fed; wrap it in botcrypto")
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingCall returns the CallExpr whose Fun is exactly e, if any.
+func enclosingCall(info *types.Info, e ast.Expr, f *ast.File) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == e {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isDRBG reports whether t is (a pointer to) botcrypto's DRBG type.
+func isDRBG(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "DRBG" && obj.Pkg() != nil && lastSegment(obj.Pkg().Path()) == "botcrypto"
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces an allow directive. The full grammar is
+//
+//	//onionlint:allow <analyzer> -- <reason>
+//
+// The directive suppresses diagnostics from <analyzer> on its own line
+// and on the line directly below it (so it can trail the offending
+// statement or sit on its own line above). The reason is mandatory and
+// non-empty; a directive that suppresses nothing is an error. The
+// audited inventory of live directives is docs/LINT_ALLOWLIST.txt,
+// kept in sync by a test.
+const DirectivePrefix = "//onionlint:allow"
+
+// A directive is one parsed //onionlint:allow comment.
+type directive struct {
+	pos      token.Position // position of the comment
+	analyzer string
+	reason   string
+	used     bool
+}
+
+type directiveSet struct {
+	// byLine maps file → line → directives anchored there.
+	byLine map[string]map[int][]*directive
+	// all preserves source order for the unused-directive sweep, so
+	// onionlint does not itself iterate a map into output.
+	all []*directive
+}
+
+// collectDirectives parses every allow directive in the package. Bad
+// directives (missing analyzer, unknown analyzer, missing " -- reason")
+// are returned as diagnostics under the pseudo-analyzer "onionlint".
+func collectDirectives(pkg *Package) (directiveSet, []Diagnostic) {
+	set := directiveSet{byLine: map[string]map[int][]*directive{}}
+	var diags []Diagnostic
+	names := suiteNames()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				name, reason, ok := splitDirective(rest)
+				if !ok {
+					diags = append(diags, Diagnostic{
+						Analyzer: "onionlint",
+						Position: pos,
+						Message:  `malformed directive: want "//onionlint:allow <analyzer> -- <reason>"`,
+					})
+					continue
+				}
+				if !names[name] {
+					diags = append(diags, Diagnostic{
+						Analyzer: "onionlint",
+						Position: pos,
+						Message:  "directive names unknown analyzer " + name,
+					})
+					continue
+				}
+				d := &directive{pos: pos, analyzer: name, reason: reason}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*directive{}
+					set.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				set.all = append(set.all, d)
+			}
+		}
+	}
+	return set, diags
+}
+
+// splitDirective parses ` <analyzer> -- <reason>`.
+func splitDirective(rest string) (name, reason string, ok bool) {
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", "", false
+	}
+	name, reason, found := strings.Cut(strings.TrimSpace(rest), " -- ")
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if !found || name == "" || strings.ContainsAny(name, " \t") || reason == "" {
+		return "", "", false
+	}
+	return name, reason, true
+}
+
+// suppress reports whether a directive covers d, marking it used.
+func (s directiveSet) suppress(d Diagnostic) bool {
+	lines := s.byLine[d.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.analyzer == d.Analyzer {
+				dir.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unused returns one diagnostic per directive that suppressed nothing —
+// a stale allow is itself a contract violation.
+func (s directiveSet) unused() []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range s.all {
+		if !d.used {
+			diags = append(diags, Diagnostic{
+				Analyzer: "onionlint",
+				Position: d.pos,
+				Message:  "unused onionlint:allow directive for " + d.analyzer + " (suppresses nothing; delete it)",
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,47 @@
+// Package lint is onionlint: a static-analysis suite that turns this
+// repository's determinism contract into build-breaking diagnostics.
+//
+// Every figure, sweep, and scenario rests on two promises — byte-identical
+// output at any -parallel value, and DRBG-exact key derivation across the
+// identity pool and churn substreams. Both have been broken before, and
+// both times the violation shipped and was found by accident at diff time:
+//
+//   - PR 1 fixed a map-iteration-order leak in Graph.Snapshot, where a
+//     `for … range` over the adjacency map appended neighbours to the
+//     snapshot slice in whatever order the runtime walked the buckets.
+//   - PR 4 fixed an X25519 keygen drift: the stdlib's GenerateKey inserts
+//     a randomized zero-or-one-byte read (randutil.MaybeReadByte) before
+//     consuming the caller's reader, shifting every byte a seeded DRBG
+//     hands out afterwards on a per-process coin flip.
+//
+// The four analyzers in this package ban those bug classes at compile
+// time:
+//
+//   - detclock: no wall-clock (time.Now, time.Since, time.Sleep, …) in
+//     simulation-facing packages. Simulated time comes from the scheduler.
+//   - detrand: no global math/rand state, no crypto/rand, and no stdlib
+//     key generation outside botcrypto's byte-exact wrappers — the
+//     MaybeReadByte bug class, banned forever.
+//   - maporder: no map iteration feeding an order-sensitive sink (slice
+//     append, writer/builder output, float accumulation) without sorting
+//     — the Graph.Snapshot bug class.
+//   - substream: no ad-hoc RNG construction or seed arithmetic outside
+//     internal/sim — derive streams with sim.NewSubstream/SubstreamSeed.
+//
+// Findings that are intentional (the experiment runner's wall-clock
+// progress timing, pre-substream seed schedules pinned by archived runs)
+// are suppressed with an explicit, audited escape hatch:
+//
+//	//onionlint:allow <analyzer> -- <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; a directive that suppresses nothing is itself an error,
+// and docs/LINT_ALLOWLIST.txt must mirror the set of live directives (a
+// test enforces both), so allows cannot rot silently.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, testdata fixtures with `// want` comments) but is built on
+// the standard library's go/ast + go/types only, so the module keeps zero
+// external dependencies. Should x/tools become available, each Analyzer
+// here maps 1:1 onto an analysis.Analyzer.
+package lint

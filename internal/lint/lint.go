@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis.Analyzer so the suite could be
+// rehosted on the upstream driver without touching analyzer bodies.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //onionlint:allow directives.
+	Name string
+	// Doc is a one-paragraph description shown by `onionlint -help`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+	// Applies gates the analyzer to a subset of packages (nil = all).
+	// It receives the package import path; fixture packages use bare
+	// paths ("core"), real ones full paths ("onionbots/internal/core").
+	Applies func(importPath string) bool
+}
+
+// A Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer   *Analyzer
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Suite returns the onionlint analyzers in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{DetClock, DetRand, MapOrder, Substream}
+}
+
+// suiteNames is the set of valid analyzer names for allow directives.
+func suiteNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Suite() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Run executes every analyzer in the suite against pkgs, applies the
+// //onionlint:allow directives, and returns the surviving diagnostics
+// sorted by position. Directive errors (malformed or unused allows) are
+// reported under the pseudo-analyzer name "onionlint".
+func Run(pkgs []*Package) []Diagnostic {
+	return RunAnalyzers(pkgs, Suite())
+}
+
+// RunAnalyzers is Run with an explicit analyzer list (tests use it to
+// exercise a single analyzer against a fixture package).
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, runPackage(pkg, analyzers)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			ImportPath: pkg.ImportPath,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			report:     func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			raw = append(raw, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+	}
+	dirs, dirDiags := collectDirectives(pkg)
+	out := dirDiags
+	for _, d := range raw {
+		if dirs.suppress(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, dirs.unused()...)
+	return out
+}
+
+// --- shared type-resolution helpers used by the analyzers ---
+
+// pkgLevelRef resolves e (after unwrapping parens) to a package-level
+// object reference "path.Name", e.g. time.Now or crypto/rand.Reader.
+// It returns ok=false for locals, methods, and unresolved selectors.
+func pkgLevelRef(info *types.Info, e ast.Expr) (path, name string, ok bool) {
+	e = ast.Unparen(e)
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	// A true package selector has no Selections entry (those are field
+	// or method selections on a value).
+	if _, isMethod := info.Selections[sel]; isMethod {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	switch obj.(type) {
+	case *types.Func, *types.Var, *types.Const:
+		return obj.Pkg().Path(), obj.Name(), true
+	}
+	return "", "", false
+}
+
+// methodRef resolves e to a method reference, returning the method name
+// and the import path of the package that declares the receiver type.
+func methodRef(info *types.Info, e ast.Expr) (recvPkg, name string, ok bool) {
+	e = ast.Unparen(e)
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	f, isFunc := s.Obj().(*types.Func)
+	if !isFunc || f.Pkg() == nil {
+		return "", "", false
+	}
+	return f.Pkg().Path(), f.Name(), true
+}
+
+// lastSegment returns the final path element of an import path.
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

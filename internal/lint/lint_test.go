@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"onionbots/internal/lint"
+	"onionbots/internal/lint/linttest"
+)
+
+func TestDetClock(t *testing.T) {
+	linttest.Run(t, ".", lint.DetClock, "core")
+}
+
+// detclock is scoped: packages outside the simulation-facing set may
+// read the wall clock freely.
+func TestDetClockIgnoresNonSimPackages(t *testing.T) {
+	linttest.Run(t, ".", lint.DetClock, "plainpkg")
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, ".", lint.DetRand, "randmisuse")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, ".", lint.MapOrder, "mapsort")
+}
+
+func TestSubstream(t *testing.T) {
+	linttest.Run(t, ".", lint.Substream, "substream")
+}
+
+// internal/sim owns the RNG primitives; substream must not fire there.
+func TestSubstreamExemptsSim(t *testing.T) {
+	linttest.Run(t, ".", lint.Substream, "sim")
+}

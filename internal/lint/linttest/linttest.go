@@ -1,0 +1,126 @@
+// Package linttest runs a lint.Analyzer against fixture packages under
+// a testdata/src tree and checks its diagnostics against `// want`
+// comments — the same contract as x/tools' analysistest, rebuilt on the
+// stdlib so the module keeps zero external dependencies.
+//
+// A fixture file marks each line expected to produce a diagnostic:
+//
+//	rng := rand.New(rand.NewSource(1)) // want `raw rand\.New`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message; several `// want` patterns on one line expect that
+// many diagnostics. Lines with no marker must produce none. Directive
+// errors from the allow machinery (pseudo-analyzer "onionlint") take
+// part like any other diagnostic, so fixtures can assert suppression
+// and unused-allow behaviour end to end.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"onionbots/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+var patRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads testdata/src/<importPath> relative to dir and checks
+// analyzer's diagnostics (plus allow-directive diagnostics) against the
+// fixture's want comments.
+func Run(t *testing.T, dir string, analyzer *lint.Analyzer, importPath string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "testdata", "src")
+	pkg, err := lint.LoadDir(srcRoot, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{analyzer})
+
+	wants, err := collectWants(pkg.Fset, pkg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := map[key][]lint.Diagnostic{}
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		unmatched[k] = append(unmatched[k], d)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		found := -1
+		for i, d := range unmatched[k] {
+			if w.re.MatchString(d.Message) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			continue
+		}
+		unmatched[k] = append(unmatched[k][:found], unmatched[k][found+1:]...)
+	}
+	for _, ds := range unmatched {
+		for _, d := range ds {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses the fixture files' comments for want markers.
+func collectWants(fset *token.FileSet, dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pats := patRE.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					return nil, fmt.Errorf("%s: want comment without backquoted pattern: %s", path, c.Text)
+				}
+				pos := fset.Position(c.Pos())
+				for _, p := range pats {
+					re, err := regexp.Compile(p[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, pos.Line, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

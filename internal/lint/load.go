@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load enumerates packages matching patterns with `go list` run in dir
+// (the module root) and type-checks each against the standard library
+// using the stdlib source importer — no external loader dependency.
+// Only non-test files are loaded: onionlint enforces the contract on
+// code that ships; benchmarks and tests measure wall-clock freely.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset)
+	var pkgs []*Package
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, m.ImportPath, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory as one package with the given import
+// path, resolving non-stdlib imports under srcRoot (GOPATH-style layout,
+// as in x/tools' analysistest). Test fixtures use it.
+func LoadDir(srcRoot, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		srcRoot:  srcRoot,
+		fset:     fset,
+		fallback: newImporter(fset),
+		cache:    map[string]*types.Package{},
+	}
+	return imp.load(importPath)
+}
+
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+func goList(dir string, patterns []string) ([]listMeta, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []listMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var m listMeta
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// newImporter returns a source importer for the standard library and,
+// via the go command, this module's own packages. Cgo is disabled so the
+// pure-Go variants of stdlib packages (net, os/user) are loaded; the
+// simulator itself has no cgo.
+func newImporter(fset *token.FileSet) types.ImporterFrom {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// dirImporter adapts an ImporterFrom to plain Import calls rooted at a
+// fixed source directory, so import resolution does not depend on the
+// process working directory.
+type dirImporter struct {
+	imp types.ImporterFrom
+	dir string
+}
+
+func (d dirImporter) Import(path string) (*types.Package, error) {
+	return d.imp.ImportFrom(path, d.dir, 0)
+}
+
+func typeCheck(fset *token.FileSet, imp types.ImporterFrom, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: dirImporter{imp: imp, dir: dir}}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// fixtureImporter resolves import paths to directories under srcRoot
+// first (loading them recursively, so fixtures can exercise cross-package
+// sink detection), then falls back to the standard library.
+type fixtureImporter struct {
+	srcRoot  string
+	fset     *token.FileSet
+	fallback types.ImporterFrom
+	cache    map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.fallback.ImportFrom(path, fi.srcRoot, 0)
+}
+
+func (fi *fixtureImporter) load(importPath string) (*Package, error) {
+	dir := filepath.Join(fi.srcRoot, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: fi}
+	tpkg, err := conf.Check(importPath, fi.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fi.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	fi.cache[importPath] = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for … := range m` over a map when the loop body feeds
+// an order-sensitive sink — the Graph.Snapshot bug class, where
+// neighbours were appended to the snapshot slice in runtime bucket
+// order. Sinks:
+//
+//   - append whose result lands in a variable declared outside the loop
+//   - a send on a channel
+//   - += accumulation into an outer float (addition does not associate)
+//   - a call to an output-shaped function or method: fmt printing,
+//     Write*/WriteString on builders/buffers/writers, or — in any
+//     package — a callee named like a recorder (Write*, Print*, Emit*,
+//     Record*, Append*, Push*, Log*)
+//
+// The collect-then-sort idiom is recognized: a loop whose only sinks are
+// appends is clean if every appended slice is passed to sort.* or
+// slices.Sort* later in the same function. Anything else needs either a
+// sort or an //onionlint:allow maporder directive with a reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding an order-sensitive sink (slice append, " +
+		"writer/recorder call, channel send, float accumulation) without a " +
+		"subsequent sort — map order is randomized per run",
+	Run: runMapOrder,
+}
+
+// sinkNamePrefixes marks callee names that record or emit, wherever they
+// are declared — this is what catches cross-package sinks like
+// trace.Record(k) or w.WriteString(k).
+var sinkNamePrefixes = []string{
+	"Write", "Print", "Fprint", "Emit", "Record", "Append", "Push", "Log",
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Walk function bodies so each range statement knows its
+		// enclosing body (the sort-after-loop search space).
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals get their own checkBody call with
+		// their own body as the sort-search space; skip them here.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rs, body)
+		return true
+	})
+}
+
+// a sink is one order-sensitive operation found in a map-range body.
+type sink struct {
+	pos  token.Pos
+	desc string
+	// appendTo is non-nil for pure appends; such sinks are forgiven if
+	// the slice is sorted after the loop.
+	appendTo *types.Var
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var sinks []sink
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{pos: st.Pos(), desc: "channel send"})
+		case *ast.AssignStmt:
+			if s, ok := classifyAssign(info, st, rs); ok {
+				sinks = append(sinks, s)
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if desc, isSink := sinkCall(info, call); isSink {
+					sinks = append(sinks, sink{pos: call.Pos(), desc: desc})
+				}
+			}
+		}
+		return true
+	})
+	if len(sinks) == 0 {
+		return
+	}
+	// Collect-then-sort: every sink is an append, and every appended
+	// slice is sorted somewhere after the loop in this function.
+	allSorted := true
+	for _, s := range sinks {
+		if s.appendTo == nil || !sortedAfter(info, funcBody, rs.End(), s.appendTo) {
+			allSorted = false
+			break
+		}
+	}
+	if allSorted {
+		return
+	}
+	first := sinks[0]
+	pass.Reportf(rs.For, "map iteration order is randomized but the loop body feeds an order-sensitive sink (%s at %s); sort keys first or //onionlint:allow maporder -- <reason>",
+		first.desc, pass.Fset.Position(first.pos))
+}
+
+// classifyAssign detects appends to outer variables and float
+// accumulation into outer variables.
+func classifyAssign(info *types.Info, st *ast.AssignStmt, rs *ast.RangeStmt) (sink, bool) {
+	// x += expr accumulation. Keyed writes (m2[k] += v) are
+	// order-independent and exempt; only whole-variable accumulators
+	// order-depend, and only floats, where addition does not associate.
+	if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 {
+		lhs := ast.Unparen(st.Lhs[0])
+		if _, indexed := lhs.(*ast.IndexExpr); !indexed {
+			if v := outerVar(info, lhs, rs); v != nil && isFloat(v.Type()) {
+				return sink{pos: st.Pos(), desc: "float accumulation into " + v.Name()}, true
+			}
+		}
+	}
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		return sink{}, false
+	}
+	// Cursor-style writes: s[cur] = v where s is an outer slice and the
+	// index does not involve the range variables. That is an append in
+	// disguise (the original Graph.Snapshot bug wrote rows this way);
+	// keyed writes like visit[k] = gen commute and are exempt.
+	if st.Tok == token.ASSIGN {
+		for _, lhs := range st.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := info.Types[ix.X]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			v := outerVar(info, ix.X, rs)
+			if v == nil || rangeVarMentioned(info, ix.Index, rs) || indexDependsOnLoop(info, ix.Index, rs) {
+				continue
+			}
+			return sink{pos: st.Pos(), desc: "write to " + v.Name() + " at a loop-independent index", appendTo: v}, true
+		}
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i >= len(st.Lhs) {
+			continue
+		}
+		if v := outerVar(info, st.Lhs[i], rs); v != nil {
+			return sink{pos: st.Pos(), desc: "append to " + v.Name(), appendTo: v}, true
+		}
+	}
+	return sink{}, false
+}
+
+// outerVar resolves e to a variable declared outside the range
+// statement (including struct-field writes through an outer receiver).
+func outerVar(info *types.Info, e ast.Expr, rs *ast.RangeStmt) *types.Var {
+	e = ast.Unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			// o.field: treat the field as the written object but
+			// require the base to be outer.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if base := rootIdentVar(info, x.X); base != nil && declaredOutside(base, rs) {
+					if fv, ok := sel.Obj().(*types.Var); ok {
+						return fv
+					}
+				}
+				return nil
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && declaredOutside(v, rs) {
+				return v
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok && declaredOutside(v, rs) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func rootIdentVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rangeVarMentioned reports whether e mentions the range statement's
+// key or value variable.
+func rangeVarMentioned(info *types.Info, e ast.Expr, rs *ast.RangeStmt) bool {
+	for _, rv := range [2]ast.Expr{rs.Key, rs.Value} {
+		id, ok := rv.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj, _ := info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = info.Uses[id].(*types.Var)
+		}
+		if obj != nil && mentionsVar(info, e, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// indexDependsOnLoop reports whether e mentions any variable declared
+// inside the range statement — a data-dependent slot (keyed write,
+// commutative) as opposed to a pure outer cursor (append in disguise).
+func indexDependsOnLoop(info *types.Info, e ast.Expr, rs *ast.RangeStmt) bool {
+	dependent := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if dependent {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		if v == nil {
+			v, _ = info.Defs[id].(*types.Var)
+		}
+		if v != nil && !declaredOutside(v, rs) {
+			dependent = true
+			return false
+		}
+		return true
+	})
+	return dependent
+}
+
+func declaredOutside(v *types.Var, rs *ast.RangeStmt) bool {
+	return v.Pos() < rs.Pos() || v.Pos() > rs.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sinkCall reports whether call is an output-shaped call: fmt printing,
+// a Write*/sink-named method on any receiver, or a sink-named function
+// in any package (cross-package detection is by name, deliberately).
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if recvPkg, name, ok := methodRef(info, call.Fun); ok {
+		if hasSinkPrefix(name) {
+			return "call to method " + name + " (" + lastSegment(recvPkg) + ")", true
+		}
+		return "", false
+	}
+	if path, name, ok := pkgLevelRef(info, call.Fun); ok {
+		if path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			return "call to fmt." + name, true
+		}
+		if hasSinkPrefix(name) {
+			return "call to " + lastSegment(path) + "." + name, true
+		}
+		return "", false
+	}
+	// Local (same-package unqualified) function calls.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isFunc := info.Uses[id].(*types.Func); isFunc && hasSinkPrefix(id.Name) {
+			return "call to " + id.Name, true
+		}
+	}
+	return "", false
+}
+
+func hasSinkPrefix(name string) bool {
+	for _, p := range sinkNamePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether v is handed to a sorting call after pos
+// within body: sort.*, slices.Sort*, any function or method whose name
+// begins with "sort" (local helpers like sortInts/sortUint64 count), or
+// a Sort method invoked on v itself.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortCallee(info, call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsVar(info, arg, v) {
+				found = true
+				return false
+			}
+		}
+		// v.Sort()-style: the sorted slice is the receiver.
+		if sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); okSel {
+			if mentionsVar(info, sel.X, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCallee(info *types.Info, fun ast.Expr) bool {
+	if path, name, ok := pkgLevelRef(info, fun); ok {
+		return path == "sort" ||
+			(path == "slices" && strings.HasPrefix(name, "Sort")) ||
+			strings.HasPrefix(strings.ToLower(name), "sort")
+	}
+	if _, name, ok := methodRef(info, fun); ok {
+		return strings.HasPrefix(strings.ToLower(name), "sort")
+	}
+	if id, ok := ast.Unparen(fun).(*ast.Ident); ok {
+		if _, isFunc := info.Uses[id].(*types.Func); isFunc {
+			return strings.HasPrefix(strings.ToLower(id.Name), "sort")
+		}
+	}
+	return false
+}
+
+func mentionsVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Substream enforces that random streams are derived through
+// sim.NewSubstream / sim.SubstreamSeed rather than ad hoc. Two rules,
+// both scoped to code outside internal/sim (which owns the primitives):
+//
+//   - no raw math/rand construction (rand.New, rand.NewPCG, …): a
+//     generator that does not descend from the run's root seed via a
+//     labelled substream silently couples output to scheduling order.
+//   - no seed arithmetic fed to sim.NewRNG/NewSubstream/SubstreamSeed:
+//     expressions like NewRNG(seed+7) or NewRNG(seed+n*31+trial) are
+//     exactly the collision-prone hand-rolled derivations SubstreamSeed
+//     (FNV-1a label hash + splitmix64 finalizer) exists to replace.
+//     Structurally similar inputs land on correlated streams, and two
+//     call sites can collide on the same derived seed.
+var Substream = &Analyzer{
+	Name: "substream",
+	Doc: "forbid raw math/rand construction and ad-hoc seed arithmetic " +
+		"outside internal/sim; derive streams with sim.NewSubstream or " +
+		"sim.SubstreamSeed(root, label)",
+	Applies: func(importPath string) bool {
+		seg := lastSegment(importPath)
+		return seg != "sim" && !simExemptPackages[seg]
+	},
+	Run: runSubstream,
+}
+
+// simExemptPackages may construct generators directly: botcrypto owns
+// DRBGs (crypto-grade streams are not sim substreams).
+var simExemptPackages = map[string]bool{"botcrypto": true, "legacy": true}
+
+// seedTakingFuncs are the sim entry points whose first argument is a
+// root or derived seed.
+var seedTakingFuncs = map[string]bool{
+	"NewRNG":        true,
+	"NewSubstream":  true,
+	"SubstreamSeed": true,
+}
+
+func runSubstream(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				path, name, ok := pkgLevelRef(info, e.Fun)
+				if !ok {
+					return true
+				}
+				if lastSegment(path) == "sim" && seedTakingFuncs[name] && len(e.Args) > 0 {
+					if arith := findArith(e.Args[0]); arith != nil {
+						pass.Reportf(arith.Pos(), "ad-hoc seed arithmetic fed to sim.%s; derive with sim.SubstreamSeed(root, label) so streams cannot collide or correlate", name)
+						return false
+					}
+				}
+				return true
+			case ast.Expr:
+				path, name, ok := pkgLevelRef(info, e)
+				if !ok {
+					return true
+				}
+				if (path == "math/rand" || path == "math/rand/v2") && randConstructors[name] {
+					pass.Reportf(e.Pos(), "raw %s.%s outside internal/sim bypasses the substream contract; use sim.NewSubstream(root, label)", strings.TrimPrefix(path, "math/"), name)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findArith returns the first binary arithmetic expression inside e
+// (looking through parens and conversions), or nil.
+func findArith(e ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			found = b
+			return false
+		}
+		return true
+	})
+	return found
+}

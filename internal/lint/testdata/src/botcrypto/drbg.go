@@ -1,0 +1,19 @@
+// Package botcrypto is a fixture stand-in for the real
+// onionbots/internal/botcrypto: detrand recognizes its DRBG type as a
+// byte-exact reader.
+package botcrypto
+
+// DRBG is a deterministic byte stream.
+type DRBG struct{ ctr byte }
+
+// NewDRBG seeds a stream (the fixture ignores the seed).
+func NewDRBG(seed []byte) *DRBG { return &DRBG{ctr: byte(len(seed))} }
+
+// Read fills p deterministically.
+func (d *DRBG) Read(p []byte) (int, error) {
+	for i := range p {
+		d.ctr++
+		p[i] = d.ctr
+	}
+	return len(p), nil
+}

@@ -1,0 +1,49 @@
+// Package core is a detclock fixture: its name puts it in the
+// simulation-facing set, so wall-clock reads must be flagged.
+package core
+
+import "time"
+
+func readsClock() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func sleeps() {
+	time.Sleep(time.Second) // want `wall-clock time\.Sleep`
+}
+
+func waits() <-chan time.Time {
+	return time.After(time.Minute) // want `wall-clock time\.After`
+}
+
+func timers() *time.Timer {
+	return time.NewTimer(time.Second) // want `wall-clock time\.NewTimer`
+}
+
+func measures(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since`
+}
+
+// Durations, formatting, and construction from parts are fine: only
+// reading or waiting on the host clock is banned.
+func durationsAreFine(d time.Duration) time.Duration { return d * 2 }
+
+func formattingIsFine(t time.Time) string { return t.Format(time.RFC3339) }
+
+func allowedAbove() time.Time {
+	//onionlint:allow detclock -- fixture: suppression via a directive on the line above
+	return time.Now()
+}
+
+func allowedTrailing() {
+	time.Sleep(time.Millisecond) //onionlint:allow detclock -- fixture: suppression via a trailing directive
+}
+
+//onionlint:allow detclock -- fixture: stale directive, nothing below to suppress // want `unused onionlint:allow directive for detclock`
+func cleanButAnnotated() {}
+
+//onionlint:allow detclock missing the separator // want `malformed directive`
+func malformedDirective() {}
+
+//onionlint:allow gofancy -- no such analyzer // want `unknown analyzer gofancy`
+func unknownAnalyzer() {}

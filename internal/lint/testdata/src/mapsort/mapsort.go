@@ -1,0 +1,168 @@
+// Package mapsort is the maporder fixture: map iteration feeding
+// order-sensitive sinks, with and without the saving sort.
+package mapsort
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sinks"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `order-sensitive sink \(append to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The collect-then-sort idiom: clean.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A slices.Sort* call also counts.
+func collectThenSortFunc(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.SliceStable(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// A local sort helper (sortInts, sortFloats, …) counts as a sort.
+func localSortHelper(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortInts(ks)
+	return ks
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `order-sensitive sink \(call to method WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func printing(m map[string]int) {
+	for k, v := range m { // want `order-sensitive sink \(call to fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+// Cross-package: sinks.Record is sink-shaped by name.
+func crossPackageSink(m map[string]int) {
+	for k := range m { // want `order-sensitive sink \(call to sinks\.Record`
+		sinks.Record(k)
+	}
+}
+
+// Non-sink cross-package calls are fine.
+func crossPackagePure(m map[string]int) int {
+	total := 0
+	for k := range m {
+		total += sinks.Lookup(k)
+	}
+	return total
+}
+
+// Keyed writes commute: order-independent.
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Integer accumulation is exact under reordering.
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Float addition does not associate: accumulation order leaks.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `order-sensitive sink \(float accumulation into sum`
+		sum += v
+	}
+	return sum
+}
+
+// Keyed float accumulation commutes per key: clean.
+func keyedFloatSum(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// Cursor writes are appends in disguise: the original Graph.Snapshot
+// bug filled CSR rows this way.
+func cursorWrite(m map[int]int, out []int) {
+	cur := 0
+	for k := range m { // want `order-sensitive sink \(write to out at a loop-independent index`
+		out[cur] = k
+		cur++
+	}
+}
+
+// …but a cursor-filled row that is sorted afterwards is clean, exactly
+// like collect-then-sort.
+func cursorWriteThenSort(m map[int]int, out []int) {
+	cur := 0
+	for k := range m {
+		out[cur] = k
+		cur++
+	}
+	sortInts(out)
+}
+
+// Keyed slice writes commute (each key hits its own slot).
+func keyedSliceWrite(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// Stamping by range value commutes too: every iteration writes the
+// same generation.
+func stampByValue(m map[int][]int, stamp []bool) {
+	for _, vs := range m {
+		for _, v := range vs {
+			stamp[v] = true
+		}
+	}
+}
+
+func sendsOnChannel(m map[string]int, ch chan<- string) {
+	for k := range m { // want `order-sensitive sink \(channel send`
+		ch <- k
+	}
+}
+
+func allowed(m map[string]int) []string {
+	var keys []string
+	//onionlint:allow maporder -- fixture: consumer tolerates arbitrary order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,8 @@
+// Package plainpkg is outside the simulation-facing set: detclock must
+// stay silent here even though it reads the wall clock.
+package plainpkg
+
+import "time"
+
+// Stamp reads the host clock, legitimately.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,75 @@
+// Package randmisuse is the detrand fixture: global math/rand state,
+// live OS entropy, and stdlib keygen outside botcrypto.
+package randmisuse
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	cryptorand "crypto/rand"
+	"crypto/rsa"
+	"io"
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"botcrypto"
+)
+
+func globalV1() int {
+	return rand.Intn(6) // want `global math/rand state \(rand\.Intn\)`
+}
+
+func globalV2() int {
+	return randv2.IntN(6) // want `global math/rand state \(rand/v2\.IntN\)`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand state \(rand\.Shuffle\)`
+}
+
+// Constructors build local generators: placement is the substream
+// analyzer's concern, so detrand stays silent here.
+func constructorsAreFine() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func osEntropy(p []byte) {
+	cryptorand.Read(p) // want `crypto/rand\.Read is live OS entropy`
+}
+
+func osReader() io.Reader {
+	return cryptorand.Reader // want `crypto/rand\.Reader is live OS entropy`
+}
+
+func keygenLive() {
+	ed25519.GenerateKey(cryptorand.Reader) // want `ed25519\.GenerateKey fed a live reader` `crypto/rand\.Reader is live OS entropy`
+}
+
+func keygenNil() {
+	ed25519.GenerateKey(nil) // want `ed25519\.GenerateKey fed a live reader`
+}
+
+func keygenOpaque(r io.Reader) {
+	ed25519.GenerateKey(r) // want `ed25519\.GenerateKey fed a live reader`
+}
+
+// A statically-proven DRBG reader is byte-exact: allowed.
+func keygenDRBG() {
+	ed25519.GenerateKey(botcrypto.NewDRBG([]byte("seed")))
+}
+
+func keygenDRBGVar(d *botcrypto.DRBG) {
+	ed25519.GenerateKey(d)
+}
+
+func keygenRSA(r io.Reader) {
+	rsa.GenerateKey(r, 512) // want `rsa\.GenerateKey consumes a randomized extra byte`
+}
+
+func keygenECDH(r io.Reader) {
+	ecdh.X25519().GenerateKey(r) // want `ecdh GenerateKey consumes a randomized extra byte`
+}
+
+func allowedKeygen(r io.Reader) {
+	//onionlint:allow detrand -- fixture: legitimate live-entropy site
+	ed25519.GenerateKey(r)
+}

@@ -1,0 +1,29 @@
+// Package sim is a fixture stand-in for onionbots/internal/sim: the one
+// package allowed to construct math/rand generators directly.
+package sim
+
+import "math/rand/v2"
+
+// RNG mirrors the real substream handle.
+type RNG struct{ r *rand.Rand }
+
+// NewRNG builds a stream from a root or derived seed. Inside sim, raw
+// construction is the whole point; the substream analyzer must stay
+// silent on this file.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, 1))}
+}
+
+// SubstreamSeed derives a child seed from (root, label).
+func SubstreamSeed(root uint64, label string) uint64 {
+	h := root
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x100000001b3
+	}
+	return h
+}
+
+// NewSubstream returns NewRNG(SubstreamSeed(root, label)).
+func NewSubstream(root uint64, label string) *RNG {
+	return NewRNG(SubstreamSeed(root, label))
+}

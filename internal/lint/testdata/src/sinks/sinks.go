@@ -1,0 +1,9 @@
+// Package sinks is a maporder fixture dependency: Record is sink-shaped
+// by name, exercising cross-package sink detection.
+package sinks
+
+// Record pretends to log its argument somewhere order-sensitive.
+func Record(string) {}
+
+// Lookup is not sink-shaped; calls to it inside a map range are fine.
+func Lookup(string) int { return 0 }

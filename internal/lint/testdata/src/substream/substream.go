@@ -1,0 +1,49 @@
+// Package substream is the substream fixture: raw generator
+// construction and ad-hoc seed arithmetic outside internal/sim.
+package substream
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"sim"
+)
+
+func rawV1() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `raw rand\.New outside internal/sim` `raw rand\.NewSource outside internal/sim`
+}
+
+func rawV2() *randv2.PCG {
+	return randv2.NewPCG(1, 2) // want `raw rand/v2\.NewPCG outside internal/sim`
+}
+
+func seedOffset(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed + 7) // want `ad-hoc seed arithmetic fed to sim\.NewRNG`
+}
+
+func seedMix(seed uint64, n, trial int) *sim.RNG {
+	return sim.NewRNG(seed + uint64(n)*31 + uint64(trial)) // want `ad-hoc seed arithmetic fed to sim\.NewRNG`
+}
+
+func seedXor(seed uint64) uint64 {
+	return sim.SubstreamSeed(seed^3, "label") // want `ad-hoc seed arithmetic fed to sim\.SubstreamSeed`
+}
+
+func derivedRootForSubstream(seed uint64) *sim.RNG {
+	return sim.NewSubstream(seed*2, "label") // want `ad-hoc seed arithmetic fed to sim\.NewSubstream`
+}
+
+// The blessed derivations: a plain root into NewRNG, labels for
+// everything else. Conversions alone are not arithmetic.
+func proper(seed uint64, trial int) {
+	_ = sim.NewRNG(seed)
+	_ = sim.NewRNG(uint64(trial))
+	_ = sim.NewRNG(42)
+	_ = sim.NewSubstream(seed, "experiment/trial=1")
+	_ = sim.NewSubstream(sim.SubstreamSeed(seed, "parent"), "child")
+}
+
+func allowed(seed uint64) *sim.RNG {
+	//onionlint:allow substream -- fixture: pinned legacy seed schedule
+	return sim.NewRNG(seed + 1)
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"onionbots/internal/lint"
+)
+
+// TestTreeIsClean runs the full onionlint suite over the module — the
+// same check as `make lint` — and fails on any finding. Re-introducing
+// either historical determinism bug (the map-order Graph.Snapshot leak,
+// a live-reader GenerateKey) turns this red without waiting for an
+// end-to-end byte-compare to notice.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the finding, or annotate it with `%s <analyzer> -- <reason>` and record it in docs/LINT_ALLOWLIST.txt", lint.DirectivePrefix)
+	}
+}

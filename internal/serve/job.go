@@ -180,6 +180,7 @@ func (j *Job) publish(ev Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.events = append(j.events, ev)
+	//onionlint:allow maporder -- fan-out to independent subscribers; each one sees the same events in history order regardless of delivery order
 	for s := range j.subs {
 		select {
 		case s.ch <- ev:

@@ -31,6 +31,7 @@ func NewTokenBucket(capacity, perSec float64) *TokenBucket {
 	if perSec <= 0 {
 		perSec = 1
 	}
+	//onionlint:allow detclock -- admission control meters real HTTP clients in wall-clock time; tests inject a fake now()
 	b := &TokenBucket{capacity: capacity, tokens: capacity, perSec: perSec, now: time.Now}
 	b.last = b.now()
 	return b

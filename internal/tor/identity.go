@@ -101,6 +101,7 @@ type Identity struct {
 // NewIdentity generates an identity from the given entropy source. A
 // deterministic reader yields a deterministic identity.
 func NewIdentity(random io.Reader) (*Identity, error) {
+	//onionlint:allow detrand -- entropy injection point: every production caller hands in a seeded botcrypto.DRBG; byte-exactness is the caller's contract
 	pub, priv, err := ed25519.GenerateKey(random)
 	if err != nil {
 		return nil, fmt.Errorf("tor: generate identity: %w", err)

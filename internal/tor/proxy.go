@@ -343,6 +343,9 @@ func (p *OnionProxy) Shutdown() {
 	for id := range p.circuits {
 		ids = append(ids, id)
 	}
+	// Teardown emits relay-side effects (conn closes, cell traffic), so
+	// the order must not leak map iteration order into the run.
+	sortUint64(ids)
 	for _, id := range ids {
 		if oc, ok := p.circuits[id]; ok {
 			if oc.conn != nil {

@@ -1,0 +1,13 @@
+// Pinned versions for the external lint toolchain. A separate module so
+// the simulator's go.mod keeps zero dependencies; `make tools` installs
+// exactly these versions (standalone `go install pkg@version`, so no
+// go.sum is required here). Bump versions in this file only — the
+// Makefile reads them from it.
+module onionbots/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

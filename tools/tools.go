@@ -1,0 +1,11 @@
+//go:build tools
+
+// Package tools anchors the lint toolchain imports so `go mod tidy`
+// keeps the pinned requirements in go.mod. It is never compiled (the
+// tools build tag is never set).
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
